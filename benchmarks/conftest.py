@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures.  The
+heavy sweeps are deterministic simulations, so a single round is
+meaningful; `bench_once` wraps ``benchmark.pedantic`` accordingly and
+returns the experiment result for assertions.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run ``fn`` exactly once under the benchmark timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

@@ -1,0 +1,105 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not figures from the paper, but quantifications of its design
+arguments: the advanced schedule's overlap gain over the basic one
+(§5.1→§5.2 motivation), the §6.3 coalescing optimization, and the
+model's sensitivity to the calibrated machine parameters.
+"""
+
+import pytest
+
+from repro.algorithms.mergesort.hybrid import make_mergesort_workload
+from repro.core.model import AdvancedModel, ModelContext
+from repro.core.schedule import (
+    AdvancedSchedule,
+    BasicSchedule,
+    ScheduleExecutor,
+)
+from repro.hpu import HPU1
+from repro.hpu.hpu import HPUParameters
+
+N = 1 << 24
+
+
+def test_ablation_basic_vs_advanced(bench_once):
+    """The advanced schedule's device overlap must beat the basic
+    schedule's one-device-at-a-time execution."""
+
+    def run():
+        workload = make_mergesort_workload(N)
+        executor = ScheduleExecutor(HPU1, workload)
+        basic = executor.run_basic(
+            BasicSchedule().plan(workload, HPU1.parameters)
+        )
+        advanced = executor.run_advanced(
+            AdvancedSchedule().plan(workload, HPU1.parameters)
+        )
+        return basic, advanced
+
+    basic, advanced = bench_once(run)
+    assert advanced.speedup > basic.speedup
+    assert basic.overlap == pytest.approx(0.0)
+    assert advanced.overlap > 0
+
+
+def test_ablation_coalescing(bench_once):
+    """§6.3: the permutation optimization pays at scale."""
+
+    def run():
+        results = {}
+        for coalesce in (True, False):
+            workload = make_mergesort_workload(N, coalesce=coalesce)
+            executor = ScheduleExecutor(HPU1, workload)
+            plan = AdvancedSchedule().plan(workload, HPU1.parameters)
+            results[coalesce] = executor.run_advanced(plan)
+        return results
+
+    results = bench_once(run)
+    assert results[True].gpu_kernel_time < results[False].gpu_kernel_time
+    assert results[True].speedup > results[False].speedup
+
+
+def test_ablation_alpha_sensitivity_to_gamma(bench_once):
+    """A faster GPU (larger γ) should shift the optimum toward less
+    CPU work and raise the GPU's share."""
+
+    def run():
+        shares = {}
+        for gamma_inv in (320.0, 160.0, 80.0):
+            params = HPUParameters(p=4, g=4096, gamma=1.0 / gamma_inv)
+            ctx = ModelContext(a=2, b=2, n=N, f=lambda m: m, params=params)
+            shares[gamma_inv] = AdvancedModel(ctx).optimize()
+        return shares
+
+    shares = bench_once(run)
+    assert (
+        shares[320.0].gpu_share
+        < shares[160.0].gpu_share
+        < shares[80.0].gpu_share
+    )
+    assert shares[80.0].alpha < shares[320.0].alpha
+
+
+def test_ablation_alpha_sensitivity_to_g(bench_once):
+    """More GPU cores -> more offloadable work before saturation."""
+
+    def run():
+        return {
+            g: AdvancedModel(
+                ModelContext(
+                    a=2,
+                    b=2,
+                    n=N,
+                    f=lambda m: m,
+                    params=HPUParameters(p=4, g=g, gamma=1 / 160),
+                )
+            ).optimize()
+            for g in (1024, 4096, 16384)
+        }
+
+    solutions = bench_once(run)
+    assert (
+        solutions[1024].gpu_share
+        < solutions[4096].gpu_share
+        <= solutions[16384].gpu_share + 1e-9
+    )

@@ -1,0 +1,69 @@
+"""Benches for the Section-7 future-work extensions.
+
+Quantifies the two optimizations the paper's conclusions propose,
+against the plain advanced schedule they extend.
+"""
+
+import numpy as np
+
+from repro.algorithms.mergesort.hybrid import make_mergesort_workload
+from repro.core.schedule import AdvancedSchedule, ScheduleExecutor
+from repro.core.schedule.extensions import plan_parallel_tail
+from repro.hpu import HPU1
+
+
+def test_parallel_tail_gain(bench_once):
+    """GPU finishing its partition with binary-search merges beats
+    handing the tail back to the CPU — at n=2^24 by >20%."""
+
+    def run():
+        workload = make_mergesort_workload(1 << 24)
+        executor = ScheduleExecutor(HPU1, workload)
+        base_plan = AdvancedSchedule().plan(workload, HPU1.parameters)
+        base = executor.run_advanced(base_plan)
+        ext = executor.run_advanced_parallel_tail(
+            plan_parallel_tail(base_plan, workload, HPU1.parameters)
+        )
+        return base, ext
+
+    base, ext = bench_once(run)
+    assert ext.speedup > 1.2 * base.speedup
+    assert ext.speedup < 8.0  # still bounded by serial top levels
+
+
+def test_leaf_block_gain_small_inputs(bench_once):
+    """Collapsing the bottom levels pays most where per-level overheads
+    dominate: small inputs."""
+
+    def best(n, leaf_block):
+        workload = make_mergesort_workload(n, leaf_block=leaf_block)
+        executor = ScheduleExecutor(HPU1, workload)
+        scheduler = AdvancedSchedule()
+        best_speedup = executor.run_cpu_only().speedup
+        for level in range(max(2, workload.k - 10), workload.k + 1):
+            for alpha in np.arange(0.1, 0.5, 0.1):
+                try:
+                    plan = scheduler.plan(
+                        workload,
+                        HPU1.parameters,
+                        alpha=float(alpha),
+                        transfer_level=level,
+                    )
+                    best_speedup = max(
+                        best_speedup, executor.run_advanced(plan).speedup
+                    )
+                except Exception:
+                    continue
+        return best_speedup
+
+    def run():
+        return {
+            (n, s): best(n, s)
+            for n in (1 << 12, 1 << 20)
+            for s in (1, 256)
+        }
+
+    results = bench_once(run)
+    assert results[(1 << 12, 256)] > 1.1 * results[(1 << 12, 1)]
+    # still a (smaller) win at large n
+    assert results[(1 << 20, 256)] >= 0.98 * results[(1 << 20, 1)]

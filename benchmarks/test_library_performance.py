@@ -1,0 +1,69 @@
+"""Performance benchmarks of the library itself.
+
+Unlike the figure benches (which assert reproduction bands from a
+single deterministic run), these measure the *wall-clock* cost of the
+library's hot paths with normal pytest-benchmark statistics, so
+regressions in the simulator or the vectorized kernels show up.
+"""
+
+import numpy as np
+
+from repro.algorithms.mergesort.breadth_first import mergesort_bf
+from repro.algorithms.mergesort.hybrid import make_mergesort_workload
+from repro.core.schedule import AdvancedSchedule, ScheduleExecutor
+from repro.hpu import HPU1
+from repro.sim import Resource, Simulator, Timeout
+
+
+def test_perf_des_engine_events(benchmark):
+    """Throughput of the DES core: spawn/timeout/resource churn."""
+
+    def run():
+        sim = Simulator()
+        cores = Resource(4, "cores")
+
+        def worker():
+            for _ in range(10):
+                yield cores.request(1)
+                yield Timeout(1.0)
+                cores.release(1)
+            return None
+
+        for _ in range(50):
+            sim.spawn(worker())
+        sim.run()
+        return sim.now
+
+    result = benchmark(run)
+    assert result > 0
+
+
+def test_perf_advanced_schedule_run(benchmark):
+    """One timing-only advanced execution at n = 2^24."""
+    workload = make_mergesort_workload(1 << 24)
+    executor = ScheduleExecutor(HPU1, workload)
+    plan = AdvancedSchedule().plan(workload, HPU1.parameters)
+
+    result = benchmark(lambda: executor.run_advanced(plan))
+    assert 4.0 < result.speedup < 5.5
+
+
+def test_perf_vectorized_level_merge(benchmark):
+    """Functional whole-array breadth-first sort, 2^16 elements."""
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 2**31, size=1 << 16)
+
+    out = benchmark(lambda: mergesort_bf(data))
+    assert (out == np.sort(data)).all()
+
+
+def test_perf_model_optimization(benchmark):
+    """One full α* optimization (grid scan + polish)."""
+    from repro.core.model import AdvancedModel, ModelContext
+
+    ctx = ModelContext(
+        a=2, b=2, n=1 << 24, f=lambda m: m, params=HPU1.parameters
+    )
+
+    solution = benchmark(lambda: AdvancedModel(ctx).optimize())
+    assert 0.1 < solution.alpha < 0.3

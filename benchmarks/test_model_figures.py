@@ -1,0 +1,50 @@
+"""Benches for the model-side figures: Fig. 3 (α curves), Fig. 4 (the
+work-division plan) and Figs. 5-6 (parameter estimation sweeps)."""
+
+from repro.experiments import (
+    fig3_alpha_curves,
+    fig4_work_division,
+    fig5_estimate_g,
+    fig6_estimate_gamma,
+)
+
+
+def test_fig3_alpha_curves(bench_once):
+    """§5.2.2: α* ≈ 0.16, GPU share ≈ 52%, level ≈ 10."""
+    result = bench_once(fig3_alpha_curves.run)
+    note = result.notes[0]
+    assert "alpha* = 0.16" in note
+    shares = result.column("GPU work %")
+    assert max(shares) > 50.0
+    # the share curve rises then falls (a genuine interior optimum)
+    peak_idx = shares.index(max(shares))
+    assert 0 < peak_idx < len(shares) - 1
+
+
+def test_fig4_work_division(bench_once):
+    result = bench_once(fig4_work_division.run)
+    devices = result.column("devices")
+    assert "CPU" in devices[0]  # top of the tree on the CPU
+    assert any("GPU" in d for d in devices)  # bottom offloaded
+    # leaves row present and split between devices
+    assert result.rows[-1][0] == "leaves"
+
+
+def test_fig5_saturation_sweep(bench_once):
+    result = bench_once(fig5_estimate_g.run)
+    assert any("HPU1" in n and "4096" in n for n in result.notes)
+    times_hpu1 = [
+        float(row[2]) for row in result.rows if row[0] == "HPU1"
+    ]
+    # decreasing overall: first sample much slower than last
+    assert times_hpu1[0] > 10 * times_hpu1[-1]
+
+
+def test_fig6_gamma_sweep(bench_once):
+    result = bench_once(fig6_estimate_gamma.run)
+    ratios = {
+        name: [row[2] for row in result.rows if row[0] == name]
+        for name in ("HPU1", "HPU2")
+    }
+    assert all(150 < r < 170 for r in ratios["HPU1"])
+    assert all(60 < r < 70 for r in ratios["HPU2"])

@@ -1,0 +1,25 @@
+"""Benches regenerating Tables 1 and 2."""
+
+from repro.experiments import table1_platforms, table2_parameters
+
+
+def test_table1_platform_specs(bench_once):
+    result = bench_once(table1_platforms.run)
+    assert len(result.rows) == 2
+    cpus = result.column("CPU")
+    assert any("Q6850" in c for c in cpus)
+    assert any("A6-3650" in c for c in cpus)
+
+
+def test_table2_calibrated_parameters(bench_once):
+    """Calibration must recover the paper's p, g, γ⁻¹ on both HPUs."""
+    result = bench_once(table2_parameters.run)
+    by_platform = {row[0]: row for row in result.rows}
+    for name, (p_paper, g_paper, gi_paper) in {
+        "HPU1": (4, 4096, 160.0),
+        "HPU2": (4, 1200, 65.0),
+    }.items():
+        _, p, g_est, gi_est, *_ = by_platform[name]
+        assert p == p_paper
+        assert 0.75 * g_paper <= g_est <= 1.4 * g_paper
+        assert abs(gi_est - gi_paper) / gi_paper < 0.1

@@ -1,0 +1,79 @@
+"""Genericity tour: five algorithms, one framework.
+
+The paper's central claim is generality: the translation and the model
+need only the recurrence shape ``T(n) = a·T(n/b) + f(n)``.  This
+example runs five very different D&C algorithms through the *same*
+executors and model — mergesort, D&C sum, Karatsuba, Strassen and
+maximum subarray — and prints, for each, its master-theorem regime and
+the hybrid division the model recommends on HPU1.
+
+Run:  python examples/generic_algorithms.py
+"""
+
+import numpy as np
+
+from repro.algorithms.dc_sum import sum_spec
+from repro.algorithms.karatsuba import karatsuba_spec
+from repro.algorithms.max_subarray import max_subarray_spec
+from repro.algorithms.mergesort import mergesort_spec
+from repro.algorithms.strassen import strassen_spec
+from repro.core import run_breadth_first, run_recursive
+from repro.core.model import AdvancedModel, ModelContext, classify_recurrence
+from repro.hpu import HPU1
+from repro.util.tables import format_table
+
+rng = np.random.default_rng(42)
+
+# (spec, a sample problem, extractor to compare solutions)
+cases = [
+    (mergesort_spec(), rng.integers(0, 100, size=64), lambda s: tuple(s)),
+    (sum_spec(), rng.integers(0, 100, size=64), lambda s: s),
+    (
+        karatsuba_spec(),
+        (rng.integers(-9, 9, size=16), rng.integers(-9, 9, size=16)),
+        lambda s: tuple(s),
+    ),
+    (
+        strassen_spec(),
+        (rng.integers(-3, 3, size=(8, 8)), rng.integers(-3, 3, size=(8, 8))),
+        lambda s: tuple(np.asarray(s).ravel()),
+    ),
+    (max_subarray_spec(), rng.normal(size=64), lambda s: s.best),
+]
+
+rows = []
+for spec, problem, extract in cases:
+    # 1. both executors, unchanged, agree on every algorithm
+    recursive = run_recursive(spec, problem)
+    breadth_first = run_breadth_first(spec, problem)
+    assert extract(recursive.solution) == extract(breadth_first.solution), spec.name
+
+    # 2. the model consumes nothing but (a, b, f)
+    regime = classify_recurrence(spec.a, spec.b, spec.f_cost)
+    n_model = 2**16 if spec.a != 7 else 2**10  # strassen trees are wide
+    ctx = ModelContext.from_spec(spec, n=n_model, params=HPU1.parameters)
+    solution = AdvancedModel(ctx).optimize()
+    rows.append(
+        [
+            spec.name,
+            f"{spec.a}T(n/{spec.b})+f",
+            regime.bound,
+            f"{solution.alpha:.3f}",
+            f"{solution.y:.1f}/{ctx.k}",
+            f"{100 * solution.gpu_share:.0f}%",
+        ]
+    )
+
+print(
+    format_table(
+        ["algorithm", "recurrence", "T(n)", "alpha*", "y*/depth", "GPU share"],
+        rows,
+        title="five algorithms through the generic framework (HPU1)",
+    )
+)
+print(
+    "\nBalanced recurrences (mergesort, max-subarray) offload about half "
+    "the work; leaf-heavy ones (sum, Karatsuba, Strassen) push nearly "
+    "everything to the GPU, since the leaves are where their work lives "
+    "and leaves are maximally parallel."
+)

@@ -1,0 +1,9 @@
+"""Legacy shim so `pip install -e .` works offline (no wheel package).
+
+All metadata lives in pyproject.toml's [project] table, which setuptools
+reads even on the legacy code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""repro — generic hybrid CPU-GPU parallelization of divide-and-conquer.
+
+A production-quality reproduction of López-Ortiz, Salinger & Suderman,
+*"Toward a Generic Hybrid CPU-GPU Parallelization of Divide-and-Conquer
+Algorithms"* (IJNC 4(1), 2014; IPDPSW/APDCM 2013), built on a simulated
+Hybrid Processing Unit (HPU).
+
+Public API highlights
+---------------------
+- :class:`repro.core.DCSpec` — describe a divide-and-conquer algorithm.
+- :func:`repro.core.run_recursive` / :func:`repro.core.run_breadth_first`
+  — the paper's Algorithm 1 and its breadth-first translation (Alg. 2).
+- :class:`repro.hpu.HPU` and presets :data:`repro.hpu.HPU1` /
+  :data:`repro.hpu.HPU2` — the simulated hybrid machine (Tables 1–2).
+- :class:`repro.core.schedule.BasicSchedule` /
+  :class:`repro.core.schedule.AdvancedSchedule` — the two work-division
+  strategies of Section 5, plus a DES executor.
+- :mod:`repro.core.model` — the analytical model (T_c, T_g, y(α), W_g,
+  α* optimization, predicted speedups).
+- :mod:`repro.core.calibrate` — the g / γ estimation procedures (§6.4).
+- :mod:`repro.algorithms` — mergesort case study and other D&C
+  algorithms expressed through the generic framework.
+- :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

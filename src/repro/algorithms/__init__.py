@@ -1,0 +1,13 @@
+"""Divide-and-conquer algorithms expressed through the generic framework.
+
+:mod:`repro.algorithms.mergesort` is the paper's case study (Section 6).
+:mod:`repro.algorithms.dc_sum` is the paper's running example
+(Algorithms 4–5).  The remaining modules demonstrate the genericity
+claim on algorithms the paper does not evaluate: Karatsuba polynomial
+multiplication, Strassen matrix multiplication, closest pair of points,
+and maximum subarray.
+"""
+
+from repro.algorithms import dc_sum, mergesort
+
+__all__ = ["dc_sum", "mergesort"]

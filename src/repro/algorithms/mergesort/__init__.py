@@ -1,0 +1,46 @@
+"""Mergesort — the paper's case study (Section 6).
+
+- :mod:`repro.algorithms.mergesort.merges` — merge primitives: scalar
+  two-pointer reference, vectorized binary-search merge, whole-level
+  pair merging.
+- :mod:`repro.algorithms.mergesort.recursive` — Algorithm 6.
+- :mod:`repro.algorithms.mergesort.breadth_first` — Algorithm 7.
+- :mod:`repro.algorithms.mergesort.kernels` — the simulated OpenCL
+  kernels: per-sublist merge (divergent), §6.3 coalescing permutation,
+  and the fully-parallel binary-search merge of Fig. 9.
+- :mod:`repro.algorithms.mergesort.hybrid` — Algorithm 8: workload
+  construction and the one-call hybrid sorts.
+- :mod:`repro.algorithms.mergesort.parallel_merge` — the GPU-only
+  parallel-merge mergesort the paper compares against (Fig. 9).
+"""
+
+from repro.algorithms.mergesort.breadth_first import mergesort_bf
+from repro.algorithms.mergesort.hybrid import (
+    MergesortHost,
+    hybrid_mergesort,
+    make_mergesort_workload,
+)
+from repro.algorithms.mergesort.merges import (
+    merge_binary_search,
+    merge_pairs_level,
+    merge_two_pointer,
+)
+from repro.algorithms.mergesort.parallel_merge import (
+    ParallelGPUResult,
+    parallel_gpu_mergesort,
+)
+from repro.algorithms.mergesort.recursive import mergesort_recursive, mergesort_spec
+
+__all__ = [
+    "mergesort_bf",
+    "MergesortHost",
+    "hybrid_mergesort",
+    "make_mergesort_workload",
+    "merge_binary_search",
+    "merge_pairs_level",
+    "merge_two_pointer",
+    "ParallelGPUResult",
+    "parallel_gpu_mergesort",
+    "mergesort_recursive",
+    "mergesort_spec",
+]

@@ -1,0 +1,38 @@
+"""The paper's primary contribution: generic hybrid D&C parallelization.
+
+Subpackages
+-----------
+- :mod:`repro.core.spec`, :mod:`repro.core.recursive`,
+  :mod:`repro.core.breadthfirst`, :mod:`repro.core.gpu_adapter` —
+  Section 4's generic translation (Algorithms 1–3).
+- :mod:`repro.core.recursion_tree` — level geometry of a regular D&C
+  recursion (task counts, sizes, costs per level).
+- :mod:`repro.core.model` — Section 5's analytical model and parameter
+  optimization.
+- :mod:`repro.core.schedule` — the basic and advanced work-division
+  strategies plus the DES executor that runs them on an HPU.
+- :mod:`repro.core.calibrate` — Section 6.4's estimation of g and γ.
+"""
+
+from repro.core.autotune import AutoTuner, TunedPoint
+from repro.core.breadthfirst import BreadthFirstRun, run_breadth_first
+from repro.core.generic_host import GenericDCHost, run_hybrid
+from repro.core.gpu_adapter import make_level_kernel
+from repro.core.recursion_tree import LevelInfo, RecursionTree
+from repro.core.recursive import RecursiveRun, run_recursive
+from repro.core.spec import DCSpec
+
+__all__ = [
+    "DCSpec",
+    "run_recursive",
+    "RecursiveRun",
+    "run_breadth_first",
+    "BreadthFirstRun",
+    "run_hybrid",
+    "GenericDCHost",
+    "AutoTuner",
+    "TunedPoint",
+    "make_level_kernel",
+    "RecursionTree",
+    "LevelInfo",
+]

@@ -1,0 +1,152 @@
+"""Empirical (α, y) auto-tuning.
+
+The paper determines its operating points both analytically (§5.2.1)
+and experimentally (Figs. 7, 10: "the optimal switching level and
+cpu-gpu work ratio would have to be determined either analytically or
+experimentally").  This module is the *experimental* path as a library
+feature: grid-search the executor over transfer ratios and levels —
+optionally warm-started from the analytical optimum — and return the
+best measured operating point.
+
+The Fig. 8/10 experiment sweeps are thin wrappers over this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.schedule.advanced import AdvancedSchedule
+from repro.core.schedule.executor import HybridRunResult, ScheduleExecutor
+from repro.core.schedule.workload import DCWorkload
+from repro.errors import ScheduleError
+from repro.hpu.hpu import HPU
+from repro.util.rng import NO_NOISE, NoiseModel
+
+
+@dataclass(frozen=True)
+class TunedPoint:
+    """Outcome of an auto-tuning sweep."""
+
+    speedup: float
+    alpha: Optional[float]  # None: the CPU-only fallback won
+    transfer_level: Optional[int]
+    result: HybridRunResult
+    evaluations: int  # executor runs spent
+
+    @property
+    def used_gpu(self) -> bool:
+        return self.alpha is not None
+
+
+class AutoTuner:
+    """Grid search over the advanced schedule's operating points."""
+
+    def __init__(
+        self,
+        hpu: HPU,
+        workload: DCWorkload,
+        noise: NoiseModel = NO_NOISE,
+    ) -> None:
+        self.hpu = hpu
+        self.workload = workload
+        self.executor = ScheduleExecutor(hpu, workload, noise=noise)
+        self.scheduler = AdvancedSchedule()
+
+    # ------------------------------------------------------------------
+    def default_alphas(self, step: float = 0.02) -> np.ndarray:
+        """The α grid of the paper's sweeps."""
+        if not 0.0 < step < 0.5:
+            raise ScheduleError(f"alpha step must be in (0, 0.5), got {step!r}")
+        return np.round(np.arange(step, 0.5, step), 6)
+
+    def default_levels(self, span: int = 12) -> range:
+        """Transfer levels from ``span`` above the leaves to the leaves."""
+        k = self.workload.k
+        return range(max(2, k - span), k + 1)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, alpha: float, transfer_level: int) -> HybridRunResult:
+        """Run one operating point (raises if it is inadmissible)."""
+        plan = self.scheduler.plan(
+            self.workload,
+            self.hpu.parameters,
+            alpha=float(alpha),
+            transfer_level=int(transfer_level),
+        )
+        return self.executor.run_advanced(plan)
+
+    def tune(
+        self,
+        alphas: Optional[Sequence[float]] = None,
+        levels: Optional[Sequence[int]] = None,
+        include_cpu_fallback: bool = True,
+    ) -> TunedPoint:
+        """Find the best measured operating point over the grid.
+
+        ``include_cpu_fallback`` also evaluates the multicore-only
+        execution, which wins on inputs too small to amortize the
+        transfers (the left end of Fig. 8).
+        """
+        alphas = self.default_alphas() if alphas is None else alphas
+        levels = self.default_levels() if levels is None else levels
+        evaluations = 0
+        best: Optional[TunedPoint] = None
+        if include_cpu_fallback:
+            result = self.executor.run_cpu_only()
+            evaluations += 1
+            best = TunedPoint(result.speedup, None, None, result, evaluations)
+        for level in levels:
+            for alpha in alphas:
+                try:
+                    result = self.evaluate(float(alpha), int(level))
+                except ScheduleError:
+                    continue
+                evaluations += 1
+                if best is None or result.speedup > best.speedup:
+                    best = TunedPoint(
+                        result.speedup,
+                        float(alpha),
+                        int(level),
+                        result,
+                        evaluations,
+                    )
+        if best is None:
+            raise ScheduleError(
+                "auto-tuning found no admissible operating point"
+            )
+        return TunedPoint(
+            best.speedup,
+            best.alpha,
+            best.transfer_level,
+            best.result,
+            evaluations,
+        )
+
+    def tune_around_model(self, spread: int = 2) -> TunedPoint:
+        """Warm-started tuning: a small grid around the analytical optimum.
+
+        Mirrors practice: the model proposes (α*, y*), a handful of
+        neighbouring runs polish it.  Far cheaper than the full grid
+        (tens of runs instead of hundreds).
+        """
+        plan = self.scheduler.plan(self.workload, self.hpu.parameters)
+        alpha0 = plan.alpha
+        y0 = plan.transfer_level
+        alphas = [
+            a
+            for a in np.round(
+                alpha0 + np.arange(-spread, spread + 1) * 0.04, 6
+            )
+            if 0.0 < a < 1.0
+        ]
+        levels = [
+            y
+            for y in range(y0 - spread, y0 + spread + 1)
+            if 1 <= y <= self.workload.k
+        ]
+        return self.tune(
+            alphas=alphas, levels=levels, include_cpu_fallback=False
+        )

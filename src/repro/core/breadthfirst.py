@@ -1,0 +1,140 @@
+"""Algorithm 2: the breadth-first translation.
+
+The first step of the paper's strategy (§4.1): replace the ``a``
+recursive calls of Algorithm 1 with *one* recursive call carrying the
+parameters of every subproblem at the current level.  Two behavioural
+details of Algorithm 2 are preserved exactly, because the schedulers
+rely on them:
+
+1. **Base cases are delayed.**  A parameter that hits the end condition
+   at an intermediate level is passed down unchanged (line 6) and only
+   solved once no recursions remain — so all leaves execute together,
+   as a single maximally-wide task set.
+2. **Combines run level-synchronously on the way back up** (lines
+   12–13): the tasks of one level form an independent batch, which is
+   what maps onto a GPU kernel launch.
+
+``run_breadth_first`` returns, besides the solution, the per-level task
+batches it executed — the exact work units the hybrid schedulers
+distribute between CPU and GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List
+
+from repro.core.spec import DCSpec, Problem
+from repro.errors import SpecError
+
+
+@dataclass
+class _Node:
+    """One subproblem in the level-by-level expansion."""
+
+    problem: Problem
+    is_base: bool
+    children: List["_Node"] = field(default_factory=list)
+    solution: Any = None
+
+
+@dataclass
+class LevelBatch:
+    """The independent tasks executed together at one level."""
+
+    level: int
+    kind: str  # "divide", "base", or "combine"
+    tasks: int
+    ops_per_task: float
+
+    @property
+    def total_ops(self) -> float:
+        return self.tasks * self.ops_per_task
+
+
+@dataclass
+class BreadthFirstRun:
+    """Result of a breadth-first execution."""
+
+    solution: Any
+    depth: int
+    batches: List[LevelBatch]
+
+    @property
+    def total_ops(self) -> float:
+        return sum(batch.total_ops for batch in self.batches)
+
+
+def run_breadth_first(
+    spec: DCSpec, problem: Problem, max_depth: int = 64
+) -> BreadthFirstRun:
+    """Execute ``spec`` on ``problem`` in breadth-first order (Algorithm 2)."""
+    batches: List[LevelBatch] = []
+    root = _Node(problem=problem, is_base=spec.is_base(problem))
+    levels: List[List[_Node]] = [[root]]
+
+    # -- downward sweep: divide until only base cases remain -----------
+    depth = 0
+    while True:
+        if depth > max_depth:
+            raise SpecError(
+                f"spec {spec.name!r} exceeded max recursion depth "
+                f"{max_depth}; does divide() shrink its input?"
+            )
+        frontier = levels[-1]
+        recursions = [node for node in frontier if not node.is_base]
+        if not recursions:
+            break
+        next_level: List[_Node] = []
+        divide_sizes = []
+        for node in frontier:
+            if node.is_base:
+                # Algorithm 2 line 6: delay the base case downward.
+                next_level.append(node)
+                continue
+            for sub in spec.checked_divide(node.problem):
+                child = _Node(problem=sub, is_base=spec.is_base(sub))
+                node.children.append(child)
+                next_level.append(child)
+            divide_sizes.append(spec.size_of(node.problem))
+        levels.append(next_level)
+        depth += 1
+
+    # -- leaves: all base cases solved together (Algorithm 2 lines 3-5)
+    leaves = [node for node in levels[-1] if node.is_base and not node.children]
+    for node in leaves:
+        node.solution = spec.base_case(node.problem)
+    if leaves:
+        batches.append(
+            LevelBatch(
+                level=len(levels) - 1,
+                kind="base",
+                tasks=len(leaves),
+                ops_per_task=spec.leaf_cost,
+            )
+        )
+
+    # -- upward sweep: combine level by level (Algorithm 2 lines 12-13)
+    for level_index in range(len(levels) - 2, -1, -1):
+        combined = 0
+        ops = 0.0
+        for node in levels[level_index]:
+            if not node.children:
+                continue
+            subsolutions = [child.solution for child in node.children]
+            node.solution = spec.combine(subsolutions, node.problem)
+            combined += 1
+            ops = spec.level_cost(spec.size_of(node.problem))
+        if combined:
+            batches.append(
+                LevelBatch(
+                    level=level_index,
+                    kind="combine",
+                    tasks=combined,
+                    ops_per_task=ops,
+                )
+            )
+
+    return BreadthFirstRun(
+        solution=root.solution, depth=len(levels) - 1, batches=batches
+    )

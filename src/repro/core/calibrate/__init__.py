@@ -1,0 +1,15 @@
+"""Estimation of the HPU model parameters g and γ (Section 6.4).
+
+The paper estimates both parameters *empirically* — ``g`` as the number
+of threads that saturates the device on an elementwise array sum
+(Fig. 5), ``γ`` as the time ratio of a single-thread merge on GPU vs
+CPU (Fig. 6).  These procedures run here against the *simulated*
+devices, closing the loop: the estimates recover the ``g``/``γ`` the
+device specs were built from, which is exactly the consistency check
+Table 2 represents.
+"""
+
+from repro.core.calibrate.gamma import GammaEstimate, estimate_gamma
+from repro.core.calibrate.gcores import GEstimate, estimate_g
+
+__all__ = ["GammaEstimate", "estimate_gamma", "GEstimate", "estimate_g"]

@@ -1,0 +1,165 @@
+"""Generic hybrid execution for *any* DCSpec — the paper's claim, whole.
+
+The mergesort and sum modules ship hand-written host hooks because
+their subproblems live in a shared array.  But the paper's promise is
+translation "with little knowledge of the particular algorithm"; this
+module delivers it for an arbitrary :class:`~repro.core.spec.DCSpec`:
+
+1. expand the recursion tree breadth-first, materializing each node's
+   problem (the downward half of Algorithm 2);
+2. expose the tree's level batches as a
+   :class:`~repro.core.schedule.workload.DCWorkload` whose functional
+   hook solves leaf ranges and combines internal ranges — any schedule
+   that respects bottom-up level order (all of ours) computes the
+   correct root solution;
+3. hand the workload to the planners/executor as usual.
+
+The cost is memory — every subproblem is materialized, as in any real
+breadth-first execution — so this host is for correctness-carrying runs
+at demonstration sizes; large-``n`` *timing* studies use the same
+workload geometry without a host, exactly like mergesort's.
+
+Requires a *regular* recursion: every path reaches the base case at the
+same depth (the paper's §5 assumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.core.schedule.advanced import AdvancedSchedule
+from repro.core.schedule.basic import BasicSchedule
+from repro.core.schedule.executor import HybridRunResult, ScheduleExecutor
+from repro.core.schedule.workload import LEAVES, DCWorkload, LevelRef
+from repro.core.spec import DCSpec, Problem
+from repro.errors import ScheduleError, SpecError
+from repro.hpu.hpu import HPU
+from repro.util.rng import NO_NOISE, NoiseModel
+
+
+class GenericDCHost:
+    """Materialized breadth-first state for one problem instance."""
+
+    def __init__(self, spec: DCSpec, problem: Problem, max_depth: int = 40):
+        self.spec = spec
+        #: ``levels[i]`` holds the problems of all ``a^i`` nodes at
+        #: level ``i``, left to right; ``solutions[i]`` their solutions.
+        self.levels: List[List[Any]] = [[problem]]
+        self.solutions: List[List[Any]] = []
+        depth = 0
+        while True:
+            frontier = self.levels[-1]
+            bases = [spec.is_base(p) for p in frontier]
+            if all(bases):
+                break
+            if any(bases):
+                raise SpecError(
+                    f"spec {spec.name!r} is irregular on this input: level "
+                    f"{depth} mixes base cases and recursions; the hybrid "
+                    f"schedulers need equal-depth leaves (§5)"
+                )
+            if depth >= max_depth:
+                raise SpecError(
+                    f"spec {spec.name!r} exceeded max depth {max_depth}"
+                )
+            next_level: List[Any] = []
+            for node in frontier:
+                next_level.extend(spec.checked_divide(node))
+            self.levels.append(next_level)
+            depth += 1
+        self.k = depth  # internal levels; leaves are self.levels[k]
+        if self.k < 2:
+            raise ScheduleError(
+                f"problem too shallow for hybrid execution (depth {self.k}); "
+                f"run it through run_recursive instead"
+            )
+        self.solutions = [[None] * len(level) for level in self.levels]
+
+    # ------------------------------------------------------------------
+    def execute(self, phase: str, level: LevelRef, offset: int, count: int) -> None:
+        """The workload hook: solve/combine a contiguous node range."""
+        if phase == "base" or level == LEAVES:
+            problems = self.levels[self.k]
+            out = self.solutions[self.k]
+            for i in range(offset, offset + count):
+                out[i] = self.spec.base_case(problems[i])
+            return
+        i = int(level)
+        a = self.spec.a
+        children = self.solutions[i + 1]
+        problems = self.levels[i]
+        out = self.solutions[i]
+        for node in range(offset, offset + count):
+            subs = children[node * a : (node + 1) * a]
+            if any(s is None for s in subs):
+                raise ScheduleError(
+                    f"combine at level {i}, node {node} ran before its "
+                    f"children completed — schedule executed levels out "
+                    f"of order"
+                )
+            out[node] = self.spec.combine(subs, problems[node])
+
+    @property
+    def solution(self) -> Any:
+        root = self.solutions[0][0]
+        if root is None:
+            raise ScheduleError("no schedule has produced the root solution yet")
+        return root
+
+    # ------------------------------------------------------------------
+    def workload(self, element_bytes: int = 8) -> DCWorkload:
+        """The schedulable view of this instance."""
+        spec = self.spec
+        sizes = [spec.size_of(self.levels[i][0]) for i in range(self.k)]
+        return DCWorkload(
+            name=f"{spec.name}[generic]",
+            level_tasks=[len(self.levels[i]) for i in range(self.k)],
+            level_cost=[spec.level_cost(s) for s in sizes],
+            leaf_tasks=len(self.levels[self.k]),
+            leaf_cost=spec.leaf_cost,
+            total_elements=max(spec.size_of(self.levels[0][0]), 2),
+            element_bytes=element_bytes,
+            execute=self.execute,
+            rec_a=spec.a,
+            rec_b=spec.b,
+        )
+
+
+def run_hybrid(
+    spec: DCSpec,
+    problem: Problem,
+    hpu: HPU,
+    strategy: str = "advanced",
+    alpha: Optional[float] = None,
+    transfer_level: Optional[int] = None,
+    noise: NoiseModel = NO_NOISE,
+) -> Tuple[Any, HybridRunResult]:
+    """One call: hybrid-execute any DCSpec on a simulated HPU.
+
+    Returns ``(solution, run result)``.  ``strategy`` is ``"advanced"``,
+    ``"basic"`` or ``"cpu"``.
+    """
+    host = GenericDCHost(spec, problem)
+    workload = host.workload()
+    executor = ScheduleExecutor(hpu, workload, noise=noise)
+    if strategy == "advanced":
+        plan = AdvancedSchedule().plan(
+            workload,
+            hpu.parameters,
+            alpha=alpha,
+            transfer_level=transfer_level,
+        )
+        result = executor.run_advanced(plan)
+    elif strategy == "basic":
+        result = executor.run_basic(
+            BasicSchedule().plan(workload, hpu.parameters)
+        )
+    elif strategy == "cpu":
+        result = executor.run_cpu_only()
+    else:
+        raise ScheduleError(
+            f"unknown strategy {strategy!r}; expected 'advanced', 'basic' "
+            f"or 'cpu'"
+        )
+    return host.solution, result

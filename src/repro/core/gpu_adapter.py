@@ -1,0 +1,79 @@
+"""Algorithm 3: the generic conversion of a level's tasks to a GPU kernel.
+
+The paper's ``functionGPU`` pattern::
+
+    id     <- get_global_id()
+    param  <- parameters[id]
+    memory <- base + fn(id, param)
+    thread_function(param, memory)
+
+Given a *thread function* — the scalar divide/combine work for one
+subproblem — and the per-level parameter list, :func:`make_level_kernel`
+builds a simulated :class:`~repro.opencl.kernel.Kernel` whose work-item
+``id`` operates on ``parameters[id]``.  Algorithm implementations can
+additionally supply a vectorized implementation of the whole level
+(recommended; see the HPC guides on vectorizing Python loops), which
+the adapter attaches as the kernel's fast path after both are declared
+equivalent by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import KernelError
+from repro.opencl.kernel import AccessPattern, Kernel
+
+ThreadFunction = Callable[[Any, Any], None]
+
+
+def make_level_kernel(
+    name: str,
+    parameters: Sequence[Any],
+    thread_function: ThreadFunction,
+    memory_of: Callable[[int, Any], Any],
+    ops_per_item: Callable[[Any], float],
+    vector_fn: Optional[Callable[[int, Any], None]] = None,
+    divergent: bool = True,
+    access: AccessPattern = AccessPattern.STRIDED,
+) -> Kernel:
+    """Build the Algorithm-3 kernel for one recursion-tree level.
+
+    Parameters
+    ----------
+    parameters:
+        ``parameters[id]`` — one entry per subproblem at this level.
+    thread_function:
+        The per-subproblem scalar work (divide/combine of Algorithm 2).
+    memory_of:
+        The paper's ``fn(id, param)``: maps a work-item to the memory
+        block (e.g. an array view) it operates on.
+    ops_per_item:
+        Abstract op count a single work-item performs (cost model input).
+    vector_fn:
+        Optional vectorized whole-level implementation (fast path).
+    divergent / access:
+        Behavioural traits for the device cost model.  A generic,
+        unoptimized translation is divergent and strided; algorithm-
+        specific optimizations (§6.3) can override these.
+    """
+    if len(parameters) == 0:
+        raise KernelError(f"kernel {name!r}: a level with no tasks")
+    params_list = list(parameters)
+
+    def scalar_fn(gid: int, args: Any) -> None:
+        param = params_list[gid]
+        memory = memory_of(gid, param)
+        thread_function(param, memory)
+
+    declared = float(ops_per_item(params_list[0]))
+
+    return Kernel(
+        name=name,
+        ops_per_item=lambda args, _c=declared: _c,
+        vector_fn=vector_fn,
+        scalar_fn=scalar_fn,
+        divergent=divergent,
+        access=access,
+        meta={"level_tasks": len(params_list)},
+    )

@@ -1,0 +1,44 @@
+"""The analytical performance model of Section 5.
+
+Two backends implement the same quantities:
+
+- :mod:`repro.core.model.advanced` — the primary *numeric* backend:
+  exact level-by-level sums with continuous interpolation between
+  levels, valid for any cost function ``f``.  The paper's three
+  saturation cases (§5.2.1) emerge from the per-level saturation test
+  instead of being enumerated by hand.
+- :mod:`repro.core.model.closedform` — the paper's closed formulas for
+  the balanced family ``f(n) = Θ(n^{log_b a})`` (§5.2.2, mergesort).
+  Used to cross-validate the numeric backend in tests.
+
+:mod:`repro.core.model.levels` covers the basic strategy's per-level
+analysis (§5.1); :mod:`repro.core.model.prediction` converts an
+optimized ``(α, y)`` into the predicted hybrid speedup (the green lines
+of Fig. 8); :mod:`repro.core.model.master` classifies recurrences by
+the master theorem.
+"""
+
+from repro.core.model.advanced import AdvancedModel, AdvancedSolution
+from repro.core.model.closedform import ClosedFormModel
+from repro.core.model.context import ModelContext
+from repro.core.model.levels import (
+    basic_crossover_level,
+    level_time_cpu,
+    level_time_gpu,
+)
+from repro.core.model.master import MasterCase, classify_recurrence
+from repro.core.model.prediction import predict_hybrid_speedup, predict_hybrid_time
+
+__all__ = [
+    "AdvancedModel",
+    "AdvancedSolution",
+    "ClosedFormModel",
+    "ModelContext",
+    "basic_crossover_level",
+    "level_time_cpu",
+    "level_time_gpu",
+    "MasterCase",
+    "classify_recurrence",
+    "predict_hybrid_speedup",
+    "predict_hybrid_time",
+]

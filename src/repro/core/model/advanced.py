@@ -1,0 +1,218 @@
+"""Numeric backend for the advanced work-division analysis (§5.2).
+
+The analysis pictures a *bottom-up* execution (Figure 2): after the
+split level, the CPU owns an ``α`` fraction of the subproblems and the
+GPU the remaining ``1 − α``.  Both race upward from the leaves; the
+CPU stays saturated until its fraction narrows to ``p`` subproblems at
+level ``L = log_a(p/α)`` — taking time ``T_c(α)`` — and the GPU climbs
+as far as it can in exactly that time, reaching level ``y(α)``.  The
+fraction ``α*`` maximizes the work ``W_g`` the GPU completes.
+
+Instead of enumerating the paper's three saturation cases we build the
+GPU's cumulative time curve ``G(j)`` level by level — each level is
+individually charged its saturated or unsaturated duration — and invert
+the piecewise-linear curve.  The case structure emerges; the closed
+forms of §5.2.2 (see :mod:`repro.core.model.closedform`) agree with
+this backend on the balanced family, which the test suite checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+from scipy import optimize as sciopt
+
+from repro.core.model.context import ModelContext
+from repro.errors import ModelError
+from repro.util.intmath import log_base
+
+
+@dataclass(frozen=True)
+class AdvancedSolution:
+    """An optimized advanced-schedule operating point."""
+
+    alpha: float  # CPU fraction of subproblems
+    y: float  # level (from the top) the GPU reaches
+    tc: float  # duration of the concurrent bottom phase
+    gpu_work: float  # ops completed by the GPU in that phase
+    gpu_share: float  # gpu_work / total sequential work
+    saturated_at_y: bool  # was the GPU saturated when it stopped?
+
+
+class AdvancedModel:
+    """Evaluate T_c, y(α) and W_g(α) for one (algorithm, n, HPU)."""
+
+    def __init__(self, ctx: ModelContext) -> None:
+        self.ctx = ctx
+        if not ctx.params.gpu_beats_cpu:
+            raise ModelError(
+                "the advanced analysis assumes γ·g > p (§3.2); got "
+                f"γ·g = {ctx.params.gpu_throughput:.3g} <= p = {ctx.params.p}"
+            )
+
+    # ------------------------------------------------------------------
+    # CPU side
+    # ------------------------------------------------------------------
+    def alpha_min(self) -> float:
+        """Smallest admissible α: the CPU must start with ≥ p leaves."""
+        return min(1.0, self.ctx.params.p / self.ctx.num_leaves)
+
+    def cpu_stop_level(self, alpha: float) -> float:
+        """``L = log_a(p/α)``: where the CPU fraction narrows to p tasks."""
+        self._check_alpha(alpha)
+        level = log_base(self.ctx.params.p / alpha, self.ctx.a)
+        return min(max(level, 0.0), float(self.ctx.k))
+
+    def tc(self, alpha: float) -> float:
+        """Time for the CPU to climb from the leaves to ``L`` (§5.2.1).
+
+        ``(α/p) · (leaf work + Σ_{i≥L} a^i f(n/b^i))``, with the
+        partial topmost level interpolated linearly.
+        """
+        self._check_alpha(alpha)
+        ctx = self.ctx
+        L = self.cpu_stop_level(alpha)
+        total = ctx.num_leaves * ctx.leaf_cost
+        j = ctx.k - 1
+        while j >= L - 1 and j >= 0:
+            work = ctx.level_tasks[j] * ctx.level_cost[j]
+            if j >= L:
+                total += work
+            else:  # partial level: fraction (j + 1 - L) of it
+                total += work * (j + 1 - L)
+            j -= 1
+        return alpha * total / ctx.params.p
+
+    # ------------------------------------------------------------------
+    # GPU side
+    # ------------------------------------------------------------------
+    def _gpu_curves(self, alpha: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Cumulative bottom-up GPU (time, work) at integer stop levels.
+
+        Returns arrays ``G`` and ``V`` of length ``k + 1`` where index
+        ``j`` is the time/work for the GPU to execute the leaves plus
+        all internal levels ``i >= j`` of its ``1 − α`` fraction.
+        ``G[k]`` is the leaf batch alone; ``G[0]`` the whole subtree.
+        """
+        ctx = self.ctx
+        share = 1.0 - alpha
+        g, gamma = ctx.params.g, ctx.params.gamma
+        k = ctx.k
+        G = np.zeros(k + 1)
+        V = np.zeros(k + 1)
+        leaf_tasks = share * ctx.num_leaves
+        G[k] = max(leaf_tasks / g, 1.0) * ctx.leaf_cost / gamma
+        V[k] = leaf_tasks * ctx.leaf_cost
+        for j in range(k - 1, -1, -1):
+            tasks = share * ctx.level_tasks[j]
+            cost = ctx.level_cost[j]
+            G[j] = G[j + 1] + max(tasks / g, 1.0) * cost / gamma
+            V[j] = V[j + 1] + tasks * cost
+        return G, V
+
+    def solve_y(self, alpha: float) -> float:
+        """The level the GPU reaches in time ``T_c(α)`` (solves Tg = Tc)."""
+        self._check_alpha(alpha)
+        target = self.tc(alpha)
+        G, _ = self._gpu_curves(alpha)
+        return self._invert_curve(G, target)
+
+    def gpu_work(self, alpha: float) -> float:
+        """``W_g(α)``: ops the GPU completes during the bottom phase."""
+        self._check_alpha(alpha)
+        target = self.tc(alpha)
+        G, V = self._gpu_curves(alpha)
+        k = self.ctx.k
+        if target <= G[k]:
+            # GPU cannot even finish its leaf batch in time; it completes
+            # a proportional share of it.
+            return V[k] * target / G[k]
+        y = self._invert_curve(G, target)
+        return float(np.interp(y, np.arange(k + 1), V))
+
+    def saturated_at(self, alpha: float, y: float) -> bool:
+        """Whether the GPU is saturated at (real) level ``y``."""
+        level = min(int(math.floor(y)), self.ctx.k - 1)
+        tasks = (1.0 - alpha) * self.ctx.level_tasks[max(level, 0)]
+        return tasks >= self.ctx.params.g
+
+    # ------------------------------------------------------------------
+    def _invert_curve(self, G: np.ndarray, target: float) -> float:
+        """Solve ``G(y) = target`` on the piecewise-linear decreasing G."""
+        k = self.ctx.k
+        if target >= G[0]:
+            return 0.0
+        if target <= G[k]:
+            return float(k)
+        # G is strictly decreasing in j; find the bracketing segment.
+        j = int(np.searchsorted(-G, -target, side="right")) - 1
+        j = min(max(j, 0), k - 1)
+        g_hi, g_lo = G[j], G[j + 1]
+        if g_hi == g_lo:  # pragma: no cover - levels always cost > 0
+            return float(j)
+        frac = (g_hi - target) / (g_hi - g_lo)
+        return float(j + frac)
+
+    def _check_alpha(self, alpha: float) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ModelError(f"alpha must be in (0, 1], got {alpha!r}")
+        if alpha < self.alpha_min() - 1e-12:
+            raise ModelError(
+                f"alpha={alpha!r} leaves the CPU fewer than p="
+                f"{self.ctx.params.p} leaf tasks (alpha_min="
+                f"{self.alpha_min():.3g})"
+            )
+
+    # ------------------------------------------------------------------
+    # optimization (§5.2.1: maximize W_g over α)
+    # ------------------------------------------------------------------
+    def optimize(self, grid: int = 512) -> AdvancedSolution:
+        """Find ``α*`` maximizing the GPU work ``W_g(α)``.
+
+        A dense deterministic grid scan locates the basin (W_g is
+        piecewise smooth but kinked where the active saturation case
+        changes), then a bounded scalar minimize polishes it.
+        """
+        lo = self.alpha_min()
+        hi = 1.0
+        if lo >= hi:
+            # Degenerate: fewer leaves than CPU cores; nothing to offload.
+            return self.solution_at(1.0)
+        alphas = np.linspace(lo, hi, grid)
+        works = np.array([self.gpu_work(float(al)) for al in alphas])
+        best = int(works.argmax())
+        bracket_lo = alphas[max(best - 1, 0)]
+        bracket_hi = alphas[min(best + 1, grid - 1)]
+        result = sciopt.minimize_scalar(
+            lambda al: -self.gpu_work(float(al)),
+            bounds=(bracket_lo, bracket_hi),
+            method="bounded",
+            options={"xatol": 1e-6},
+        )
+        alpha_star = float(result.x)
+        if -result.fun < works[best]:  # polish made it worse: keep grid point
+            alpha_star = float(alphas[best])
+        return self.solution_at(alpha_star)
+
+    def solution_at(self, alpha: float) -> AdvancedSolution:
+        """Assemble the full solution record at a given α."""
+        y = self.solve_y(alpha)
+        wg = self.gpu_work(alpha)
+        return AdvancedSolution(
+            alpha=alpha,
+            y=y,
+            tc=self.tc(alpha),
+            gpu_work=wg,
+            gpu_share=wg / self.ctx.total_work(),
+            saturated_at_y=self.saturated_at(alpha, y),
+        )
+
+    # ------------------------------------------------------------------
+    # sweep helpers (Figure 3)
+    # ------------------------------------------------------------------
+    def sweep(self, alphas: List[float]) -> List[AdvancedSolution]:
+        """Evaluate the model across a list of α values."""
+        return [self.solution_at(float(al)) for al in alphas]

@@ -1,0 +1,138 @@
+"""The paper's closed formulas for the balanced family (§5.2.2).
+
+Valid when ``f(n) = n^c`` with ``c = log_b a`` — every internal level
+then contributes the same total work ``n^c`` (mergesort: ``a = b = 2``,
+``f(n) = n``).  With normalized ``leaf_cost = 1`` the paper derives::
+
+    T_c(α)      = (α n^c / p)   (log_b n − log_a(p/α) + 1)
+    T_g^max(α)  = ((1−α) n^c / (γ g)) (log_b n − log_a(g/(1−α)) + 1)
+
+and the piecewise ``T_g`` of the three saturation cases, from which
+``y(α)`` follows by solving ``T_g = T_c`` and::
+
+    W_g(α) = (1−α) n^c (log_b n − y(α) + 1)
+
+This module is the independent cross-check for the numeric backend.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.model.context import ModelContext
+from repro.errors import ModelError
+from repro.util.intmath import log_base
+
+
+@dataclass(frozen=True)
+class ClosedFormModel:
+    """Paper formulas, valid only for the balanced family."""
+
+    ctx: ModelContext
+
+    def __post_init__(self) -> None:
+        ctx = self.ctx
+        c = ctx.critical_exponent
+        # verify f really is n^c on this context (balanced family)
+        for i in (0, ctx.k // 2, ctx.k - 1):
+            size = ctx.n / ctx.b**i
+            expected = size**c
+            if not math.isclose(ctx.level_cost[i], expected, rel_tol=1e-9):
+                raise ModelError(
+                    "closed forms require f(n) = n^{log_b a}; "
+                    f"f({size:.6g}) = {ctx.level_cost[i]:.6g} != "
+                    f"{expected:.6g}"
+                )
+        if not math.isclose(ctx.leaf_cost, 1.0, rel_tol=1e-12):
+            raise ModelError(
+                f"closed forms assume leaf_cost = 1, got {ctx.leaf_cost!r}"
+            )
+
+    # -- shared quantities ---------------------------------------------
+    @property
+    def _ncrit(self) -> float:
+        """``n^{log_b a}`` — per-level total work and leaf count."""
+        return self.ctx.num_leaves
+
+    @property
+    def _logn(self) -> float:
+        """``log_b n`` = tree depth ``k``."""
+        return float(self.ctx.k)
+
+    # -- paper formulas --------------------------------------------------
+    def tc(self, alpha: float) -> float:
+        """``T_c(α)`` — time for the CPU to climb to ``log_a(p/α)``."""
+        self._check_alpha(alpha)
+        p = self.ctx.params.p
+        L = log_base(p / alpha, self.ctx.a)
+        return (alpha * self._ncrit / p) * (self._logn - L + 1.0)
+
+    def tg_max(self, alpha: float) -> float:
+        """``T_g^max(α)`` — longest the GPU can run fully saturated."""
+        self._check_alpha(alpha)
+        g, gamma = self.ctx.params.g, self.ctx.params.gamma
+        share = 1.0 - alpha
+        if share * self._ncrit < g:
+            return 0.0  # never saturated at all
+        sat_level = log_base(g / share, self.ctx.a)
+        return (share * self._ncrit / (gamma * g)) * (
+            self._logn - sat_level + 1.0
+        )
+
+    def tg(self, alpha: float, y: float) -> float:
+        """Piecewise ``T_g(α, y)`` — the paper's three cases."""
+        self._check_alpha(alpha)
+        ctx = self.ctx
+        a, g, gamma = ctx.a, ctx.params.g, ctx.params.gamma
+        share = 1.0 - alpha
+        ncrit = self._ncrit
+        if share * ncrit < g:  # case (i): never saturated
+            return (1.0 / gamma) * (
+                ncrit * a / (a - 1) * a ** (-y) - 1.0 / (a - 1)
+            )
+        sat_level = log_base(g / share, a)
+        if y <= sat_level:  # case (ii): still saturated at y
+            return (share * ncrit / (gamma * g)) * (self._logn - y + 1.0)
+        # case (iii): saturated low, unsaturated between sat_level and y
+        return self.tg_max(alpha) + ncrit * a / (gamma * (a - 1)) * (
+            a ** (-y) - share / g
+        )
+
+    def solve_y(self, alpha: float) -> float:
+        """Invert ``T_g(α, y) = T_c(α)`` case by case."""
+        self._check_alpha(alpha)
+        ctx = self.ctx
+        a, g, gamma = ctx.a, ctx.params.g, ctx.params.gamma
+        share = 1.0 - alpha
+        ncrit = self._ncrit
+        target = self.tc(alpha)
+        if share * ncrit < g:  # case (i)
+            arg = (gamma * target * (a - 1) + 1.0) / (a * ncrit)
+            y = -log_base(arg, a)
+            return self._clamp(y)
+        tgmax = self.tg_max(alpha)
+        if target <= tgmax:  # case (ii)
+            y = self._logn + 1.0 - target * gamma * g / (share * ncrit)
+            return self._clamp(y)
+        # case (iii)
+        arg = gamma * (target - tgmax) * (a - 1) / (a * ncrit) + share / g
+        y = -log_base(arg, a)
+        return self._clamp(y)
+
+    def gpu_work(self, alpha: float) -> float:
+        """``W_g(α) = (1−α) n^c (log_b n − y + 1)``."""
+        y = self.solve_y(alpha)
+        return (1.0 - alpha) * self._ncrit * (self._logn - y + 1.0)
+
+    def total_work(self) -> float:
+        """``n^c (log_b n + 1)`` — the §5.2.2 denominator."""
+        return self._ncrit * (self._logn + 1.0)
+
+    # ---------------------------------------------------------------
+    def _clamp(self, y: float) -> float:
+        return min(max(y, 0.0), self._logn)
+
+    def _check_alpha(self, alpha: float) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ModelError(f"alpha must be in (0, 1), got {alpha!r}")

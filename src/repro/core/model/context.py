@@ -1,0 +1,93 @@
+"""Inputs of the analytical model, bundled.
+
+A :class:`ModelContext` freezes everything Section 5's analysis needs:
+the recurrence ``(a, b, f, leaf_cost)``, the input size ``n = b^k`` and
+the machine triple ``(p, g, γ)``.  It precomputes the per-level task
+counts and costs so model evaluations are cheap inner loops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from repro.core.spec import DCSpec
+from repro.errors import ModelError
+from repro.hpu.hpu import HPUParameters
+from repro.util.intmath import log_base
+
+
+@dataclass(frozen=True)
+class ModelContext:
+    """Frozen inputs for the Section-5 analysis on one (algorithm, n, HPU)."""
+
+    a: int
+    b: int
+    n: int
+    f: Callable[[float], float]
+    params: HPUParameters
+    leaf_cost: float = 1.0
+    # derived, filled in __post_init__
+    k: int = field(init=False)  # depth: number of internal levels
+    level_tasks: List[float] = field(init=False)  # a^i for i in [0, k)
+    level_cost: List[float] = field(init=False)  # f(n / b^i)
+    num_leaves: float = field(init=False)  # a^k = n^{log_b a}
+
+    def __post_init__(self) -> None:
+        if self.a < 2 or self.b < 2:
+            raise ModelError(
+                f"recurrence constants must satisfy a, b >= 2; got "
+                f"a={self.a}, b={self.b}"
+            )
+        if self.leaf_cost <= 0:
+            raise ModelError(f"leaf_cost must be positive, got {self.leaf_cost!r}")
+        depth_f = log_base(self.n, self.b)
+        depth = round(depth_f)
+        if self.b**depth != self.n:
+            raise ModelError(
+                f"model requires n to be a power of b={self.b}; got n={self.n}"
+            )
+        if depth < 1:
+            raise ModelError(f"n={self.n} gives an empty recursion tree")
+        object.__setattr__(self, "k", depth)
+        tasks = [float(self.a**i) for i in range(depth)]
+        costs = [float(self.f(self.n / self.b**i)) for i in range(depth)]
+        for i, c in enumerate(costs):
+            if c < 0:
+                raise ModelError(f"f(n/b^{i}) is negative ({c!r})")
+        object.__setattr__(self, "level_tasks", tasks)
+        object.__setattr__(self, "level_cost", costs)
+        object.__setattr__(self, "num_leaves", float(self.a**depth))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(
+        cls, spec: DCSpec, n: int, params: HPUParameters
+    ) -> "ModelContext":
+        """Build a context from a :class:`DCSpec` and an input size."""
+        return cls(
+            a=spec.a,
+            b=spec.b,
+            n=n,
+            f=spec.f_cost,
+            params=params,
+            leaf_cost=spec.leaf_cost,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def critical_exponent(self) -> float:
+        """``log_b a``."""
+        return math.log(self.a) / math.log(self.b)
+
+    def total_work(self) -> float:
+        """Sequential work: ``n^{log_b a}·leaf + Σ a^i f(n/b^i)``."""
+        internal = sum(
+            t * c for t, c in zip(self.level_tasks, self.level_cost)
+        )
+        return internal + self.num_leaves * self.leaf_cost
+
+    def internal_work(self) -> float:
+        """Divide+combine work only."""
+        return sum(t * c for t, c in zip(self.level_tasks, self.level_cost))

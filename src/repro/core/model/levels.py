@@ -1,0 +1,68 @@
+"""Per-level timing and the basic strategy's crossover (§5.1).
+
+The basic work division runs each recursion-tree level entirely on the
+device where it is faster.  With CPU cores at rate 1 and GPU cores at
+rate γ, the paper's case analysis reduces to a single crossover level
+``i* = log_a(p / γ)``: levels above run on the CPU, levels below (and
+the leaves) on the GPU — provided ``γ·g >= p``; otherwise the GPU never
+wins and everything stays on the CPU.
+"""
+
+from __future__ import annotations
+
+from repro.core.model.context import ModelContext
+from repro.errors import ModelError
+from repro.util.intmath import log_base
+
+
+def level_time_cpu(ctx: ModelContext, i: int) -> float:
+    """Time for the whole of level ``i`` on the CPU (§5.1 cases 1–3).
+
+    With ``a^i`` tasks of cost ``f(n/b^i)`` on ``p`` unit-rate cores:
+    ``max(a^i / p, 1) · f(n/b^i)`` — a level narrower than ``p`` cannot
+    use all cores.
+    """
+    _check_level(ctx, i)
+    tasks = ctx.level_tasks[i]
+    rounds = max(tasks / ctx.params.p, 1.0)
+    return rounds * ctx.level_cost[i]
+
+
+def level_time_gpu(ctx: ModelContext, i: int) -> float:
+    """Time for the whole of level ``i`` on the GPU (§5.1 cases 1–3)."""
+    _check_level(ctx, i)
+    tasks = ctx.level_tasks[i]
+    rounds = max(tasks / ctx.params.g, 1.0)
+    return rounds * ctx.level_cost[i] / ctx.params.gamma
+
+
+def leaves_time_cpu(ctx: ModelContext) -> float:
+    """Leaf level on the CPU: ``n^{log_b a} / p`` (§5.1 case 4)."""
+    return ctx.num_leaves * ctx.leaf_cost / ctx.params.p
+
+
+def leaves_time_gpu(ctx: ModelContext) -> float:
+    """Leaf level on the GPU: ``n^{log_b a} / (γ·g)`` (§5.1 case 4)."""
+    tasks = ctx.num_leaves
+    rounds = max(tasks / ctx.params.g, 1.0)
+    return rounds * ctx.leaf_cost / ctx.params.gamma
+
+
+def basic_crossover_level(a: int, p: int, gamma: float) -> float:
+    """The level ``i = log_a(p / γ)`` where the GPU starts winning.
+
+    Below this (real-valued) level the GPU executes a level faster than
+    the CPU; the basic schedule transfers to the GPU at ``ceil`` of it.
+    """
+    if a < 2:
+        raise ModelError(f"a must be >= 2, got {a!r}")
+    if p < 1:
+        raise ModelError(f"p must be >= 1, got {p!r}")
+    if not 0 < gamma < 1:
+        raise ModelError(f"gamma must be in (0, 1), got {gamma!r}")
+    return log_base(p / gamma, a)
+
+
+def _check_level(ctx: ModelContext, i: int) -> None:
+    if not 0 <= i < ctx.k:
+        raise ModelError(f"level {i} out of range [0, {ctx.k})")

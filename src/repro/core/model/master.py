@@ -1,0 +1,68 @@
+"""Master-theorem classification of ``T(n) = a·T(n/b) + f(n)``.
+
+The paper restricts attention to recurrences of this normal form (§4).
+Classifying a spec tells users where the work lives — leaves-heavy
+(case 1), balanced (case 2, the §5.2.2 closed-form family), or
+root-heavy (case 3) — which is a useful sanity check before reaching
+for the hybrid schedule: a root-heavy recurrence has little level
+parallelism to offload.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+class MasterCase(enum.Enum):
+    """The three master-theorem regimes."""
+
+    LEAVES_DOMINATE = 1  # f(n) = O(n^{c-ε});        T = Θ(n^{log_b a})
+    BALANCED = 2  # f(n) = Θ(n^c);              T = Θ(n^c log n)
+    ROOT_DOMINATES = 3  # f(n) = Ω(n^{c+ε});         T = Θ(f(n))
+
+
+@dataclass(frozen=True)
+class MasterResult:
+    """Classification plus the human-readable Θ-bound."""
+
+    case: MasterCase
+    critical_exponent: float  # c = log_b a
+    growth_exponent: float  # empirical d with f(n) ≈ n^d
+    bound: str
+
+
+def classify_recurrence(
+    a: int, b: int, f, probe: int = 1 << 16, tolerance: float = 0.05
+) -> MasterResult:
+    """Classify by numerically estimating ``d`` with ``f(n) ~ n^d``.
+
+    The growth exponent is measured as the slope of ``log f`` between
+    ``probe`` and ``probe·b`` (polynomially-bounded ``f`` assumed, as in
+    the paper's normal form).
+    """
+    if a < 2 or b < 2:
+        raise ModelError(f"need a, b >= 2, got a={a}, b={b}")
+    f_lo, f_hi = float(f(probe)), float(f(probe * b))
+    if f_lo <= 0 or f_hi <= 0:
+        raise ModelError(
+            f"f must be positive at the probe sizes; got f({probe})={f_lo}, "
+            f"f({probe * b})={f_hi}"
+        )
+    d = math.log(f_hi / f_lo) / math.log(b)
+    c = math.log(a) / math.log(b)
+    if d < c - tolerance:
+        case = MasterCase.LEAVES_DOMINATE
+        bound = f"Theta(n^{c:.3g})"
+    elif d > c + tolerance:
+        case = MasterCase.ROOT_DOMINATES
+        bound = f"Theta(n^{d:.3g})"
+    else:
+        case = MasterCase.BALANCED
+        bound = f"Theta(n^{c:.3g} log n)"
+    return MasterResult(
+        case=case, critical_exponent=c, growth_exponent=d, bound=bound
+    )

@@ -1,0 +1,89 @@
+"""Analytical basic-vs-advanced comparison — the §5.1→§5.2 argument.
+
+The paper motivates the advanced strategy by the basic one's drawback:
+*"at any point only one of the computing units is active."*  This
+module prices both strategies in the model, so the cost of that idle
+time — and the advanced strategy's headroom over it — can be computed
+for any (algorithm, machine, n) without running the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.model.advanced import AdvancedModel
+from repro.core.model.context import ModelContext
+from repro.core.model.levels import (
+    basic_crossover_level,
+    leaves_time_cpu,
+    leaves_time_gpu,
+    level_time_cpu,
+    level_time_gpu,
+)
+from repro.core.model.prediction import predict_hybrid_time
+
+
+def predict_basic_time(ctx: ModelContext) -> float:
+    """Model makespan of the basic strategy (§5.1).
+
+    Each level (and the leaf batch) runs entirely on its faster device;
+    devices alternate, never overlap, so the makespan is the plain sum.
+    Transfers are ignored, as everywhere in the Section-5 analysis.
+    """
+    params = ctx.params
+    if not params.gpu_beats_cpu:
+        # degenerate: everything on the CPU
+        total = leaves_time_cpu(ctx)
+        for i in range(ctx.k):
+            total += level_time_cpu(ctx, i)
+        return total
+    crossover = basic_crossover_level(ctx.a, params.p, params.gamma)
+    boundary = min(int(math.ceil(crossover)), ctx.k)
+    total = leaves_time_gpu(ctx)
+    for i in range(ctx.k):
+        if i >= boundary:
+            total += level_time_gpu(ctx, i)
+        else:
+            total += level_time_cpu(ctx, i)
+    return total
+
+
+@dataclass(frozen=True)
+class StrategyComparison:
+    """Model-predicted times of the three execution strategies."""
+
+    sequential_time: float
+    basic_time: float
+    advanced_time: float
+
+    @property
+    def basic_speedup(self) -> float:
+        return self.sequential_time / self.basic_time
+
+    @property
+    def advanced_speedup(self) -> float:
+        return self.sequential_time / self.advanced_time
+
+    @property
+    def overlap_gain(self) -> float:
+        """How much faster the advanced strategy is than the basic one
+        — the model's price tag on §5.1's one-device-at-a-time idle."""
+        return self.basic_time / self.advanced_time
+
+
+def compare_strategies(ctx: ModelContext) -> StrategyComparison:
+    """Price both strategies (at the advanced optimum) on ``ctx``."""
+    return StrategyComparison(
+        sequential_time=ctx.total_work(),
+        basic_time=predict_basic_time(ctx),
+        advanced_time=predict_hybrid_time(ctx),
+    )
+
+
+def advanced_always_at_least_as_good(ctx: ModelContext) -> bool:
+    """Sanity predicate used by tests: the advanced optimum never loses
+    to the basic strategy in the model (it can always emulate it by
+    matching assignments)."""
+    cmp = compare_strategies(ctx)
+    return cmp.advanced_time <= cmp.basic_time * (1 + 1e-9)

@@ -1,0 +1,106 @@
+"""Geometry of a *regular* divide-and-conquer recursion tree.
+
+For the regular algorithms the paper targets (§5: "all paths from the
+root to the leaves have approximately equal lengths"), the tree of a
+problem of size ``n = b^k`` is fully determined by ``(a, b, f, n)``:
+level ``i`` holds ``a^i`` independent tasks of size ``n / b^i``.  Both
+schedulers and the analytical model consume this geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.core.spec import DCSpec
+from repro.errors import ModelError
+from repro.util.intmath import log_base
+
+
+@dataclass(frozen=True)
+class LevelInfo:
+    """One level of the recursion tree.
+
+    ``index`` counts from the top (``0`` = root), matching Figure 1.
+    """
+
+    index: int
+    tasks: int  # a^i independent divide/combine tasks
+    size: int  # subproblem size n / b^i
+    ops_per_task: float  # f(n / b^i)
+
+    @property
+    def total_ops(self) -> float:
+        return self.tasks * self.ops_per_task
+
+
+class RecursionTree:
+    """Level-indexed view of a regular D&C recursion on size ``n``.
+
+    ``n`` must be a power of ``b`` so every path has equal length —
+    the paper's regularity assumption (footnote 4 makes the same
+    power-of-two simplification for mergesort).
+    """
+
+    def __init__(self, spec: DCSpec, n: int) -> None:
+        if n < 1:
+            raise ModelError(f"input size must be >= 1, got {n!r}")
+        depth_f = log_base(n, spec.b)
+        depth = round(depth_f)
+        if spec.b**depth != n:
+            raise ModelError(
+                f"regular recursion trees require n to be a power of "
+                f"b={spec.b}; got n={n}"
+            )
+        self.spec = spec
+        self.n = n
+        #: number of internal levels; leaves sit at index ``depth``.
+        self.depth = depth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RecursionTree {self.spec.name!r} n={self.n} depth={self.depth}>"
+        )
+
+    # ------------------------------------------------------------------
+    def level(self, i: int) -> LevelInfo:
+        """Internal level ``i`` (``0 <= i < depth``)."""
+        if not 0 <= i < self.depth:
+            raise ModelError(
+                f"level index {i} out of range [0, {self.depth})"
+            )
+        size = self.n // (self.spec.b**i)
+        return LevelInfo(
+            index=i,
+            tasks=self.spec.a**i,
+            size=size,
+            ops_per_task=self.spec.level_cost(size),
+        )
+
+    def levels(self) -> Iterator[LevelInfo]:
+        """All internal levels, top to bottom."""
+        for i in range(self.depth):
+            yield self.level(i)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_leaves(self) -> int:
+        """``a^depth`` = ``n^{log_b a}`` leaves."""
+        return self.spec.a**self.depth
+
+    @property
+    def leaf_ops(self) -> float:
+        """Total base-case work (the paper's ``n^{log_b a}`` term)."""
+        return self.num_leaves * self.spec.leaf_cost
+
+    def internal_ops(self) -> float:
+        """Total divide+combine work: ``Σ a^i f(n / b^i)``."""
+        return sum(level.total_ops for level in self.levels())
+
+    def total_ops(self) -> float:
+        """Sequential work ``T(n)`` — denominator of every speedup."""
+        return self.internal_ops() + self.leaf_ops
+
+    def levels_from_bottom(self) -> List[LevelInfo]:
+        """Internal levels ordered bottom-up (§5.2's analysis direction)."""
+        return [self.level(i) for i in range(self.depth - 1, -1, -1)]

@@ -1,0 +1,68 @@
+"""Algorithm 1: the classic depth-first recursive executor.
+
+This is the sequential baseline every speedup in the paper is measured
+against.  Besides computing the answer it tallies the abstract work
+performed (divide/combine ops per level, leaf ops), which the tests use
+to cross-check the recursion-tree geometry and the analytical model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.core.spec import DCSpec, Problem, Solution
+from repro.errors import SpecError
+
+
+@dataclass
+class RecursiveRun:
+    """Result of a recursive execution: the solution plus a work tally."""
+
+    solution: Any
+    total_ops: float
+    internal_ops: float
+    leaf_ops: float
+    leaves: int
+    max_depth: int
+    ops_per_level: Dict[int, float] = field(default_factory=dict)
+
+
+def run_recursive(
+    spec: DCSpec, problem: Problem, max_depth: int = 64
+) -> RecursiveRun:
+    """Execute ``spec`` on ``problem`` depth-first (Algorithm 1).
+
+    ``max_depth`` guards against a ``divide`` that fails to shrink its
+    input (which would otherwise recurse forever).
+    """
+    tally = RecursiveRun(
+        solution=None,
+        total_ops=0.0,
+        internal_ops=0.0,
+        leaf_ops=0.0,
+        leaves=0,
+        max_depth=0,
+    )
+
+    def recurse(prob: Problem, depth: int) -> Solution:
+        tally.max_depth = max(tally.max_depth, depth)
+        if depth > max_depth:
+            raise SpecError(
+                f"spec {spec.name!r} exceeded max recursion depth "
+                f"{max_depth}; does divide() shrink its input?"
+            )
+        if spec.is_base(prob):
+            tally.leaves += 1
+            tally.leaf_ops += spec.leaf_cost
+            return spec.base_case(prob)
+        subproblems = spec.checked_divide(prob)
+        subsolutions = [recurse(sub, depth + 1) for sub in subproblems]
+        cost = spec.level_cost(spec.size_of(prob))
+        tally.internal_ops += cost
+        tally.ops_per_level[depth] = tally.ops_per_level.get(depth, 0.0) + cost
+        return spec.combine(subsolutions, prob)
+
+    tally.solution = recurse(problem, 0)
+    tally.total_ops = tally.internal_ops + tally.leaf_ops
+    return tally

@@ -1,0 +1,181 @@
+"""The advanced hybrid work division (§5.2, Algorithm 8).
+
+At the *split level* ``t`` the subproblems are partitioned: a fraction
+``α`` (rounded to whole subproblems) to the CPU, the rest to the GPU
+side.  Below ``t`` the two sides proceed independently bottom-up — the
+CPU side entirely on the cores, the GPU side on the device up to the
+*transfer level* ``y`` and on the cores from there — so the chosen
+ratio persists across levels and only two transfers ever happen, as the
+paper requires.  Levels above ``t`` run full-width on the CPU.
+
+``α`` and ``y`` default to the analytical optimum (§5.2.1) computed by
+:class:`~repro.core.model.advanced.AdvancedModel`; Figure 7's sweeps
+pass them explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.model.advanced import AdvancedModel
+from repro.core.model.context import ModelContext
+from repro.core.schedule.workload import DCWorkload
+from repro.errors import ScheduleError
+from repro.hpu.hpu import HPUParameters
+from repro.util.intmath import log_base
+
+
+@dataclass(frozen=True)
+class AdvancedPlan:
+    """A planned advanced-strategy execution (integerized)."""
+
+    workload_name: str
+    alpha: float  # requested CPU fraction
+    split_level: int  # t: where the α / 1−α partition happens
+    transfer_level: int  # y: where the GPU hands back to the CPU
+    cpu_tasks_at_split: int  # round(α · a^t), >= 1
+    gpu_tasks_at_split: int  # a^t − cpu_tasks_at_split
+
+    @property
+    def effective_alpha(self) -> float:
+        """The realized CPU fraction after rounding to whole subtrees."""
+        total = self.cpu_tasks_at_split + self.gpu_tasks_at_split
+        return self.cpu_tasks_at_split / total
+
+    def cpu_tasks_at(self, level: int, workload: DCWorkload) -> int:
+        """CPU-side tasks at internal ``level >= split_level``."""
+        self._check_below_split(level, workload)
+        ratio = workload.tasks_at(level) // (
+            self.cpu_tasks_at_split + self.gpu_tasks_at_split
+        )
+        return self.cpu_tasks_at_split * ratio
+
+    def gpu_tasks_at(self, level: int, workload: DCWorkload) -> int:
+        """GPU-side tasks at internal ``level >= split_level``."""
+        self._check_below_split(level, workload)
+        return workload.tasks_at(level) - self.cpu_tasks_at(level, workload)
+
+    def cpu_leaf_tasks(self, workload: DCWorkload) -> int:
+        """CPU-side share of the leaf batch."""
+        total_split = self.cpu_tasks_at_split + self.gpu_tasks_at_split
+        return self.cpu_tasks_at_split * (workload.leaf_tasks // total_split)
+
+    def _check_below_split(self, level: int, workload: DCWorkload) -> None:
+        if not self.split_level <= level < workload.k:
+            raise ScheduleError(
+                f"level {level} is not in the split region "
+                f"[{self.split_level}, {workload.k})"
+            )
+
+
+class AdvancedSchedule:
+    """Planner for the advanced strategy."""
+
+    def plan(
+        self,
+        workload: DCWorkload,
+        params: HPUParameters,
+        alpha: Optional[float] = None,
+        transfer_level: Optional[int] = None,
+        split_level: Optional[int] = None,
+    ) -> AdvancedPlan:
+        """Integerize an (α, y) operating point for ``workload``.
+
+        Defaults: ``α`` and ``y`` from the analytical optimum; the
+        split level ``t`` at ``ceil(log_a(p/α))`` — Figure 2's boundary,
+        where the CPU side narrows to exactly ``p`` subproblems.  That
+        choice also fixes the α *granularity*: the partition hands out
+        whole subtrees rooted at level ``t``, so the realized fraction
+        is a multiple of ``1/a^t``; splitting exactly where the CPU
+        side hits ``p`` tasks keeps the rounding error at most
+        ``1/(2p)`` of a subtree while adding no extra top-of-tree work.
+        """
+        if not params.gpu_beats_cpu:
+            raise ScheduleError(
+                "the advanced strategy requires γ·g > p; use BasicSchedule "
+                "(which degenerates to CPU-only) instead"
+            )
+        ctx = self._context(workload, params)
+        model = AdvancedModel(ctx)
+        if alpha is None or transfer_level is None:
+            solution = model.optimize()
+            if alpha is None:
+                alpha = solution.alpha
+            if transfer_level is None:
+                transfer_level = int(round(model.solve_y(alpha)))
+        if not 0.0 < alpha < 1.0:
+            raise ScheduleError(f"alpha must be in (0, 1), got {alpha!r}")
+
+        a = ctx.a
+        if split_level is None:
+            # Figure 2: split where the CPU's α-fraction narrows to p.
+            split_level = math.ceil(log_base(params.p / alpha, a))
+            split_level = max(1, min(split_level, workload.k - 1))
+            if transfer_level is not None:
+                split_level = min(split_level, max(int(transfer_level), 1))
+        if not 1 <= split_level < workload.k:
+            raise ScheduleError(
+                f"split level {split_level} out of range [1, {workload.k})"
+            )
+        transfer_level = max(split_level, min(int(transfer_level), workload.k))
+
+        width = workload.tasks_at(split_level)
+        cpu_tasks = min(max(int(round(alpha * width)), 1), width - 1)
+        return AdvancedPlan(
+            workload_name=workload.name,
+            alpha=alpha,
+            split_level=split_level,
+            transfer_level=transfer_level,
+            cpu_tasks_at_split=cpu_tasks,
+            gpu_tasks_at_split=width - cpu_tasks,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _context(workload: DCWorkload, params: HPUParameters) -> ModelContext:
+        """Rebuild a :class:`ModelContext` from the workload geometry.
+
+        The model runs on the *tree* the workload actually schedules:
+        ``n_model = b^k`` nodes-at-the-leaf-level, which differs from
+        ``total_elements`` when the leaves are sequential blocks (§7
+        extension).  Level costs are looked up from the workload's
+        arrays, so any cost shape is supported.
+        """
+        k = workload.k
+        if k < 2:
+            raise ScheduleError(
+                f"workload {workload.name!r} is too shallow for the "
+                f"advanced strategy (k={k})"
+            )
+        a = workload.rec_a or workload.level_tasks[1]
+        if workload.rec_b is not None:
+            b = workload.rec_b
+        else:
+            b = round(workload.total_elements ** (1.0 / k))
+        n_model = b**k
+        if b < 2 or a**k != workload.leaf_tasks:
+            raise ScheduleError(
+                f"workload {workload.name!r} is not a regular (a={a}, "
+                f"b={b}) recursion: {workload.leaf_tasks} leaves at "
+                f"depth {k}"
+            )
+        costs = workload.level_cost
+
+        def f(size: float) -> float:
+            i = round(log_base(n_model / size, b))
+            if not 0 <= i < k:
+                raise ScheduleError(
+                    f"cost requested at non-level size {size!r}"
+                )
+            return costs[i]
+
+        return ModelContext(
+            a=a,
+            b=b,
+            n=n_model,
+            f=f,
+            params=params,
+            leaf_cost=workload.leaf_cost,
+        )

@@ -1,0 +1,71 @@
+"""The basic hybrid work division (§5.1).
+
+Every recursion-tree level executes entirely on one device.  The §5.1
+case analysis gives a single crossover: levels with at least
+``p/γ`` subproblems (``i >= log_a(p/γ)``) and the leaves run faster on
+the GPU; levels above run on the CPU.  Execution is bottom-up with one
+CPU→GPU transfer before the leaf batch and one GPU→CPU transfer at the
+crossover — the strategy's selling point is that single pair of
+synchronization points; its drawback (motivating §5.2) is that exactly
+one device is ever busy.
+
+If ``γ·g <= p`` the GPU never wins a level and the plan degenerates to
+CPU-only, as the paper notes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.schedule.workload import DCWorkload
+from repro.errors import ScheduleError
+from repro.hpu.hpu import HPUParameters
+from repro.util.intmath import log_base
+
+
+@dataclass(frozen=True)
+class BasicPlan:
+    """A planned basic-strategy execution.
+
+    The GPU executes the leaf batch and every internal level with index
+    ``>= crossover``; the CPU executes levels ``crossover-1 .. 0``.
+    ``use_gpu`` is False when the GPU loses at every level.
+    """
+
+    workload_name: str
+    crossover: int
+    use_gpu: bool
+
+    def gpu_levels(self, k: int) -> range:
+        """Internal levels the GPU executes, bottom-up."""
+        if not self.use_gpu:
+            return range(0)
+        return range(k - 1, self.crossover - 1, -1)
+
+    def cpu_levels(self, k: int) -> range:
+        """Internal levels the CPU executes, bottom-up."""
+        start = self.crossover - 1 if self.use_gpu else k - 1
+        return range(start, -1, -1)
+
+
+class BasicSchedule:
+    """Planner for the basic strategy."""
+
+    def plan(self, workload: DCWorkload, params: HPUParameters) -> BasicPlan:
+        """Choose the crossover level for ``workload`` on ``params``."""
+        if workload.k < 1:
+            raise ScheduleError(
+                f"workload {workload.name!r} has no internal levels"
+            )
+        if not params.gpu_beats_cpu:
+            # §5.1: if gγ < p the CPU wins every level; no transfer ever.
+            return BasicPlan(
+                workload_name=workload.name, crossover=workload.k, use_gpu=False
+            )
+        a = workload.level_tasks[1] if workload.k >= 2 else workload.leaf_tasks
+        raw = log_base(params.p / params.gamma, a)
+        crossover = max(0, min(workload.k, math.ceil(raw)))
+        return BasicPlan(
+            workload_name=workload.name, crossover=crossover, use_gpu=True
+        )

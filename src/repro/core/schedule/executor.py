@@ -1,0 +1,566 @@
+"""Run a schedule plan on a simulated HPU through the DES engine.
+
+The executor reproduces the *implementation* behaviour of Algorithm 8
+rather than the idealized analysis: the CPU side is a team of up to
+``p`` workers drawing cores from a shared FIFO pool (so the GPU side's
+post-transfer CPU tail really competes for cores with a still-running
+CPU side, exactly like the two threads of §6.2); GPU levels are kernel
+launches priced by the device cost model, each paying launch overhead;
+the two transfers pay ``λ + δ·w``; and every CPU batch pays the LLC
+contention factor.  That is why the executor's "measured" speedups sit
+below the analytical prediction — in the paper and here (Fig. 8).
+
+Every run also records per-device busy traces, from which the result
+reports the GPU-busy to CPU-fully-busy ratio plotted as the blue line
+of Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.schedule.advanced import AdvancedPlan
+from repro.core.schedule.basic import BasicPlan
+from repro.core.schedule.workload import LEAVES, DCWorkload, KernelStep, LevelRef
+from repro.errors import ScheduleError
+from repro.hpu.hpu import HPU
+from repro.opencl.costmodel import kernel_launch_time
+from repro.opencl.kernel import Kernel, NDRange
+from repro.sim import AllOf, Resource, Simulator, Timeout
+from repro.sim.trace import time_at_concurrency
+from repro.util.intmath import ceil_div
+from repro.util.rng import NO_NOISE, NoiseModel
+
+
+@dataclass(frozen=True)
+class HybridRunResult:
+    """Outcome of one simulated execution."""
+
+    makespan: float
+    sequential_ops: float  # 1-core recursive baseline time
+    cpu_busy: float  # union of CPU worker busy intervals
+    gpu_busy: float  # union of GPU busy intervals (kernels + transfers)
+    gpu_kernel_time: float  # kernels only
+    transfer_time: float  # both directions
+    cpu_fully_busy: float  # time all p cores were busy at once
+    overlap: float  # time CPU and GPU were busy simultaneously
+    cpu_side_time: float = 0.0  # advanced: duration of the CPU-side phase
+    gpu_side_time: float = 0.0  # advanced: duration of the GPU device chain
+    #: Raw busy intervals, for timeline rendering / post-hoc analysis.
+    cpu_intervals: tuple = ()
+    gpu_intervals: tuple = ()
+
+    def timeline(self, width: int = 72) -> str:
+        """ASCII Gantt of this run (see :mod:`repro.sim.timeline`)."""
+        from repro.sim.timeline import render_timeline
+
+        return render_timeline(
+            {"cpu": list(self.cpu_intervals), "gpu": list(self.gpu_intervals)},
+            width=width,
+            end=self.makespan,
+        )
+
+    @property
+    def speedup(self) -> float:
+        """Speedup over the 1-core recursive implementation."""
+        return self.sequential_ops / self.makespan
+
+    @property
+    def gpu_cpu_ratio(self) -> float:
+        """Fig. 8's blue line: the ratio between the time the GPU
+        executes and the time the CPU side keeps all its cores busy —
+        the two concurrent bottom-phase durations of §5.2.  Close to 1
+        exactly when the work division is balanced."""
+        if self.cpu_side_time == 0.0:
+            return float("inf") if self.gpu_side_time > 0 else 0.0
+        return self.gpu_side_time / self.cpu_side_time
+
+
+def _step_kernel(step: KernelStep) -> Kernel:
+    """A timing-only kernel carrying a step's cost-model traits."""
+    return Kernel(
+        name=step.name,
+        ops_per_item=lambda args, _c=step.ops_per_item: _c,
+        vector_fn=lambda n, args: None,
+        divergent=step.divergent,
+        access=step.access,
+    )
+
+
+class ScheduleExecutor:
+    """Executes plans for one (HPU, workload) pair."""
+
+    def __init__(
+        self,
+        hpu: HPU,
+        workload: DCWorkload,
+        noise: NoiseModel = NO_NOISE,
+    ) -> None:
+        self.hpu = hpu
+        self.workload = workload
+        self.noise = noise
+
+    # ------------------------------------------------------------------
+    # baselines
+    # ------------------------------------------------------------------
+    def sequential_ops(self) -> float:
+        """Work of the 1-core recursive baseline (= its time, rate 1)."""
+        w = self.workload
+        internal = sum(
+            t * c for t, c in zip(w.level_tasks, w.level_cost)
+        )
+        return internal + w.leaf_tasks * w.leaf_cost
+
+    def run_cpu_only(self, cores: Optional[int] = None) -> HybridRunResult:
+        """Breadth-first execution on the CPU alone (no GPU).
+
+        ``cores=1`` reproduces the sequential breadth-first baseline;
+        the default uses all ``p`` cores (the multicore comparison the
+        paper cites from [13]).
+        """
+        run = _Run(self, cores=cores)
+
+        def driver():
+            yield from run.cpu_batch(LEAVES, "base", 0, run.w.leaf_tasks, "leaves")
+            for level in range(run.w.k - 1, -1, -1):
+                yield from run.cpu_batch(
+                    level, "combine", 0, run.w.tasks_at(level), f"level:{level}"
+                )
+            return None
+
+        return run.finish(driver(), noise_key=("cpu-only", cores))
+
+    # ------------------------------------------------------------------
+    # basic strategy (§5.1)
+    # ------------------------------------------------------------------
+    def run_basic(self, plan: BasicPlan) -> HybridRunResult:
+        """One device at a time, single transfer each way."""
+        run = _Run(self)
+        w = self.workload
+
+        def driver():
+            if plan.use_gpu:
+                total_words = w.words_for_tasks(LEAVES, w.leaf_tasks)
+                yield from run.gpu_transfer(total_words, "h2d")
+                yield from run.gpu_level(LEAVES, "base", 0, w.leaf_tasks)
+                for level in plan.gpu_levels(w.k):
+                    yield from run.gpu_level(level, "combine", 0, w.tasks_at(level))
+                yield from run.gpu_transfer(total_words, "d2h")
+            else:
+                yield from run.cpu_batch(
+                    LEAVES, "base", 0, w.leaf_tasks, "leaves"
+                )
+            for level in plan.cpu_levels(w.k):
+                yield from run.cpu_batch(
+                    level, "combine", 0, w.tasks_at(level), f"level:{level}"
+                )
+            return None
+
+        return run.finish(driver(), noise_key=("basic", plan.crossover))
+
+    # ------------------------------------------------------------------
+    # advanced strategy (§5.2 / Algorithm 8)
+    # ------------------------------------------------------------------
+    def run_advanced(self, plan: AdvancedPlan) -> HybridRunResult:
+        """Two concurrent sides below the split level, then the top."""
+        run = _Run(self)
+        w = self.workload
+        t, y = plan.split_level, plan.transfer_level
+        if not t <= y <= w.k:
+            raise ScheduleError(
+                f"transfer level {y} outside [{t}, {w.k}]"
+            )
+        cpu_leaves = plan.cpu_leaf_tasks(w)
+        gpu_leaves = w.leaf_tasks - cpu_leaves
+        side_spans = {"cpu": 0.0, "gpu": 0.0}
+
+        def cpu_side():
+            yield from run.cpu_batch(LEAVES, "base", 0, cpu_leaves, "cpu-side")
+            for level in range(w.k - 1, t - 1, -1):
+                count = plan.cpu_tasks_at(level, w)
+                yield from run.cpu_batch(
+                    level, "combine", 0, count, f"cpu-side:{level}"
+                )
+            side_spans["cpu"] = run.sim.now
+            return None
+
+        def gpu_side():
+            if gpu_leaves == 0:
+                return None
+            words = w.words_for_tasks(LEAVES, gpu_leaves)
+            yield from run.gpu_transfer(words, "h2d")
+            yield from run.gpu_level(LEAVES, "base", cpu_leaves, gpu_leaves)
+            for level in range(w.k - 1, y - 1, -1):
+                offset = plan.cpu_tasks_at(level, w)
+                count = plan.gpu_tasks_at(level, w)
+                yield from run.gpu_level(level, "combine", offset, count)
+            yield from run.gpu_transfer(words, "d2h")
+            side_spans["gpu"] = run.sim.now
+            # CPU tail of the GPU side: levels y-1 .. t, competing for
+            # cores with a possibly still-running CPU side.
+            for level in range(y - 1, t - 1, -1):
+                offset = plan.cpu_tasks_at(level, w)
+                count = plan.gpu_tasks_at(level, w)
+                yield from run.cpu_batch(
+                    level, "combine", offset, count, f"gpu-tail:{level}"
+                )
+            return None
+
+        def driver():
+            sides = [run.sim.spawn(cpu_side()), run.sim.spawn(gpu_side())]
+            yield AllOf(sides)
+            for level in range(t - 1, -1, -1):
+                yield from run.cpu_batch(
+                    level, "combine", 0, w.tasks_at(level), f"top:{level}"
+                )
+            return None
+
+        return run.finish(
+            driver(),
+            noise_key=("advanced", plan.cpu_tasks_at_split, t, y),
+            side_spans=side_spans,
+        )
+
+    # ------------------------------------------------------------------
+    # §7 extension: advanced strategy with a parallel-kernel GPU tail
+    # ------------------------------------------------------------------
+    def run_advanced_parallel_tail(self, plan) -> HybridRunResult:
+        """Advanced schedule where the GPU, instead of handing its
+        partition back at the transfer level, switches to intra-task
+        parallel kernels and climbs to ``plan.stop_level`` itself.
+
+        ``plan`` is a :class:`~repro.core.schedule.extensions.
+        ParallelTailPlan`.  Still exactly two transfers.
+        """
+        run = _Run(self)
+        w = self.workload
+        base = plan.base
+        t = base.split_level
+        switch, stop = plan.switch_level, plan.stop_level
+        cpu_leaves = base.cpu_leaf_tasks(w)
+        gpu_leaves = w.leaf_tasks - cpu_leaves
+        side_spans = {"cpu": 0.0, "gpu": 0.0}
+
+        def cpu_side():
+            yield from run.cpu_batch(LEAVES, "base", 0, cpu_leaves, "cpu-side")
+            for level in range(w.k - 1, t - 1, -1):
+                count = base.cpu_tasks_at(level, w)
+                yield from run.cpu_batch(
+                    level, "combine", 0, count, f"cpu-side:{level}"
+                )
+            side_spans["cpu"] = run.sim.now
+            return None
+
+        def gpu_side():
+            if gpu_leaves == 0:
+                return None
+            words = w.words_for_tasks(LEAVES, gpu_leaves)
+            yield from run.gpu_transfer(words, "h2d")
+            yield from run.gpu_level(LEAVES, "base", cpu_leaves, gpu_leaves)
+            for level in range(w.k - 1, stop - 1, -1):
+                offset = base.cpu_tasks_at(level, w)
+                count = base.gpu_tasks_at(level, w)
+                yield from run.gpu_level(
+                    level, "combine", offset, count, parallel=level < switch
+                )
+            yield from run.gpu_transfer(words, "d2h")
+            side_spans["gpu"] = run.sim.now
+            # tail on the CPU only for levels the GPU did not climb
+            for level in range(stop - 1, t - 1, -1):
+                offset = base.cpu_tasks_at(level, w)
+                count = base.gpu_tasks_at(level, w)
+                yield from run.cpu_batch(
+                    level, "combine", offset, count, f"gpu-tail:{level}"
+                )
+            return None
+
+        def driver():
+            sides = [run.sim.spawn(cpu_side()), run.sim.spawn(gpu_side())]
+            yield AllOf(sides)
+            for level in range(t - 1, -1, -1):
+                yield from run.cpu_batch(
+                    level, "combine", 0, w.tasks_at(level), f"top:{level}"
+                )
+            return None
+
+        return run.finish(
+            driver(),
+            noise_key=("parallel-tail", base.cpu_tasks_at_split, t, switch, stop),
+            side_spans=side_spans,
+        )
+
+
+    # ------------------------------------------------------------------
+    # §3.2 extension: advanced strategy across multiple GPU cards
+    # ------------------------------------------------------------------
+    def run_advanced_multi(self, plan: AdvancedPlan) -> HybridRunResult:
+        """Advanced schedule with the GPU side striped across the cards
+        of a :class:`~repro.hpu.multi.MultiGPUHPU`.
+
+        Each card gets an equal contiguous slice of the GPU partition
+        and runs its kernels concurrently with the others; *all*
+        transfers serialize on the shared host link — the very overhead
+        the paper's footnote 5 cites for not using the HD 5970's second
+        die.  Plan semantics are unchanged (two transfers per card).
+        """
+        hpu = self.hpu
+        if not hasattr(hpu, "make_gpu_devices"):
+            raise ScheduleError(
+                f"{hpu.name!r} is not a multi-GPU platform; use "
+                f"run_advanced instead"
+            )
+        run = _Run(self)
+        cards = hpu.make_gpu_devices()
+        link = Resource(1, "host-link")
+        w = self.workload
+        t, y = plan.split_level, plan.transfer_level
+        if not t <= y <= w.k:
+            raise ScheduleError(f"transfer level {y} outside [{t}, {w.k}]")
+        cpu_leaves = plan.cpu_leaf_tasks(w)
+        gpu_leaves = w.leaf_tasks - cpu_leaves
+        side_spans = {"cpu": 0.0, "gpu": 0.0}
+        m = len(cards)
+
+        def slice_of(total: int, card: int) -> tuple:
+            """Contiguous (offset, count) of card's share of ``total``."""
+            base, extra = divmod(total, m)
+            start = card * base + min(card, extra)
+            return start, base + (1 if card < extra else 0)
+
+        def cpu_side():
+            yield from run.cpu_batch(LEAVES, "base", 0, cpu_leaves, "cpu-side")
+            for level in range(w.k - 1, t - 1, -1):
+                count = plan.cpu_tasks_at(level, w)
+                yield from run.cpu_batch(
+                    level, "combine", 0, count, f"cpu-side:{level}"
+                )
+            side_spans["cpu"] = run.sim.now
+            return None
+
+        def card_side(card_index: int):
+            device = cards[card_index]
+            leaf_lo, leaf_cnt = slice_of(gpu_leaves, card_index)
+            if leaf_cnt == 0:
+                return None
+            words = w.words_for_tasks(LEAVES, leaf_cnt)
+            yield from run.linked_transfer(link, device, words, "h2d")
+            yield from run.gpu_level_on(
+                device, LEAVES, "base", cpu_leaves + leaf_lo, leaf_cnt
+            )
+            for level in range(w.k - 1, y - 1, -1):
+                total = plan.gpu_tasks_at(level, w)
+                lo, cnt = slice_of(total, card_index)
+                yield from run.gpu_level_on(
+                    device,
+                    level,
+                    "combine",
+                    plan.cpu_tasks_at(level, w) + lo,
+                    cnt,
+                )
+            yield from run.linked_transfer(link, device, words, "d2h")
+            return None
+
+        def gpu_side():
+            card_procs = [
+                run.sim.spawn(card_side(i), name=f"card{i}") for i in range(m)
+            ]
+            yield AllOf(card_procs)
+            side_spans["gpu"] = run.sim.now
+            for level in range(y - 1, t - 1, -1):
+                offset = plan.cpu_tasks_at(level, w)
+                count = plan.gpu_tasks_at(level, w)
+                yield from run.cpu_batch(
+                    level, "combine", offset, count, f"gpu-tail:{level}"
+                )
+            return None
+
+        def driver():
+            sides = [run.sim.spawn(cpu_side()), run.sim.spawn(gpu_side())]
+            yield AllOf(sides)
+            for level in range(t - 1, -1, -1):
+                yield from run.cpu_batch(
+                    level, "combine", 0, w.tasks_at(level), f"top:{level}"
+                )
+            return None
+
+        result = run.finish(
+            driver(),
+            noise_key=("multi-gpu", m, plan.cpu_tasks_at_split, t, y),
+            side_spans=side_spans,
+        )
+        # aggregate card traces into the result's gpu_busy
+        busy = sum(card.trace.busy_time() for card in cards)
+        return HybridRunResult(
+            makespan=result.makespan,
+            sequential_ops=result.sequential_ops,
+            cpu_busy=result.cpu_busy,
+            gpu_busy=busy,
+            gpu_kernel_time=result.gpu_kernel_time,
+            transfer_time=result.transfer_time,
+            cpu_fully_busy=result.cpu_fully_busy,
+            overlap=result.overlap,
+            cpu_side_time=result.cpu_side_time,
+            gpu_side_time=result.gpu_side_time,
+            cpu_intervals=result.cpu_intervals,
+            gpu_intervals=tuple(
+                iv for card in cards for iv in card.trace.intervals
+            ),
+        )
+
+
+class _Run:
+    """Mutable per-run state: simulator, devices, accumulated stats."""
+
+    def __init__(self, executor: ScheduleExecutor, cores: Optional[int] = None):
+        self.x = executor
+        self.w = executor.workload
+        self.sim = Simulator()
+        self.cpu, self.gpu = executor.hpu.make_devices()
+        self.cpu.bind(self.sim)
+        self.cores = executor.hpu.cpu_spec.p if cores is None else cores
+        if not 1 <= self.cores <= executor.hpu.cpu_spec.p:
+            raise ScheduleError(
+                f"cores must be in [1, {executor.hpu.cpu_spec.p}], "
+                f"got {self.cores!r}"
+            )
+        self.gpu_kernel_time = 0.0
+        self.transfer_time = 0.0
+        self._gpu_params = executor.hpu.gpu_spec.cost_parameters()
+
+    # -- CPU ------------------------------------------------------------
+    def cpu_batch(
+        self, level: LevelRef, phase: str, offset: int, count: int, tag: str
+    ):
+        """Run ``count`` tasks of a level on the shared core pool.
+
+        Spawns up to ``cores`` workers with statically-chunked task
+        ranges (an OpenMP-style team); each worker holds one core for
+        its chunk's duration, so concurrent batches from the two sides
+        share the pool FIFO-fairly.
+        """
+        if count == 0:
+            return
+        self.w.run_hook(phase, level, offset, count)
+        cost = self.w.cost_at(level)
+        workers = min(count, self.cores)
+        contention = self.cpu.contention(workers, self.w.working_set_bytes())
+        chunk = ceil_div(count, workers)
+        spawn_overhead = (
+            self.x.hpu.cpu_spec.thread_spawn_overhead if workers > 1 else 0.0
+        )
+
+        def worker(tasks: int):
+            yield self.cpu.cores.request(1)
+            start = self.sim.now
+            yield Timeout(spawn_overhead + tasks * cost * contention)
+            self.cpu.trace.record(start, self.sim.now, tag)
+            self.cpu.cores.release(1)
+            return None
+
+        remaining = count
+        procs = []
+        for _ in range(workers):
+            take = min(chunk, remaining)
+            if take <= 0:
+                break
+            procs.append(self.sim.spawn(worker(take)))
+            remaining -= take
+        yield AllOf(procs)
+
+    # -- GPU ------------------------------------------------------------
+    def gpu_level(
+        self,
+        level: LevelRef,
+        phase: str,
+        offset: int,
+        count: int,
+        parallel: bool = False,
+    ):
+        """Launch the kernel steps of one level on the GPU.
+
+        ``parallel=True`` uses the workload's intra-task parallel
+        kernels (§7 extension) instead of the per-subproblem ones.
+        """
+        if count == 0:
+            return
+        self.w.run_hook(phase, level, offset, count)
+        steps = (
+            self.w.gpu_parallel_steps(level, count, offset)
+            if parallel
+            else self.w.gpu_steps(level, count, offset)
+        )
+        for step in steps:
+            kernel = _step_kernel(step)
+            ndrange = NDRange(
+                step.items,
+                min(self.x.hpu.gpu_spec.preferred_workgroup, step.items),
+            )
+            duration = kernel_launch_time(self._gpu_params, kernel, ndrange, {})
+            start = self.sim.now
+            yield Timeout(duration)
+            self.gpu.trace.record(start, self.sim.now, f"kernel:{step.name}")
+            self.gpu_kernel_time += duration
+
+    def gpu_transfer(self, words: int, tag: str):
+        """One CPU↔GPU transfer of ``words`` machine words."""
+        duration = self.x.hpu.transfer_time(words)
+        start = self.sim.now
+        yield Timeout(duration)
+        self.gpu.trace.record(start, self.sim.now, tag)
+        self.transfer_time += duration
+
+    # -- multi-GPU variants (explicit device + shared link) -------------
+    def gpu_level_on(
+        self, device, level: LevelRef, phase: str, offset: int, count: int
+    ):
+        """Like :meth:`gpu_level`, but on a specific card."""
+        if count == 0:
+            return
+        self.w.run_hook(phase, level, offset, count)
+        params = device.spec.cost_parameters()
+        for step in self.w.gpu_steps(level, count, offset):
+            kernel = _step_kernel(step)
+            ndrange = NDRange(
+                step.items, min(device.spec.preferred_workgroup, step.items)
+            )
+            duration = kernel_launch_time(params, kernel, ndrange, {})
+            start = self.sim.now
+            yield Timeout(duration)
+            device.trace.record(start, self.sim.now, f"kernel:{step.name}")
+            self.gpu_kernel_time += duration
+
+    def linked_transfer(self, link, device, words: int, tag: str):
+        """A transfer that serializes on the shared host link."""
+        yield link.request(1)
+        duration = self.x.hpu.transfer_time(words)
+        start = self.sim.now
+        yield Timeout(duration)
+        device.trace.record(start, self.sim.now, tag)
+        self.transfer_time += duration
+        link.release(1)
+
+    # -- wrap-up ----------------------------------------------------------
+    def finish(
+        self, driver, noise_key: Iterable, side_spans=None
+    ) -> HybridRunResult:
+        self.sim.run_process(driver, name="schedule-driver")
+        makespan = self.x.noise.apply(
+            self.sim.now, self.w.name, *tuple(noise_key)
+        )
+        cpu_intervals = self.cpu.trace.intervals
+        side_spans = side_spans or {}
+        return HybridRunResult(
+            makespan=makespan,
+            sequential_ops=self.x.sequential_ops(),
+            cpu_busy=self.cpu.trace.busy_time(),
+            gpu_busy=self.gpu.trace.busy_time(),
+            gpu_kernel_time=self.gpu_kernel_time,
+            transfer_time=self.transfer_time,
+            cpu_fully_busy=time_at_concurrency(cpu_intervals, self.cores),
+            overlap=self.cpu.trace.overlap_with(self.gpu.trace),
+            cpu_side_time=side_spans.get("cpu", 0.0),
+            gpu_side_time=side_spans.get("gpu", 0.0),
+            cpu_intervals=tuple(self.cpu.trace.intervals),
+            gpu_intervals=tuple(self.gpu.trace.intervals),
+        )

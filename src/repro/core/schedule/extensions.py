@@ -1,0 +1,119 @@
+"""Section 7 future-work features, implemented.
+
+The paper's conclusions sketch two scheduler optimizations:
+
+1. **Parallel-kernel tail** — *"the recursive schedule could be stopped
+   at a certain level of the tree, after which parallel versions of the
+   gpu kernels could be executed."*  Per-subproblem kernels starve the
+   device once a level has fewer than ``g`` tasks; if the algorithm has
+   an intra-task parallel kernel (mergesort: the binary-search merge of
+   Fig. 9), the GPU can keep climbing past the classic transfer level
+   at full occupancy and hand back a larger share of the tree with the
+   same two transfers.
+
+2. **Sequential leaf blocks** — *"switch to non-recursive sequential
+   versions of the algorithms at the lowest levels of the tree."*
+   Solving blocks of ``S`` elements directly collapses the ``log S``
+   bottom levels into one leaf batch: the same abstract work, but
+   ``log S`` fewer kernel launches / thread-team spawns, which is where
+   small-input runs lose their time.
+
+Both compose with the standard :class:`AdvancedSchedule` plan; the
+optimal switch level / block size can be found with the helpers below,
+"either analytically or experimentally" as the paper anticipates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.schedule.advanced import AdvancedPlan
+from repro.core.schedule.workload import LEAVES, DCWorkload, KernelStep, LevelRef
+from repro.errors import ScheduleError
+from repro.hpu.hpu import HPUParameters
+from repro.util.intmath import is_power_of_two
+
+#: Signature for an algorithm's intra-task parallel kernel expansion:
+#: (workload, level, tasks, offset) -> kernel steps, with *many*
+#: work-items per task (one per element for the parallel merge).
+ParallelSteps = Callable[[DCWorkload, LevelRef, int, int], List[KernelStep]]
+
+
+@dataclass(frozen=True)
+class ParallelTailPlan:
+    """An advanced plan extended with a parallel-kernel GPU tail.
+
+    The GPU executes its partition bottom-up as usual to
+    ``switch_level``, then continues *upward* with parallel kernels to
+    ``stop_level`` (inclusive) before the single transfer back.
+    ``stop_level`` defaults to the split level: the GPU finishes its
+    whole partition.
+    """
+
+    base: AdvancedPlan
+    switch_level: int  # first level run with parallel kernels (from top)
+    stop_level: int  # last (highest) level the GPU executes
+
+    def __post_init__(self) -> None:
+        if not self.stop_level <= self.switch_level:
+            raise ScheduleError(
+                f"parallel tail must climb: stop_level {self.stop_level} "
+                f"> switch_level {self.switch_level}"
+            )
+        if self.stop_level < self.base.split_level:
+            raise ScheduleError(
+                f"parallel tail cannot pass the split level "
+                f"{self.base.split_level} (got stop_level {self.stop_level})"
+            )
+
+
+def plan_parallel_tail(
+    base: AdvancedPlan,
+    workload: DCWorkload,
+    params: HPUParameters,
+    stop_level: Optional[int] = None,
+) -> ParallelTailPlan:
+    """Choose the switch level for a parallel-kernel tail.
+
+    Per-subproblem kernels keep the device saturated while the GPU
+    side has at least ``g`` tasks, i.e. down to level
+    ``ceil(log_a(g / (1-α)))``; the parallel kernels take over above
+    it.  The switch level is clamped into the GPU's climbing range.
+    """
+    if workload.k < 2:
+        raise ScheduleError("parallel tail needs at least two levels")
+    a = workload.level_tasks[1]
+    share = 1.0 - base.effective_alpha
+    if share <= 0.0:
+        raise ScheduleError("GPU side is empty; nothing to extend")
+    saturation = math.ceil(math.log(params.g / share, a))
+    switch = min(max(saturation, base.split_level), workload.k)
+    stop = base.split_level if stop_level is None else stop_level
+    return ParallelTailPlan(base=base, switch_level=switch, stop_level=stop)
+
+
+def leaf_block_levels(n: int, block: int) -> int:
+    """Internal levels remaining when leaves are ``block``-element runs."""
+    if not is_power_of_two(n) or not is_power_of_two(block):
+        raise ScheduleError(
+            f"leaf blocks need powers of two, got n={n}, block={block}"
+        )
+    if not 1 <= block < n:
+        raise ScheduleError(
+            f"block size must be in [1, n), got block={block}, n={n}"
+        )
+    return (n // block).bit_length() - 1
+
+
+def sequential_block_cost(block: int) -> float:
+    """Cost of sorting one ``block``-element run sequentially.
+
+    Same abstract work as the collapsed bottom levels of the recursion:
+    ``block · (log2 block + 1)`` — switching implementations does not
+    change the op count, only the per-level launch/spawn overheads.
+    """
+    if not is_power_of_two(block) or block < 1:
+        raise ScheduleError(f"block must be a positive power of two, got {block}")
+    return float(block) * (math.log2(block) + 1.0)

@@ -1,0 +1,212 @@
+"""Workloads: what the schedulers actually distribute.
+
+A :class:`DCWorkload` describes one problem instance of a regular D&C
+algorithm in device-mappable terms: per-level task counts and costs
+(the recursion-tree geometry), the kernel steps a level expands to on
+the GPU, transfer sizes, the CPU working set, and — optionally — a
+functional hook that really executes a batch of tasks on host data so
+that simulated runs produce real outputs.
+
+``DCWorkload.from_tree`` builds the *generic* workload the paper's
+translation yields with no algorithm knowledge: one divergent, strided
+kernel per level.  Algorithm modules (e.g. mergesort) override
+``gpu_steps`` to model their §6.3-style optimizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Union
+
+from repro.core.recursion_tree import RecursionTree
+from repro.errors import ScheduleError
+from repro.opencl.kernel import AccessPattern
+
+#: Sentinel level index for the leaf batch.
+LEAVES = "leaves"
+LevelRef = Union[int, str]
+
+#: Functional hook: (phase, level, offset, count) -> None.
+#: ``phase`` is "combine" or "base"; ``level`` an internal index or
+#: LEAVES; ``offset``/``count`` select a contiguous run of that level's
+#: tasks (task 0 leftmost).  Called once per scheduled batch.
+ExecuteHook = Callable[[str, LevelRef, int, int], None]
+
+
+@dataclass(frozen=True)
+class KernelStep:
+    """One GPU kernel launch a level expands to."""
+
+    name: str
+    items: int
+    ops_per_item: float
+    divergent: bool = True
+    access: AccessPattern = AccessPattern.COALESCED
+
+    def __post_init__(self) -> None:
+        if self.items < 1:
+            raise ScheduleError(
+                f"kernel step {self.name!r} has {self.items} work-items"
+            )
+        if self.ops_per_item <= 0:
+            raise ScheduleError(
+                f"kernel step {self.name!r} has non-positive per-item cost"
+            )
+
+
+@dataclass
+class DCWorkload:
+    """Geometry + device-mappable steps for one problem instance."""
+
+    name: str
+    level_tasks: List[int]  # a^i tasks at internal level i (0 = root)
+    level_cost: List[float]  # f(n / b^i) per task
+    leaf_tasks: int
+    leaf_cost: float
+    total_elements: int  # problem elements (transfer unit)
+    element_bytes: int = 4  # paper uses 32-bit ints
+    working_set_factor: float = 2.0  # paper: space ≈ 2n * sizeof(int)
+    execute: Optional[ExecuteHook] = None
+    gpu_steps_fn: Optional[
+        Callable[["DCWorkload", LevelRef, int, int], List[KernelStep]]
+    ] = None
+    #: Optional intra-task parallel kernels (the §7 "parallel versions
+    #: of the gpu kernels"); required by the parallel-tail extension.
+    gpu_parallel_steps_fn: Optional[
+        Callable[["DCWorkload", LevelRef, int, int], List[KernelStep]]
+    ] = None
+    #: Recurrence constants, when known.  ``rec_b`` matters for
+    #: workloads whose leaves are blocks (leaf count != total_elements),
+    #: where it can no longer be inferred from the geometry.
+    rec_a: Optional[int] = None
+    rec_b: Optional[int] = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.level_tasks) != len(self.level_cost):
+            raise ScheduleError(
+                f"workload {self.name!r}: level_tasks and level_cost "
+                f"lengths differ"
+            )
+        if not self.level_tasks:
+            raise ScheduleError(f"workload {self.name!r} has no levels")
+        if self.leaf_tasks < 1:
+            raise ScheduleError(f"workload {self.name!r} has no leaves")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tree(
+        cls,
+        tree: RecursionTree,
+        element_bytes: int = 4,
+        execute: Optional[ExecuteHook] = None,
+        name: Optional[str] = None,
+    ) -> "DCWorkload":
+        """The generic (unoptimized) workload for a recursion tree."""
+        levels = list(tree.levels())
+        return cls(
+            name=name or tree.spec.name,
+            level_tasks=[lv.tasks for lv in levels],
+            level_cost=[lv.ops_per_task for lv in levels],
+            leaf_tasks=tree.num_leaves,
+            leaf_cost=tree.spec.leaf_cost,
+            total_elements=tree.n,
+            element_bytes=element_bytes,
+            execute=execute,
+            rec_a=tree.spec.a,
+            rec_b=tree.spec.b,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Number of internal levels."""
+        return len(self.level_tasks)
+
+    def tasks_at(self, level: LevelRef) -> int:
+        if level == LEAVES:
+            return self.leaf_tasks
+        return self.level_tasks[self._check_level(level)]
+
+    def cost_at(self, level: LevelRef) -> float:
+        if level == LEAVES:
+            return self.leaf_cost
+        return self.level_cost[self._check_level(level)]
+
+    def working_set_bytes(self) -> float:
+        """Bytes the CPU phase touches (LLC contention input)."""
+        return self.working_set_factor * self.total_elements * self.element_bytes
+
+    def words_for_tasks(self, level: LevelRef, tasks: int) -> int:
+        """Machine words transferred to ship ``tasks`` subproblems."""
+        total = self.tasks_at(level)
+        if not 0 <= tasks <= total:
+            raise ScheduleError(
+                f"cannot transfer {tasks} of {total} tasks at level {level!r}"
+            )
+        return round(self.total_elements * tasks / total)
+
+    # ------------------------------------------------------------------
+    def gpu_steps(
+        self, level: LevelRef, tasks: int, offset: int = 0
+    ) -> List[KernelStep]:
+        """Kernel launches for ``tasks`` subproblems of one level.
+
+        The default is the paper's generic translation (§4.2): a single
+        kernel, one work-item per subproblem, divergent (the scalar
+        divide/combine body) and strided (subproblems own distant
+        memory blocks).  Algorithm modules plug in ``gpu_steps_fn`` to
+        model optimized kernels.
+        """
+        if self.gpu_steps_fn is not None:
+            return self.gpu_steps_fn(self, level, tasks, offset)
+        return [
+            KernelStep(
+                name=f"{self.name}:{level}",
+                items=tasks,
+                ops_per_item=self.cost_at(level),
+                divergent=True,
+                access=AccessPattern.STRIDED,
+            )
+        ]
+
+    def gpu_parallel_steps(
+        self, level: LevelRef, tasks: int, offset: int = 0
+    ) -> List[KernelStep]:
+        """Intra-task parallel kernels for one level (§7 extension).
+
+        Unlike :meth:`gpu_steps` there is no generic default: the paper
+        is explicit that parallelizing the divide/combine body is
+        algorithm knowledge ("for problems in which the parallelization
+        … is simple"), so workloads must opt in.
+        """
+        if self.gpu_parallel_steps_fn is None:
+            raise ScheduleError(
+                f"workload {self.name!r} provides no parallel kernels; "
+                f"the parallel-tail extension needs gpu_parallel_steps_fn"
+            )
+        return self.gpu_parallel_steps_fn(self, level, tasks, offset)
+
+    # ------------------------------------------------------------------
+    def run_hook(
+        self, phase: str, level: LevelRef, offset: int, count: int
+    ) -> None:
+        """Invoke the functional hook, if any, with validated bounds."""
+        if self.execute is None:
+            return
+        total = self.tasks_at(level)
+        if not (0 <= offset and offset + count <= total):
+            raise ScheduleError(
+                f"hook range [{offset}, {offset + count}) exceeds {total} "
+                f"tasks at level {level!r}"
+            )
+        if count > 0:
+            self.execute(phase, level, offset, count)
+
+    def _check_level(self, level: int) -> int:
+        if not 0 <= level < self.k:
+            raise ScheduleError(
+                f"level {level} out of range [0, {self.k}) for workload "
+                f"{self.name!r}"
+            )
+        return level

@@ -1,0 +1,111 @@
+"""The divide-and-conquer specification.
+
+A :class:`DCSpec` is the library's description of a D&C algorithm in
+the paper's normal form (Section 4)::
+
+    T(n) = a · T(n/b) + f(n),   T(1) = Θ(1)
+
+The user supplies the four callbacks of Algorithm 1 — ``is_base``,
+``base_case``, ``divide`` and ``combine`` — plus the recurrence
+constants ``a`` and ``b`` and the divide+combine cost function ``f``.
+Everything else in the library (the breadth-first translation, the GPU
+kernel adapter, both schedulers and the analytical model) is generic
+over this object; that genericity is the paper's central claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Sequence
+
+from repro.errors import SpecError
+
+Problem = Any
+Solution = Any
+
+
+@dataclass
+class DCSpec:
+    """A divide-and-conquer algorithm in the paper's normal form.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (used in traces and error messages).
+    a:
+        Number of subproblems each division produces.
+    b:
+        Factor by which subproblem size shrinks at each division.
+    is_base:
+        ``endCondition(param)`` of Algorithm 1.
+    base_case:
+        Solve a base-case problem directly.
+    divide:
+        Split a problem into exactly ``a`` subproblems.
+    combine:
+        Merge the ``a`` subsolutions (given the parent problem).
+    size_of:
+        Measure of a problem's size ``n`` (drives cost accounting).
+    f_cost:
+        Cost of ``divide`` + ``combine`` at size ``n`` — the paper's
+        ``f(n)``, in abstract ops.
+    leaf_cost:
+        Cost of solving one base case (``T(1) = Θ(1)``).
+    """
+
+    name: str
+    a: int
+    b: int
+    is_base: Callable[[Problem], bool]
+    base_case: Callable[[Problem], Solution]
+    divide: Callable[[Problem], Sequence[Problem]]
+    combine: Callable[[Sequence[Solution], Problem], Solution]
+    size_of: Callable[[Problem], int]
+    f_cost: Callable[[int], float]
+    leaf_cost: float = 1.0
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.a < 2:
+            raise SpecError(
+                f"spec {self.name!r}: a must be >= 2 (got {self.a!r}); a "
+                f"single-subproblem recursion has no parallelism to exploit"
+            )
+        if self.b < 2:
+            raise SpecError(
+                f"spec {self.name!r}: b must be >= 2 (got {self.b!r}); "
+                f"subproblems must shrink"
+            )
+        if self.leaf_cost <= 0:
+            raise SpecError(
+                f"spec {self.name!r}: leaf_cost must be positive "
+                f"(got {self.leaf_cost!r})"
+            )
+
+    # ------------------------------------------------------------------
+    def checked_divide(self, problem: Problem) -> List[Problem]:
+        """Run ``divide`` and verify it returns exactly ``a`` subproblems."""
+        subs = list(self.divide(problem))
+        if len(subs) != self.a:
+            raise SpecError(
+                f"spec {self.name!r}: divide returned {len(subs)} "
+                f"subproblems, expected a={self.a}"
+            )
+        return subs
+
+    def level_cost(self, size: int) -> float:
+        """Per-task divide+combine cost at subproblem size ``size``."""
+        cost = float(self.f_cost(size))
+        if cost < 0:
+            raise SpecError(
+                f"spec {self.name!r}: f_cost({size}) returned negative "
+                f"cost {cost!r}"
+            )
+        return cost
+
+    @property
+    def critical_exponent(self) -> float:
+        """``log_b a`` — the exponent governing leaf work ``n^{log_b a}``."""
+        import math
+
+        return math.log(self.a) / math.log(self.b)

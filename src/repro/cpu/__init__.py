@@ -1,0 +1,15 @@
+"""Simulated multicore CPU.
+
+Cores run at the paper's normalized rate of 1 op per time unit
+(``γ_c = 1``).  The one refinement beyond the paper's clean model is an
+LLC-contention factor: when the working set exceeds the last-level
+cache and several cores are active, per-core throughput degrades.  The
+authors invoke exactly this effect to explain why measured speedups
+fall away from predicted ones past ``n = 2^20`` (Fig. 8); modelling it
+is what lets the reproduction show the same droop.
+"""
+
+from repro.cpu.cache import contention_factor
+from repro.cpu.device import CPUDevice, CPUDeviceSpec
+
+__all__ = ["contention_factor", "CPUDevice", "CPUDeviceSpec"]

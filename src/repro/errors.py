@@ -1,0 +1,48 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SpecError(ReproError):
+    """An invalid divide-and-conquer specification was supplied."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation engine detected an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """The simulation ran out of events while processes were still waiting."""
+
+
+class DeviceError(ReproError):
+    """A simulated device (CPU or GPU) was used incorrectly."""
+
+
+class KernelError(DeviceError):
+    """A simulated OpenCL kernel launch or execution failed."""
+
+
+class MemoryError_(DeviceError):
+    """A simulated device-memory operation failed (allocation, OOB copy)."""
+
+
+class ScheduleError(ReproError):
+    """A work-division schedule could not be constructed or executed."""
+
+
+class ModelError(ReproError):
+    """The analytical performance model was queried with invalid inputs."""
+
+
+class CalibrationError(ReproError):
+    """A device-parameter calibration procedure failed to converge."""

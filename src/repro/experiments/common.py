@@ -1,0 +1,114 @@
+"""Shared experiment infrastructure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms.mergesort.hybrid import make_mergesort_workload
+from repro.core.schedule import AdvancedSchedule, ScheduleExecutor
+from repro.core.schedule.executor import HybridRunResult
+from repro.hpu.hpu import HPU
+from repro.util.rng import NO_NOISE, NoiseModel
+from repro.util.tables import format_table
+
+#: Default measurement jitter for "measured" series — mirrors the
+#: paper's plot scatter; deterministic per (platform, config) key.
+MEASUREMENT_NOISE = NoiseModel(amplitude=0.015)
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure: rows plus paper-vs-measured notes."""
+
+    experiment_id: str  # e.g. "fig8"
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+    notes: List[str] = field(default_factory=list)
+    paper_expectation: str = ""
+
+    def render(self) -> str:
+        parts = [
+            format_table(
+                self.headers,
+                self.rows,
+                title=f"[{self.experiment_id}] {self.title}",
+            )
+        ]
+        if self.paper_expectation:
+            parts.append(f"paper: {self.paper_expectation}")
+        parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+    def column(self, name: str) -> List[object]:
+        """Extract one column by header name."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for ``repro-experiments --json``)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+            "paper_expectation": self.paper_expectation,
+        }
+
+
+@dataclass(frozen=True)
+class BestPoint:
+    """Best measured operating point of a (platform, n) sweep."""
+
+    speedup: float
+    alpha: Optional[float]  # None = CPU-only fallback won
+    transfer_level: Optional[int]
+    result: HybridRunResult
+
+
+def sweep_best_operating_point(
+    hpu: HPU,
+    n: int,
+    alphas: Sequence[float],
+    levels: Optional[Sequence[int]] = None,
+    noise: NoiseModel = NO_NOISE,
+    include_cpu_fallback: bool = True,
+) -> BestPoint:
+    """Grid-search (α, y) for the best measured advanced-hybrid speedup.
+
+    This is the paper's experimental procedure behind Figs. 8 and 10:
+    run the implementation across transfer ratios and levels, keep the
+    fastest.  ``include_cpu_fallback`` also tries the CPU-only path,
+    which wins for small inputs where transfers dominate.  Thin wrapper
+    over :class:`repro.core.autotune.AutoTuner` for the mergesort
+    workload.
+    """
+    from repro.core.autotune import AutoTuner
+
+    tuner = AutoTuner(hpu, make_mergesort_workload(n), noise=noise)
+    if levels is None:
+        levels = range(max(2, tuner.workload.k - 18), tuner.workload.k + 1)
+    point = tuner.tune(
+        alphas=alphas,
+        levels=levels,
+        include_cpu_fallback=include_cpu_fallback,
+    )
+    return BestPoint(
+        point.speedup, point.alpha, point.transfer_level, point.result
+    )
+
+
+def default_alpha_grid(fast: bool = False) -> np.ndarray:
+    """The α grid of the paper's sweeps (Fig. 7's x-axis)."""
+    step = 0.04 if fast else 0.02
+    return np.round(np.arange(0.04, 0.44, step), 4)
+
+
+def size_grid(fast: bool = False) -> List[int]:
+    """Input sizes of the Fig. 8-10 sweeps (10^3 … 10^8 in the paper)."""
+    exponents = range(10, 27, 2) if fast else range(10, 27)
+    return [1 << e for e in exponents]

@@ -1,0 +1,37 @@
+"""Figure 5: running time vs number of GPU threads (elementwise sum).
+
+The saturation sweep on both platforms with arrays of 2^24 elements.
+The paper reads g = 4096 (HPU1) and g = 1200 (HPU2) off the knees.
+"""
+
+from __future__ import annotations
+
+from repro.core.calibrate import estimate_g
+from repro.experiments.common import MEASUREMENT_NOISE, ExperimentResult
+from repro.hpu import PLATFORMS
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    rows = []
+    notes = []
+    for name, hpu in sorted(PLATFORMS.items()):
+        _, gpu = hpu.make_devices()
+        est = estimate_g(
+            gpu,
+            array_size=1 << 24,
+            num_points=16 if fast else 48,
+            noise=MEASUREMENT_NOISE,
+        )
+        stride = max(1, len(est.samples) // (8 if fast else 16))
+        for threads, time in est.samples[::stride]:
+            rows.append([name, threads, f"{time:.4g}"])
+        notes.append(f"{name}: knee at g ≈ {est.g_estimate} "
+                     f"(spec value {hpu.gpu_spec.g})")
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Execution time vs parallel GPU threads (elementwise sum, 2^24)",
+        headers=["platform", "threads", "time (ops)"],
+        rows=rows,
+        notes=notes,
+        paper_expectation="time falls then flattens; g = 4096 (HPU1), 1200 (HPU2)",
+    )

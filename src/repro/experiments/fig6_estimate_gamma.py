@@ -1,0 +1,34 @@
+"""Figure 6: GPU/CPU scalar-merge time ratio vs input size.
+
+A single-thread merge runs on each device across a size sweep; the
+ratio is flat and reads off γ⁻¹ = 160 (HPU1) and 65 (HPU2).
+"""
+
+from __future__ import annotations
+
+from repro.core.calibrate import estimate_gamma
+from repro.experiments.common import MEASUREMENT_NOISE, ExperimentResult
+from repro.hpu import PLATFORMS
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    sizes = tuple(1 << e for e in (range(18, 25, 3) if fast else range(16, 25)))
+    rows = []
+    notes = []
+    for name, hpu in sorted(PLATFORMS.items()):
+        cpu, gpu = hpu.make_devices()
+        est = estimate_gamma(gpu, cpu, sizes=sizes, noise=MEASUREMENT_NOISE)
+        for size, ratio in est.samples:
+            rows.append([name, size, round(ratio, 1)])
+        notes.append(
+            f"{name}: γ⁻¹ ≈ {est.gamma_inverse_estimate:.1f} "
+            f"(spec value {1 / hpu.gpu_spec.gamma:.0f})"
+        )
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Single-thread merge: GPU/CPU time ratio vs input size",
+        headers=["platform", "size", "GPU/CPU ratio"],
+        rows=rows,
+        notes=notes,
+        paper_expectation="ratio ≈ constant; γ⁻¹ = 160 (HPU1), 65 (HPU2)",
+    )

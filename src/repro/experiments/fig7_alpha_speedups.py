@@ -1,0 +1,56 @@
+"""Figure 7: hybrid speedup vs transfer ratio α, per transfer level.
+
+HPU1, n = 2^24, transfer levels 7–12, α up to 0.35.  The paper observes
+speedups "do not differ too much across transfer levels", rising up to
+level 10 and falling from 11, best ratios near the estimated α* ≈ 0.16,
+and a maximum around 4.5x.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.mergesort.hybrid import make_mergesort_workload
+from repro.core.schedule import AdvancedSchedule, ScheduleExecutor
+from repro.experiments.common import MEASUREMENT_NOISE, ExperimentResult
+from repro.hpu import HPU1
+
+N = 1 << 24
+LEVELS = range(7, 13)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    workload = make_mergesort_workload(N)
+    executor = ScheduleExecutor(HPU1, workload, noise=MEASUREMENT_NOISE)
+    scheduler = AdvancedSchedule()
+    alphas = np.round(np.arange(0.04, 0.36, 0.08 if fast else 0.02), 3)
+
+    rows = []
+    best = (0.0, None, None)
+    for level in LEVELS:
+        for alpha in alphas:
+            plan = scheduler.plan(
+                workload,
+                HPU1.parameters,
+                alpha=float(alpha),
+                transfer_level=int(level),
+            )
+            result = executor.run_advanced(plan)
+            rows.append([int(level), float(alpha), round(result.speedup, 3)])
+            if result.speedup > best[0]:
+                best = (result.speedup, float(alpha), int(level))
+
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Hybrid mergesort speedup vs transfer ratio alpha "
+        "(HPU1, n=2^24, transfer levels 7-12)",
+        headers=["transfer level", "alpha", "speedup"],
+        rows=rows,
+        notes=[
+            f"best speedup {best[0]:.2f}x at alpha={best[1]}, level={best[2]}",
+        ],
+        paper_expectation=(
+            "curves similar across levels, improving to level 10 and "
+            "degrading from 11; best ≈4.5x near alpha ≈ 0.16"
+        ),
+    )

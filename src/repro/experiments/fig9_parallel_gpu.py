@@ -1,0 +1,53 @@
+"""Figure 9: GPU-only mergesort with parallel merges (HPU1).
+
+Times and speedups vs a 1-core recursive CPU implementation, with and
+without the two data transfers.  Paper: only significantly better than
+the hybrid for large inputs — 18–20x sort-only, reduced to about 12x
+once transfers are charged; slower than the CPU for small inputs.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.mergesort.parallel_merge import parallel_gpu_mergesort
+from repro.experiments.common import ExperimentResult, size_grid
+from repro.hpu import HPU1
+from repro.util.intmath import ilog2
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    rows = []
+    peak = (0.0, 0.0)
+    for n in size_grid(fast):
+        r = parallel_gpu_mergesort(HPU1, n)
+        rows.append(
+            [
+                f"2^{ilog2(n)}",
+                f"{r.sequential_ops:.4g}",
+                f"{r.sort_time:.4g}",
+                f"{r.total_time:.4g}",
+                round(r.speedup_sort_only, 2),
+                round(r.speedup_with_transfer, 2),
+            ]
+        )
+        peak = max(peak, (r.speedup_sort_only, r.speedup_with_transfer))
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="GPU-only parallel-merge mergesort vs 1-core CPU (HPU1)",
+        headers=[
+            "n",
+            "time CPU(1)",
+            "time GPU sort",
+            "time GPU sort+transfer",
+            "speedup sort",
+            "speedup sort+transfer",
+        ],
+        rows=rows,
+        notes=[
+            f"max sort-only speedup {peak[0]:.1f}x; with transfers "
+            f"{peak[1]:.1f}x"
+        ],
+        paper_expectation=(
+            "18-20x sort-only at large n, ≈12x including transfers; "
+            "GPU slower than CPU for small inputs"
+        ),
+    )

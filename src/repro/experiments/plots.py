@@ -1,0 +1,134 @@
+"""ASCII renderings of the reproduced figures (``--plot`` mode).
+
+Each plotter turns an :class:`~repro.experiments.common.
+ExperimentResult` row table back into the series structure of the
+original figure and hands it to :func:`repro.util.asciiplot.ascii_plot`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments.common import ExperimentResult
+from repro.util.asciiplot import ascii_plot
+
+
+def _rows(result: ExperimentResult):
+    return result.rows
+
+
+def _parse_n(cell) -> float:
+    """Sizes are rendered as '2^k' strings in several tables."""
+    if isinstance(cell, str) and cell.startswith("2^"):
+        return float(2 ** int(cell[2:]))
+    return float(cell)
+
+
+def plot_fig3(result: ExperimentResult) -> str:
+    alphas = [float(r[0]) for r in _rows(result)]
+    return ascii_plot(
+        {
+            "y(alpha)": list(zip(alphas, [float(r[1]) for r in _rows(result)])),
+            "GPU work % / 4": list(
+                zip(alphas, [float(r[2]) / 4.0 for r in _rows(result)])
+            ),
+        },
+        title="Fig 3: level reached and GPU work share vs alpha (scaled)",
+        xlabel="alpha",
+    )
+
+
+def plot_fig5(result: ExperimentResult) -> str:
+    series = {}
+    for platform, threads, time in _rows(result):
+        series.setdefault(platform, []).append((float(threads), float(time)))
+    return ascii_plot(
+        series,
+        logx=True,
+        logy=True,
+        title="Fig 5: elementwise-sum time vs GPU threads",
+        xlabel="threads",
+    )
+
+
+def plot_fig6(result: ExperimentResult) -> str:
+    series = {}
+    for platform, size, ratio in _rows(result):
+        series.setdefault(platform, []).append((float(size), float(ratio)))
+    return ascii_plot(
+        series,
+        logx=True,
+        title="Fig 6: single-thread merge GPU/CPU ratio vs size",
+        xlabel="input size",
+    )
+
+
+def plot_fig7(result: ExperimentResult) -> str:
+    series = {}
+    for level, alpha, speedup in _rows(result):
+        series.setdefault(f"y={level}", []).append((float(alpha), float(speedup)))
+    return ascii_plot(
+        series,
+        title="Fig 7: hybrid speedup vs alpha, per transfer level",
+        xlabel="alpha",
+        ylabel="spdup",
+    )
+
+
+def plot_fig8(result: ExperimentResult) -> str:
+    series = {}
+    for platform, n, measured, predicted, _ratio in _rows(result):
+        series.setdefault(f"{platform} measured", []).append(
+            (_parse_n(n), float(measured))
+        )
+        series.setdefault(f"{platform} predicted", []).append(
+            (_parse_n(n), float(predicted))
+        )
+    return ascii_plot(
+        series,
+        logx=True,
+        title="Fig 8: hybrid speedup vs input size",
+        xlabel="n",
+        ylabel="spdup",
+    )
+
+
+def plot_fig9(result: ExperimentResult) -> str:
+    series = {"sort only": [], "sort+transfer": []}
+    for row in _rows(result):
+        n = _parse_n(row[0])
+        series["sort only"].append((n, float(row[4])))
+        series["sort+transfer"].append((n, float(row[5])))
+    return ascii_plot(
+        series,
+        logx=True,
+        title="Fig 9: GPU-only parallel-merge speedups",
+        xlabel="n",
+        ylabel="spdup",
+    )
+
+
+def plot_fig10(result: ExperimentResult) -> str:
+    series = {"obtained level": [], "predicted level": []}
+    for row in _rows(result):
+        n = _parse_n(row[0])
+        series["obtained level"].append((n, float(row[3])))
+        series["predicted level"].append((n, float(row[4])))
+    return ascii_plot(
+        series,
+        logx=True,
+        title="Fig 10: optimal transfer level, obtained vs predicted",
+        xlabel="n",
+        ylabel="level",
+    )
+
+
+PLOTTERS: Dict[str, Callable[[ExperimentResult], str]] = {
+    "fig3": plot_fig3,
+    "fig5": plot_fig5,
+    "fig6": plot_fig6,
+    "fig7": plot_fig7,
+    "fig8": plot_fig8,
+    "fig9": plot_fig9,
+    "fig10": plot_fig10,
+}

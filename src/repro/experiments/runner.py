@@ -1,0 +1,112 @@
+"""CLI: regenerate every table and figure of the paper.
+
+Usage::
+
+    repro-experiments                # all experiments, full grids
+    repro-experiments --fast        # coarse grids (CI-speed)
+    repro-experiments fig8 fig9     # a selection
+    repro-experiments --list        # what's available
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ext_future_work,
+    ext_matmul,
+    fig3_alpha_curves,
+    fig4_work_division,
+    fig5_estimate_g,
+    fig6_estimate_gamma,
+    fig7_alpha_speedups,
+    fig8_speedup_vs_n,
+    fig9_parallel_gpu,
+    fig10_optimal_params,
+    table1_platforms,
+    table2_parameters,
+)
+from repro.experiments.common import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
+    "table1": table1_platforms.run,
+    "table2": table2_parameters.run,
+    "fig3": fig3_alpha_curves.run,
+    "fig4": fig4_work_division.run,
+    "fig5": fig5_estimate_g.run,
+    "fig6": fig6_estimate_gamma.run,
+    "fig7": fig7_alpha_speedups.run,
+    "fig8": fig8_speedup_vs_n.run,
+    "fig9": fig9_parallel_gpu.run,
+    "fig10": fig10_optimal_params.run,
+    "ext1": ext_future_work.run,
+    "ext2": ext_matmul.run,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures on the "
+        "simulated HPU platforms.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--fast", action="store_true", help="coarser sweeps, quicker run"
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render figure experiments as ASCII charts",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit results as one JSON object per experiment instead of "
+        "tables",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key in EXPERIMENTS:
+            print(key)
+        return 0
+
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [e for e in selected if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"available: {', '.join(EXPERIMENTS)}"
+        )
+
+    for key in selected:
+        result = EXPERIMENTS[key](args.fast)
+        if args.json:
+            import json
+
+            print(json.dumps(result.to_dict()))
+            continue
+        print(result.render())
+        if args.plot:
+            from repro.experiments.plots import PLOTTERS
+
+            plotter = PLOTTERS.get(key)
+            if plotter is not None:
+                print()
+                print(plotter(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""The Hybrid Processing Unit (HPU) — the paper's machine model (§3.2).
+
+An HPU is one multicore CPU (``p`` cores at normalized rate 1) plus one
+GPU (``g`` empirical cores at rate ``γ < 1`` with ``γ·g > p``) joined by
+a link with transfer cost ``λ + δ·w``.  :data:`HPU1` and :data:`HPU2`
+are presets reproducing the two experimental platforms of Tables 1–2.
+"""
+
+from repro.hpu.hpu import HPU, HPUParameters
+from repro.hpu.multi import MultiGPUHPU, dual_card
+from repro.hpu.platforms import HPU1, HPU2, PLATFORMS, get_platform
+
+__all__ = [
+    "HPU",
+    "HPUParameters",
+    "MultiGPUHPU",
+    "dual_card",
+    "HPU1",
+    "HPU2",
+    "PLATFORMS",
+    "get_platform",
+]

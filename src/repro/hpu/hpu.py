@@ -1,0 +1,81 @@
+"""The HPU: a CPU device, a GPU device, and the link between them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.device import CPUDevice, CPUDeviceSpec
+from repro.errors import DeviceError
+from repro.opencl.costmodel import transfer_time
+from repro.opencl.device import GPUDevice, GPUDeviceSpec
+
+
+@dataclass(frozen=True)
+class HPUParameters:
+    """The abstract model parameters the paper's analysis consumes.
+
+    These are what Sections 5.1–5.2 call ``p``, ``g`` and ``γ``; the
+    analytical model (:mod:`repro.core.model`) works exclusively in
+    terms of this triple.
+    """
+
+    p: int
+    g: int
+    gamma: float
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise DeviceError(f"p must be >= 1, got {self.p!r}")
+        if self.g < 1:
+            raise DeviceError(f"g must be >= 1, got {self.g!r}")
+        if not 0.0 < self.gamma < 1.0:
+            raise DeviceError(f"gamma must be in (0, 1), got {self.gamma!r}")
+
+    @property
+    def gpu_throughput(self) -> float:
+        """Saturated GPU throughput ``γ·g`` in CPU-core equivalents."""
+        return self.g * self.gamma
+
+    @property
+    def gpu_beats_cpu(self) -> bool:
+        """The paper's standing assumption ``γ·g > p``."""
+        return self.gpu_throughput > self.p
+
+
+class HPU:
+    """A hybrid platform: specs plus factories for fresh device instances.
+
+    The specs are immutable; :meth:`make_devices` mints fresh stateful
+    :class:`CPUDevice`/:class:`GPUDevice` pairs so that each experiment
+    run gets clean traces and memory ledgers.
+    """
+
+    def __init__(self, name: str, cpu: CPUDeviceSpec, gpu: GPUDeviceSpec) -> None:
+        self.name = name
+        self.cpu_spec = cpu
+        self.gpu_spec = gpu
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<HPU {self.name!r} p={self.cpu_spec.p} g={self.gpu_spec.g} "
+            f"gamma=1/{round(1 / self.gpu_spec.gamma)}>"
+        )
+
+    @property
+    def parameters(self) -> HPUParameters:
+        """The abstract (p, g, γ) triple for the analytical model."""
+        return HPUParameters(
+            p=self.cpu_spec.p, g=self.gpu_spec.g, gamma=self.gpu_spec.gamma
+        )
+
+    def make_devices(self) -> tuple[CPUDevice, GPUDevice]:
+        """Fresh device instances (clean traces/ledgers) for one run."""
+        return CPUDevice(self.cpu_spec), GPUDevice(self.gpu_spec)
+
+    def transfer_time(self, words: int) -> float:
+        """CPU↔GPU transfer cost ``λ + δ·w`` for ``words`` machine words."""
+        return transfer_time(
+            self.gpu_spec.transfer_latency,
+            self.gpu_spec.transfer_per_word,
+            words,
+        )

@@ -1,0 +1,80 @@
+"""Multi-GPU HPUs — the §3.2 model extension.
+
+The paper: *"The focus in this work is on the most common scenario of
+one multi-core cpu unit along with one gpu card, although the model
+could easily be extended to the case of multiple gpu cards."*  And
+footnote 5 explains why they ran the dual-GPU HD 5970 as a single
+card: *"the parallelism available in the application could only
+saturate both cards at the lowest levels of the recursion tree, not
+justifying the overhead of additional data transfers."*
+
+This module provides that extension: an HPU with ``m`` identical cards
+sharing one host link.  For the analytical model the cards aggregate to
+``g' = m·g`` at unchanged ``γ`` (saturation simply needs ``m`` times
+the tasks); in the executor each card receives an equal slice of the
+GPU-side partition, kernels run concurrently across cards, and all
+transfers serialize on the shared link — which is exactly the overhead
+footnote 5 is talking about, and what makes a second card unprofitable
+for mergesort at the paper's sizes (see the multi-GPU bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List
+
+from repro.cpu.device import CPUDevice, CPUDeviceSpec
+from repro.errors import DeviceError
+from repro.hpu.hpu import HPU, HPUParameters
+from repro.opencl.device import GPUDevice, GPUDeviceSpec
+
+
+class MultiGPUHPU(HPU):
+    """An HPU with ``num_cards`` identical GPU cards on one host link."""
+
+    def __init__(
+        self,
+        name: str,
+        cpu: CPUDeviceSpec,
+        gpu: GPUDeviceSpec,
+        num_cards: int,
+    ) -> None:
+        if num_cards < 1:
+            raise DeviceError(f"num_cards must be >= 1, got {num_cards!r}")
+        super().__init__(name, cpu, gpu)
+        self.num_cards = num_cards
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MultiGPUHPU {self.name!r} p={self.cpu_spec.p} "
+            f"{self.num_cards}x g={self.gpu_spec.g}>"
+        )
+
+    @property
+    def parameters(self) -> HPUParameters:
+        """Aggregate triple: ``m`` cards look like one big ``m·g`` card."""
+        return HPUParameters(
+            p=self.cpu_spec.p,
+            g=self.gpu_spec.g * self.num_cards,
+            gamma=self.gpu_spec.gamma,
+        )
+
+    def make_gpu_devices(self) -> List[GPUDevice]:
+        """Fresh per-card device instances for one run."""
+        return [
+            GPUDevice(replace(self.gpu_spec, name=f"{self.gpu_spec.name}#{i}"))
+            for i in range(self.num_cards)
+        ]
+
+    def make_cpu_device(self) -> CPUDevice:
+        return CPUDevice(self.cpu_spec)
+
+
+def dual_card(hpu: HPU, name: str | None = None) -> MultiGPUHPU:
+    """The footnote-5 configuration: the same platform with two cards."""
+    return MultiGPUHPU(
+        name=name or f"{hpu.name}x2",
+        cpu=hpu.cpu_spec,
+        gpu=hpu.gpu_spec,
+        num_cards=2,
+    )

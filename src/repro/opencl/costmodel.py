@@ -1,0 +1,103 @@
+"""The GPU timing model.
+
+This is the heart of the hardware substitution (DESIGN.md §2): it maps
+a kernel launch onto simulated time using only quantities the paper's
+analysis exposes — the empirical core count ``g``, the relative scalar
+rate ``gamma``, launch overhead, plus two calibrated refinements:
+
+``lane_efficiency``
+    Saturated regular kernels hide memory latency, so their per-thread
+    throughput exceeds the γ measured on a single divergent thread.
+    The factor interpolates linearly in concurrency from 1 (a single
+    work-item — exactly the γ-calibration setting of Fig. 6) up to the
+    device's full value once ``g`` work-items are resident.  Divergent
+    kernels (e.g. per-sublist two-pointer merges) never benefit: their
+    dependent chains and branchy lanes keep them at rate γ, which is
+    what makes the paper's ``γ·g`` hybrid throughput assumption hold.
+
+``strided_penalty``
+    Non-coalesced global access multiplies per-item cost (§6.3).
+
+The resulting level times reproduce the paper's §5.1 case analysis:
+below saturation a level of ``m`` tasks of cost ``c`` takes ``c / γ``;
+above it, ``ceil(m/g) · c / γ`` ≈ ``m·c / (γ·g)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+from repro.opencl.kernel import AccessPattern, Kernel, NDRange
+
+
+
+@dataclass(frozen=True)
+class GPUCostParameters:
+    """Calibratable constants of the GPU timing model."""
+
+    g: int  # empirical parallel capacity ("gpu cores", paper §3.2)
+    gamma: float  # scalar rate relative to a CPU core (0 < gamma < 1)
+    lane_efficiency: float = 1.0  # saturated regular-kernel boost (>= 1)
+    strided_penalty: float = 4.0  # non-coalesced access multiplier (>= 1)
+    launch_overhead: float = 0.0  # fixed ops charged per kernel launch
+
+    def __post_init__(self) -> None:
+        if self.g < 1:
+            raise DeviceError(f"g must be >= 1, got {self.g!r}")
+        if not 0.0 < self.gamma < 1.0:
+            raise DeviceError(
+                f"gamma must be in (0, 1) — a GPU core is slower than a "
+                f"CPU core — got {self.gamma!r}"
+            )
+        if self.lane_efficiency < 1.0:
+            raise DeviceError(
+                f"lane_efficiency must be >= 1, got {self.lane_efficiency!r}"
+            )
+        if self.strided_penalty < 1.0:
+            raise DeviceError(
+                f"strided_penalty must be >= 1, got {self.strided_penalty!r}"
+            )
+        if self.launch_overhead < 0.0:
+            raise DeviceError(
+                f"launch_overhead must be >= 0, got {self.launch_overhead!r}"
+            )
+
+
+def effective_lane_efficiency(
+    params: GPUCostParameters, kernel: Kernel, concurrency: int
+) -> float:
+    """Latency-hiding factor for ``concurrency`` resident work-items."""
+    if concurrency < 1:
+        raise DeviceError(f"concurrency must be >= 1, got {concurrency!r}")
+    if kernel.divergent or params.g == 1:
+        return 1.0
+    fraction = min(1.0, (concurrency - 1) / (params.g - 1))
+    return 1.0 + (params.lane_efficiency - 1.0) * fraction
+
+
+def kernel_launch_time(
+    params: GPUCostParameters, kernel: Kernel, ndrange: NDRange, args
+) -> float:
+    """Simulated time for one kernel launch (including launch overhead)."""
+    cost = kernel.item_cost(args)
+    if kernel.access is AccessPattern.STRIDED:
+        cost *= params.strided_penalty
+    scheduled = ndrange.padded_global_size  # idle padding lanes occupy PEs
+    # Fractional waves: an oversubscribed device interleaves work-groups
+    # finely enough to stay work-conserving, so time beyond saturation
+    # scales with total work rather than stepping at integer multiples
+    # of g (Fig. 5's flat region).
+    waves = max(scheduled / params.g, 1.0)
+    resident = min(scheduled, params.g)
+    eta = effective_lane_efficiency(params, kernel, resident)
+    return params.launch_overhead + waves * cost / (params.gamma * eta)
+
+
+def transfer_time(latency: float, per_word: float, words: int) -> float:
+    """Host↔device transfer cost ``λ + δ·w`` (paper §3.2)."""
+    if words < 0:
+        raise DeviceError(f"cannot transfer a negative word count ({words})")
+    if words == 0:
+        return 0.0
+    return latency + per_word * words

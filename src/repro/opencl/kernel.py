@@ -1,0 +1,104 @@
+"""Simulated kernels and NDRanges.
+
+A :class:`Kernel` bundles three things:
+
+1. a *functional* implementation — either a vectorized ``vector_fn``
+   that computes the effect of the whole NDRange at once (preferred,
+   per the HPC guides: vectorize, avoid Python-level loops), and/or a
+   ``scalar_fn`` executing one work-item given its ``get_global_id()``
+   (the reference semantics used to validate the vectorized path);
+2. a *cost declaration* — ``ops_per_item(args)``: how many abstract
+   operations one work-item performs; and
+3. *behavioural traits* used by the device cost model — whether the
+   kernel is ``divergent`` (serial dependent chains / branchy SIMD
+   lanes, e.g. a two-pointer merge) and its global-memory
+   :class:`AccessPattern`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+from repro.errors import KernelError
+from repro.util.intmath import ceil_div
+
+KernelArgs = Mapping[str, Any]
+
+
+class AccessPattern(enum.Enum):
+    """Global-memory access shape of a kernel's work-items."""
+
+    COALESCED = "coalesced"  # neighbouring items touch neighbouring words
+    STRIDED = "strided"  # items walk widely separated segments
+
+
+@dataclass(frozen=True)
+class NDRange:
+    """Launch geometry: total work-items and work-group size."""
+
+    global_size: int
+    local_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.global_size < 1:
+            raise KernelError(
+                f"global_size must be >= 1, got {self.global_size!r}"
+            )
+        if self.local_size < 1:
+            raise KernelError(f"local_size must be >= 1, got {self.local_size!r}")
+
+    @property
+    def num_groups(self) -> int:
+        """Work-groups launched (global size rounded up to group size)."""
+        return ceil_div(self.global_size, self.local_size)
+
+    @property
+    def padded_global_size(self) -> int:
+        """Work-items actually scheduled (full groups, idle-lane padding)."""
+        return self.num_groups * self.local_size
+
+
+@dataclass
+class Kernel:
+    """A simulated OpenCL kernel (see module docstring)."""
+
+    name: str
+    ops_per_item: Callable[[KernelArgs], float]
+    vector_fn: Optional[Callable[[int, KernelArgs], None]] = None
+    scalar_fn: Optional[Callable[[int, KernelArgs], None]] = None
+    divergent: bool = False
+    access: AccessPattern = AccessPattern.COALESCED
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.vector_fn is None and self.scalar_fn is None:
+            raise KernelError(
+                f"kernel {self.name!r} needs a vector_fn or a scalar_fn"
+            )
+
+    def item_cost(self, args: KernelArgs) -> float:
+        """Abstract ops per work-item for this launch's arguments."""
+        cost = float(self.ops_per_item(args))
+        if cost <= 0:
+            raise KernelError(
+                f"kernel {self.name!r} declared non-positive per-item cost "
+                f"{cost!r}"
+            )
+        return cost
+
+    def execute(self, ndrange: NDRange, args: KernelArgs) -> None:
+        """Run the kernel functionally over ``ndrange``.
+
+        Uses the vectorized implementation when available, otherwise
+        falls back to the scalar reference path.  Only the *real*
+        ``global_size`` items run (padding lanes are masked out, as a
+        guarded ``if (id < n)`` would do on a device).
+        """
+        if self.vector_fn is not None:
+            self.vector_fn(ndrange.global_size, args)
+            return
+        assert self.scalar_fn is not None  # enforced in __post_init__
+        for gid in range(ndrange.global_size):
+            self.scalar_fn(gid, args)

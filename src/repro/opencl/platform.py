@@ -1,0 +1,52 @@
+"""Simulated OpenCL platform: host plus devices.
+
+An OpenCL platform consists of a host connected to one or more devices
+(§3.1).  In this library the "host" is the simulated multicore CPU (see
+:mod:`repro.cpu`); the platform object is a registry tying named GPU
+devices together for discovery-style code and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.errors import DeviceError
+from repro.opencl.device import GPUDevice, GPUDeviceSpec
+
+
+class Platform:
+    """A named collection of simulated GPU devices."""
+
+    def __init__(self, name: str, specs: Iterable[GPUDeviceSpec] = ()) -> None:
+        self.name = name
+        self._devices: Dict[str, GPUDevice] = {}
+        for spec in specs:
+            self.add_device(spec)
+
+    def add_device(self, spec: GPUDeviceSpec) -> GPUDevice:
+        """Instantiate and register a device from its spec."""
+        if spec.name in self._devices:
+            raise DeviceError(
+                f"platform {self.name!r} already has a device named "
+                f"{spec.name!r}"
+            )
+        device = GPUDevice(spec)
+        self._devices[spec.name] = device
+        return device
+
+    def get_device(self, name: str) -> GPUDevice:
+        """Look up a registered device by name."""
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise DeviceError(
+                f"platform {self.name!r} has no device {name!r}; "
+                f"available: {sorted(self._devices)}"
+            ) from None
+
+    def devices(self) -> List[GPUDevice]:
+        """All registered devices, in insertion order."""
+        return list(self._devices.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Platform {self.name!r} devices={sorted(self._devices)}>"

@@ -1,0 +1,128 @@
+"""In-order command queue binding a GPU device to the DES engine.
+
+Mirrors OpenCL's default in-order queue semantics: commands (kernel
+launches, reads, writes) execute one at a time in submission order.
+Each command returns a :class:`~repro.sim.signals.Signal` the host
+process can wait on; device busy intervals are recorded on the device's
+trace so experiments can measure utilization and CPU/GPU overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.opencl.device import GPUDevice
+from repro.opencl.kernel import Kernel, NDRange
+from repro.opencl.memory import Buffer
+from repro.sim import Resource, Simulator, Timeout
+from repro.sim.signals import Signal
+
+
+@dataclass(frozen=True)
+class CommandProfile:
+    """OpenCL-event-style timestamps for one executed command.
+
+    Mirrors ``CL_PROFILING_COMMAND_{QUEUED,START,END}``: ``queued`` is
+    submission time, ``start`` when the device picked the command up
+    (after every earlier command in the in-order queue), ``end`` its
+    completion.
+    """
+
+    tag: str
+    queued: float
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def queue_delay(self) -> float:
+        """Time spent waiting behind earlier commands."""
+        return self.start - self.queued
+
+
+class CommandQueue:
+    """An in-order queue of simulated device commands."""
+
+    def __init__(self, sim: Simulator, device: GPUDevice, name: str = "queue") -> None:
+        self.sim = sim
+        self.device = device
+        self.name = name
+        self._order = Resource(1, f"{name}.order")
+        #: Profiling log, one entry per completed command, in completion
+        #: order (the queue is in-order, so also in submission order).
+        self.profile: List[CommandProfile] = []
+
+    # ------------------------------------------------------------------
+    def _submit(self, run, tag: str) -> Signal:
+        """Serialize ``run`` (a zero-arg callable returning a duration)."""
+        done = Signal(f"{self.name}.{tag}")
+        queued_at = self.sim.now
+
+        def command():
+            yield self._order.request(1)
+            start = self.sim.now
+            duration = run()
+            yield Timeout(duration)
+            self.device.trace.record(start, self.sim.now, tag)
+            self.profile.append(
+                CommandProfile(
+                    tag=tag, queued=queued_at, start=start, end=self.sim.now
+                )
+            )
+            self._order.release(1)
+            done.fire(self.sim.now)
+            return None
+
+        self.sim.spawn(command(), name=f"{self.name}.{tag}")
+        return done
+
+    # ------------------------------------------------------------------
+    def enqueue_kernel(
+        self, kernel: Kernel, ndrange: NDRange, args, tag: Optional[str] = None
+    ) -> Signal:
+        """Enqueue a kernel launch; returns a completion signal."""
+        return self._submit(
+            lambda: self.device.launch(kernel, ndrange, args),
+            tag or f"kernel:{kernel.name}",
+        )
+
+    def enqueue_write(self, buf: Buffer, host: np.ndarray) -> Signal:
+        """Copy ``host`` into the device buffer (host→device transfer)."""
+        buf.check_live()
+        if host.size > len(buf):
+            raise DeviceError(
+                f"write of {host.size} words overflows buffer "
+                f"{buf.name!r} of {len(buf)} words"
+            )
+
+        def run() -> float:
+            buf.data[: host.size] = host
+            return self.device.transfer_time(int(host.size))
+
+        return self._submit(run, f"write:{buf.name}")
+
+    def enqueue_read(self, buf: Buffer, host: np.ndarray) -> Signal:
+        """Copy the device buffer into ``host`` (device→host transfer)."""
+        buf.check_live()
+        if host.size > len(buf):
+            raise DeviceError(
+                f"read of {host.size} words overflows buffer "
+                f"{buf.name!r} of {len(buf)} words"
+            )
+
+        def run() -> float:
+            host[:] = buf.data[: host.size]
+            return self.device.transfer_time(int(host.size))
+
+        return self._submit(run, f"read:{buf.name}")
+
+    def barrier(self) -> Signal:
+        """A zero-duration command: fires when all prior commands finished."""
+        return self._submit(lambda: 0.0, "barrier")

@@ -1,0 +1,24 @@
+"""Scalar reference executor for kernels.
+
+Runs a kernel one work-item at a time through its ``scalar_fn``,
+exactly as Algorithm 3 of the paper describes a GPU thread: obtain the
+global id, load the per-thread parameters, operate on the derived
+memory block.  The reference path is intentionally slow and is used in
+tests to validate that the vectorized ``vector_fn`` computes the same
+result.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KernelError
+from repro.opencl.kernel import Kernel, NDRange
+
+
+def run_reference(kernel: Kernel, ndrange: NDRange, args) -> None:
+    """Execute ``kernel`` via its scalar per-work-item implementation."""
+    if kernel.scalar_fn is None:
+        raise KernelError(
+            f"kernel {kernel.name!r} has no scalar reference implementation"
+        )
+    for gid in range(ndrange.global_size):
+        kernel.scalar_fn(gid, args)

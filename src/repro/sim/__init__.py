@@ -1,0 +1,34 @@
+"""Discrete-event simulation (DES) kernel.
+
+This package is the timing substrate of the simulated Hybrid Processing
+Unit: a simulated clock, an event queue, generator-based processes,
+counted resources (used for CPU core pools) and busy-interval traces
+(used to measure device utilization and CPU/GPU overlap).
+
+The engine is deliberately small but complete: processes are Python
+generators that ``yield`` waitables (:class:`Timeout`, :class:`Signal`,
+other processes, or :class:`AllOf` combinations), and resources grant
+requests in FIFO order.  All times are floats in *simulated ops*
+(1.0 == one CPU-core scalar operation, the paper's ``gamma_c = 1``
+normalization).
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventQueue
+from repro.sim.process import AllOf, Process, Timeout
+from repro.sim.resources import Resource
+from repro.sim.signals import Signal
+from repro.sim.trace import BusyTrace, merge_intervals, overlap_length
+
+__all__ = [
+    "Simulator",
+    "EventQueue",
+    "AllOf",
+    "Process",
+    "Timeout",
+    "Resource",
+    "Signal",
+    "BusyTrace",
+    "merge_intervals",
+    "overlap_length",
+]

@@ -1,0 +1,116 @@
+"""The discrete-event simulator.
+
+Drives the event queue and steps process generators.  The engine is
+single-threaded and deterministic: same inputs, same event order, same
+clock readings, every run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.process import AllOf, Process, ProcessGenerator, Timeout
+from repro.sim.signals import Signal
+
+
+class Simulator:
+    """A simulated clock plus the machinery to run processes against it."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self.now: float = 0.0
+        self._live_processes = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # low-level scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` units of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        self._queue.push(self.now + delay, callback)
+
+    def fire_later(self, delay: float, signal: Signal, value: Any = None) -> None:
+        """Fire ``signal`` with ``value`` after ``delay`` time units."""
+        self.schedule(delay, lambda: signal.fire(value))
+
+    # ------------------------------------------------------------------
+    # processes
+    # ------------------------------------------------------------------
+    def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process; it begins executing at the current time."""
+        process = Process(generator, name)
+        self._live_processes += 1
+        self.schedule(0.0, lambda: self._step(process, None))
+        return process
+
+    def _step(self, process: Process, send_value: Any) -> None:
+        try:
+            yielded = process.generator.send(send_value)
+        except StopIteration as stop:
+            self._live_processes -= 1
+            process.fire(stop.value)
+            return
+        self._wire(process, yielded)
+
+    def _wire(self, process: Process, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            self.schedule(yielded.duration, lambda: self._step(process, None))
+        elif isinstance(yielded, AllOf):
+            yielded.as_signal().on_fire(
+                lambda sig: self._step(process, sig.value)
+            )
+        elif isinstance(yielded, Signal):  # includes child Process objects
+            yielded.on_fire(lambda sig: self._step(process, sig.value))
+        else:
+            raise SimulationError(
+                f"process {process.name!r} yielded unsupported waitable "
+                f"{yielded!r}; expected Timeout, Signal, Process, or AllOf"
+            )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue drains (or simulated ``until``).
+
+        Returns the final clock reading.  Raises :class:`DeadlockError`
+        if the queue drains while processes are still alive: that means
+        some process is waiting on a signal nobody will ever fire.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        try:
+            while len(self._queue):
+                if until is not None and self._queue.peek_time() > until:
+                    self.now = until
+                    return self.now
+                time, callback = self._queue.pop()
+                if time < self.now:
+                    raise SimulationError(
+                        f"event time {time} precedes current time {self.now}"
+                    )
+                self.now = time
+                callback()
+            if self._live_processes > 0 and until is None:
+                raise DeadlockError(
+                    f"event queue drained at t={self.now} with "
+                    f"{self._live_processes} process(es) still waiting"
+                )
+            return self.now
+        finally:
+            self._running = False
+
+    def run_process(self, generator: ProcessGenerator, name: str = "") -> Any:
+        """Spawn ``generator``, run to completion, return its result."""
+        process = self.spawn(generator, name)
+        self.run()
+        if not process.fired:
+            raise DeadlockError(
+                f"process {process.name!r} never completed"
+            )  # pragma: no cover - defended by run()'s deadlock check
+        return process.value

@@ -1,0 +1,46 @@
+"""Time-ordered event queue.
+
+Events are ``(time, seq, callback)`` triples kept in a binary heap.  The
+monotonically increasing ``seq`` breaks ties so that events scheduled at
+the same simulated time run in FIFO order — this determinism is load-
+bearing for reproducible experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, Tuple
+
+Callback = Callable[[], None]
+
+
+class EventQueue:
+    """A deterministic priority queue of timestamped callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: list[Tuple[float, int, Callback]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, callback: Callback) -> None:
+        """Schedule ``callback`` to run at absolute ``time``."""
+        if not math.isfinite(time):
+            raise ValueError(f"event time must be finite, got {time!r}")
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    def pop(self) -> Tuple[float, Callback]:
+        """Remove and return the earliest ``(time, callback)`` pair."""
+        if not self._heap:
+            raise IndexError("pop from an empty EventQueue")
+        time, _seq, callback = heapq.heappop(self._heap)
+        return time, callback
+
+    def peek_time(self) -> float:
+        """Timestamp of the earliest event (queue must be non-empty)."""
+        if not self._heap:
+            raise IndexError("peek on an empty EventQueue")
+        return self._heap[0][0]

@@ -1,0 +1,83 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator driven by the :class:`~repro.sim.engine.
+Simulator`.  At each step the generator yields a *waitable*:
+
+- :class:`Timeout` — resume after a simulated delay;
+- :class:`~repro.sim.signals.Signal` — resume when the signal fires
+  (the signal's value is sent back into the generator);
+- another :class:`Process` — processes are signals that fire with the
+  generator's return value, so ``result = yield child`` joins a child;
+- :class:`AllOf` — resume when every listed waitable has fired.
+
+A process that raises propagates its exception out of
+:meth:`Simulator.run`, which keeps test failures loud instead of
+silently stalling the clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.signals import Signal
+
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class Timeout:
+    """Wait for ``duration`` units of simulated time."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"timeout duration must be >= 0, got {duration!r}")
+        self.duration = float(duration)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.duration!r})"
+
+
+class AllOf:
+    """Wait until every waitable in ``signals`` has fired.
+
+    Fires with the list of the individual signal values, in the order
+    the waitables were given.
+    """
+
+    def __init__(self, signals: Iterable[Signal]) -> None:
+        self.signals: Sequence[Signal] = list(signals)
+
+    def as_signal(self, name: str = "all_of") -> Signal:
+        """Collapse into a single signal firing when all members fired."""
+        done = Signal(name)
+        remaining = len(self.signals)
+        if remaining == 0:
+            done.fire([])
+            return done
+        state = {"remaining": remaining}
+
+        def _on_member(_sig: Signal) -> None:
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                done.fire([s.value for s in self.signals])
+
+        for sig in self.signals:
+            sig.on_fire(_on_member)
+        return done
+
+
+class Process(Signal):
+    """A running generator; fires (as a signal) with its return value."""
+
+    __slots__ = ("generator",)
+
+    def __init__(self, generator: ProcessGenerator, name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process requires a generator (did you forget to call the "
+                f"function?), got {type(generator).__name__}"
+            )
+        super().__init__(name or getattr(generator, "__name__", "process"))
+        self.generator = generator

@@ -1,0 +1,79 @@
+"""Counted resources with FIFO granting.
+
+A :class:`Resource` models a pool of interchangeable units — in this
+library, the ``p`` cores of the simulated CPU.  Processes ``yield
+resource.request(n)`` to acquire ``n`` units and call
+``resource.release(n)`` when done.  Grants are strictly FIFO: a large
+request at the head of the queue blocks later small ones, which models
+the paper's non-preemptive per-level thread teams faithfully and keeps
+behaviour deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.signals import Signal
+
+
+class Resource:
+    """A FIFO pool of ``capacity`` identical units."""
+
+    def __init__(self, capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError(f"resource capacity must be >= 1, got {capacity!r}")
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Tuple[int, Signal]] = deque()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Resource {self.name!r} {self._in_use}/{self.capacity} in use, "
+            f"{len(self._waiters)} waiting>"
+        )
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Units currently free."""
+        return self.capacity - self._in_use
+
+    def request(self, n: int = 1) -> Signal:
+        """Request ``n`` units; returns a signal that fires when granted."""
+        if not 1 <= n <= self.capacity:
+            raise SimulationError(
+                f"request of {n} unit(s) can never be granted by "
+                f"{self.name!r} with capacity {self.capacity}"
+            )
+        grant = Signal(f"{self.name}.grant({n})")
+        self._waiters.append((n, grant))
+        self._drain()
+        return grant
+
+    def release(self, n: int = 1) -> None:
+        """Return ``n`` units to the pool, waking eligible waiters."""
+        if n < 1:
+            raise SimulationError(f"cannot release {n} unit(s)")
+        if n > self._in_use:
+            raise SimulationError(
+                f"{self.name!r}: releasing {n} unit(s) but only "
+                f"{self._in_use} in use"
+            )
+        self._in_use -= n
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._waiters:
+            n, grant = self._waiters[0]
+            if self._in_use + n > self.capacity:
+                return
+            self._waiters.popleft()
+            self._in_use += n
+            grant.fire(n)

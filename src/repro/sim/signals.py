@@ -1,0 +1,68 @@
+"""One-shot signals: the basic synchronization primitive of the DES.
+
+A :class:`Signal` starts *pending* and fires exactly once, optionally
+carrying a value.  Callbacks registered before the firing run when it
+fires; callbacks registered after it has fired run immediately.  This
+mirrors the semantics of SimPy events, but with a strict single-fire
+contract enforced with an explicit error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from repro.errors import SimulationError
+
+SignalCallback = Callable[["Signal"], None]
+
+
+class Signal:
+    """A one-shot occurrence that other processes can wait on."""
+
+    __slots__ = ("_fired", "_value", "_callbacks", "name")
+
+    def __init__(self, name: str = "") -> None:
+        self._fired = False
+        self._value: Any = None
+        self._callbacks: List[SignalCallback] = []
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self._fired else "pending"
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Signal{label} {state}>"
+
+    @property
+    def fired(self) -> bool:
+        """Whether the signal has already fired."""
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        """The value the signal fired with (only valid once fired)."""
+        if not self._fired:
+            raise SimulationError(f"signal {self.name!r} has not fired yet")
+        return self._value
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the signal, waking all waiters.
+
+        Raises
+        ------
+        SimulationError
+            If the signal has already fired (signals are one-shot).
+        """
+        if self._fired:
+            raise SimulationError(f"signal {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def on_fire(self, callback: SignalCallback) -> None:
+        """Register ``callback``; runs now if the signal already fired."""
+        if self._fired:
+            callback(self)
+        else:
+            self._callbacks.append(callback)

@@ -1,0 +1,73 @@
+"""ASCII Gantt rendering of busy traces.
+
+Turns the per-device :class:`~repro.sim.trace.BusyTrace` records of a
+schedule run into a terminal timeline, so the structure the paper draws
+in Figures 1-2 — which device is busy when, where the transfers sit,
+how the two sides overlap — can be inspected directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.trace import BusyTrace, merge_intervals
+
+Interval = Tuple[float, float]
+
+
+def render_timeline(
+    traces: Dict[str, Sequence[Interval]],
+    width: int = 72,
+    end: float | None = None,
+) -> str:
+    """Render named interval sets as aligned occupancy bars.
+
+    Each lane shows ``█`` where its intervals cover time and spaces
+    elsewhere; partial cell coverage ≥ 50 % rounds to filled.
+    """
+    if not traces:
+        raise ValueError("render_timeline needs at least one lane")
+    if width < 8:
+        raise ValueError(f"timeline too narrow ({width})")
+    merged = {name: merge_intervals(list(iv)) for name, iv in traces.items()}
+    horizon = end
+    if horizon is None:
+        ends = [iv[-1][1] for iv in merged.values() if iv]
+        if not ends:
+            raise ValueError("all lanes are empty")
+        horizon = max(ends)
+    if horizon <= 0:
+        raise ValueError(f"timeline horizon must be positive, got {horizon!r}")
+
+    margin = max(len(name) for name in merged) + 1
+    cell = horizon / width
+    lines: List[str] = []
+    for name, intervals in merged.items():
+        row = []
+        for c in range(width):
+            lo, hi = c * cell, (c + 1) * cell
+            covered = 0.0
+            for s, e in intervals:
+                if e <= lo:
+                    continue
+                if s >= hi:
+                    break
+                covered += min(e, hi) - max(s, lo)
+            row.append("█" if covered >= 0.5 * cell else " ")
+        lines.append(name.rjust(margin) + " |" + "".join(row) + "|")
+    scale = f"0{('t=%.3g' % horizon).rjust(width - 1)}"
+    lines.append(" " * margin + "  " + scale)
+    return "\n".join(lines)
+
+
+def timeline_from_traces(
+    cpu: BusyTrace, gpu: BusyTrace, width: int = 72
+) -> str:
+    """Convenience: the standard two-lane CPU/GPU view of one run."""
+    return render_timeline(
+        {
+            cpu.name or "cpu": cpu.intervals,
+            gpu.name or "gpu": gpu.intervals,
+        },
+        width=width,
+    )

@@ -1,0 +1,24 @@
+"""Shared utilities: integer math, seeded RNG, table formatting."""
+
+from repro.util.intmath import (
+    ceil_div,
+    ilog2,
+    is_power_of_two,
+    log_base,
+    next_power_of_two,
+    powers_of_two,
+)
+from repro.util.rng import NoiseModel, make_rng
+from repro.util.tables import format_table
+
+__all__ = [
+    "ceil_div",
+    "ilog2",
+    "is_power_of_two",
+    "log_base",
+    "next_power_of_two",
+    "powers_of_two",
+    "NoiseModel",
+    "make_rng",
+    "format_table",
+]

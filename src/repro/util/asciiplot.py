@@ -1,0 +1,92 @@
+"""Terminal line plots for the experiment harness.
+
+The paper's results are *figures*; the ``--plot`` mode of
+``repro-experiments`` renders the reproduced series as ASCII charts so
+their shapes (knees, peaks, crossovers) can be eyeballed without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+_MARKERS = "ox+*#@"
+
+
+def _transform(value: float, log: bool) -> float:
+    if not log:
+        return value
+    if value <= 0:
+        raise ValueError(f"log-scale axis requires positive values, got {value!r}")
+    return math.log10(value)
+
+
+def ascii_plot(
+    series: Dict[str, Series],
+    width: int = 72,
+    height: int = 20,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named (x, y) series on one character grid.
+
+    Each series gets a marker from ``o x + * # @`` (in insertion
+    order); a legend line maps markers back to names.
+    """
+    if not series or all(len(s) == 0 for s in series.values()):
+        raise ValueError("ascii_plot needs at least one non-empty series")
+    if width < 16 or height < 4:
+        raise ValueError(f"plot area too small ({width}x{height})")
+
+    points = [
+        (_transform(x, logx), _transform(y, logy))
+        for data in series.values()
+        for x, y in data
+    ]
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, data) in zip(_MARKERS, series.items()):
+        for x, y in data:
+            col = round((_transform(x, logx) - x_lo) / x_span * (width - 1))
+            row = round((_transform(y, logy) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    y_hi_label = f"{10**y_hi:.3g}" if logy else f"{y_hi:.3g}"
+    y_lo_label = f"{10**y_lo:.3g}" if logy else f"{y_lo:.3g}"
+    margin = max(len(y_hi_label), len(y_lo_label), len(ylabel)) + 1
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_hi_label
+        elif i == height - 1:
+            label = y_lo_label
+        elif i == 1 and ylabel:
+            label = ylabel
+        else:
+            label = ""
+        lines.append(label.rjust(margin) + " |" + "".join(row))
+    lines.append(" " * margin + " +" + "-" * width)
+    x_lo_label = f"{10**x_lo:.3g}" if logx else f"{x_lo:.3g}"
+    x_hi_label = f"{10**x_hi:.3g}" if logx else f"{x_hi:.3g}"
+    axis = x_lo_label + xlabel.center(width - len(x_lo_label) - len(x_hi_label)) + x_hi_label
+    lines.append(" " * margin + "  " + axis)
+    legend = "   ".join(
+        f"{marker} {name}" for marker, name in zip(_MARKERS, series)
+    )
+    lines.append(" " * margin + "  " + legend)
+    return "\n".join(lines)

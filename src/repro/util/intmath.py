@@ -1,0 +1,63 @@
+"""Integer and logarithm helpers used throughout the recursion-tree math.
+
+The paper's analysis (Section 5) constantly converts between level
+indices ``i`` (integers), subproblem counts ``a**i`` and fractional
+levels such as ``log_a(p / alpha)``.  These helpers centralize the
+conversions so that rounding conventions are applied consistently.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return ``True`` iff ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def ilog2(n: int) -> int:
+    """Exact integer ``log2`` for powers of two.
+
+    Raises
+    ------
+    ValueError
+        If ``n`` is not a positive power of two.
+    """
+    if not is_power_of_two(n):
+        raise ValueError(f"ilog2 requires a positive power of two, got {n!r}")
+    return n.bit_length() - 1
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two ``>= n`` (``n >= 1``)."""
+    if n < 1:
+        raise ValueError(f"next_power_of_two requires n >= 1, got {n!r}")
+    return 1 << (n - 1).bit_length()
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires a positive divisor, got {b!r}")
+    if a < 0:
+        raise ValueError(f"ceil_div requires a non-negative dividend, got {a!r}")
+    return -(-a // b)
+
+
+def log_base(x: float, base: float) -> float:
+    """``log_base(x)`` with domain validation (both arguments > 0, base != 1)."""
+    if x <= 0:
+        raise ValueError(f"log argument must be positive, got {x!r}")
+    if base <= 0 or base == 1:
+        raise ValueError(f"log base must be positive and != 1, got {base!r}")
+    return math.log(x) / math.log(base)
+
+
+def powers_of_two(lo: int, hi: int) -> Iterator[int]:
+    """Yield ``2**lo, 2**(lo+1), ..., 2**hi`` inclusive."""
+    if lo > hi:
+        raise ValueError(f"powers_of_two requires lo <= hi, got {lo} > {hi}")
+    for e in range(lo, hi + 1):
+        yield 1 << e

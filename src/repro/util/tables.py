@@ -1,0 +1,53 @@
+"""Minimal fixed-width table formatting for experiment output.
+
+The experiment harness prints the same rows/series the paper reports;
+this module renders them as aligned ASCII tables without pulling in any
+third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _render_cell(value: object, spec: str | None) -> str:
+    if spec is not None and isinstance(value, (int, float)) and not isinstance(
+        value, bool
+    ):
+        return format(value, spec)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    floatfmt: str | None = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Numeric cells are formatted with ``floatfmt``; everything else via
+    ``str``.  Returns the table as a single string (no trailing newline).
+    """
+    rendered = [[_render_cell(v, floatfmt) for v in row] for row in rows]
+    for i, row in enumerate(rendered):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(list(headers)))
+    lines.append(fmt_line(["-" * w for w in widths]))
+    lines.extend(fmt_line(row) for row in rendered)
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.mergesort.merges import (
+    merge_binary_search,
+    merge_pairs_level,
+    merge_two_pointer,
+)
+from repro.errors import ScheduleError
+
+sorted_arrays = st.lists(
+    st.integers(-10**6, 10**6), min_size=0, max_size=64
+).map(lambda xs: np.sort(np.array(xs, dtype=np.int64)))
+
+
+class TestMergeTwoPointer:
+    def test_basic(self):
+        out = merge_two_pointer(
+            np.array([1, 3, 5]), np.array([2, 4, 6])
+        )
+        assert (out == [1, 2, 3, 4, 5, 6]).all()
+
+    def test_empty_sides(self):
+        a = np.array([1, 2], dtype=np.int64)
+        empty = np.array([], dtype=np.int64)
+        assert (merge_two_pointer(a, empty) == a).all()
+        assert (merge_two_pointer(empty, a) == a).all()
+
+    def test_stability_ties_prefer_left(self):
+        # equal keys: left element must land first
+        out = merge_two_pointer(np.array([5]), np.array([5]))
+        assert (out == [5, 5]).all()
+
+    @given(sorted_arrays, sorted_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_numpy(self, left, right):
+        out = merge_two_pointer(left, right)
+        expected = np.sort(np.concatenate([left, right]), kind="stable")
+        assert (out == expected).all()
+
+
+class TestMergeBinarySearch:
+    @given(sorted_arrays, sorted_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_two_pointer(self, left, right):
+        """The parallel merge and the sequential merge agree exactly."""
+        expected = merge_two_pointer(left, right)
+        out = merge_binary_search(left, right)
+        assert (out == expected).all()
+
+    def test_heavy_duplicates(self):
+        left = np.array([3, 3, 3, 3], dtype=np.int64)
+        right = np.array([3, 3, 3], dtype=np.int64)
+        out = merge_binary_search(left, right)
+        assert (out == 3).all() and out.size == 7
+
+    def test_disjoint_ranges(self):
+        out = merge_binary_search(
+            np.arange(5), np.arange(10, 15)
+        )
+        assert (out == np.concatenate([np.arange(5), np.arange(10, 15)])).all()
+
+
+class TestMergePairsLevel:
+    def _make_level(self, rng, pairs, size):
+        rows = rng.integers(0, 1000, size=(pairs, size))
+        half = size // 2
+        rows[:, :half] = np.sort(rows[:, :half], axis=1)
+        rows[:, half:] = np.sort(rows[:, half:], axis=1)
+        return rows.ravel()
+
+    @pytest.mark.parametrize("strict", [False, True])
+    def test_merges_all_pairs(self, strict):
+        rng = np.random.default_rng(0)
+        flat = self._make_level(rng, pairs=8, size=16)
+        expected = np.sort(flat.reshape(8, 16), axis=1).ravel()
+        merge_pairs_level(flat, 16, strict=strict)
+        assert (flat == expected).all()
+
+    def test_fast_and_strict_paths_agree(self):
+        rng = np.random.default_rng(1)
+        a = self._make_level(rng, pairs=4, size=32)
+        b = a.copy()
+        merge_pairs_level(a, 32, strict=False)
+        merge_pairs_level(b, 32, strict=True)
+        assert (a == b).all()
+
+    def test_strict_detects_unsorted_halves(self):
+        flat = np.array([2, 1, 3, 4], dtype=np.int64)  # left half unsorted
+        with pytest.raises(ScheduleError, match="unsorted half"):
+            merge_pairs_level(flat, 4, strict=True)
+
+    def test_size_validation(self):
+        flat = np.arange(8)
+        with pytest.raises(ScheduleError):
+            merge_pairs_level(flat, 3)  # odd
+        with pytest.raises(ScheduleError):
+            merge_pairs_level(flat, 0)
+        with pytest.raises(ScheduleError):
+            merge_pairs_level(np.arange(6), 4)  # not a multiple

@@ -1,0 +1,187 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.mergesort.breadth_first import mergesort_bf
+from repro.algorithms.mergesort.kernels import (
+    binary_search_merge_kernel,
+    permute_kernel,
+    sublist_merge_kernel,
+)
+from repro.algorithms.mergesort.parallel_merge import parallel_gpu_mergesort
+from repro.algorithms.mergesort.recursive import (
+    mergesort_recursive,
+    mergesort_spec,
+)
+from repro.core import run_breadth_first, run_recursive
+from repro.errors import SpecError
+from repro.hpu import HPU1
+from repro.opencl import GPUDevice, NDRange
+from repro.util.rng import make_rng
+
+pow2_arrays = st.integers(min_value=0, max_value=8).flatmap(
+    lambda e: st.lists(
+        st.integers(-10**6, 10**6), min_size=2**e, max_size=2**e
+    ).map(lambda xs: np.array(xs, dtype=np.int64))
+)
+
+
+class TestRecursiveMergesort:
+    @given(pow2_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_sorts(self, data):
+        assert (mergesort_recursive(data) == np.sort(data)).all()
+
+    def test_does_not_mutate_input(self):
+        data = np.array([3, 1, 2, 0])
+        mergesort_recursive(data)
+        assert (data == [3, 1, 2, 0]).all()
+
+    def test_rejects_2d(self):
+        with pytest.raises(SpecError):
+            mergesort_recursive(np.zeros((2, 2)))
+
+    def test_spec_through_generic_executors(self):
+        """Mergesort via DCSpec: Algorithms 1 and 2 agree with numpy."""
+        rng = make_rng(7)
+        data = rng.integers(0, 1000, size=64)
+        spec = mergesort_spec()
+        rec = run_recursive(spec, data)
+        bf = run_breadth_first(spec, data)
+        assert (rec.solution == np.sort(data)).all()
+        assert (bf.solution == np.sort(data)).all()
+        assert rec.total_ops == pytest.approx(64 * 7)  # n(log n + 1)
+
+
+class TestBreadthFirstMergesort:
+    @given(pow2_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_recursive(self, data):
+        assert (mergesort_bf(data, strict=True) == mergesort_recursive(data)).all()
+
+    def test_rejects_non_power(self):
+        with pytest.raises(SpecError):
+            mergesort_bf(np.arange(100))
+
+
+class TestSublistMergeKernel:
+    def test_scalar_and_vector_agree(self):
+        rng = make_rng(11)
+        base = rng.integers(0, 100, size=64)
+        size = 16
+        for view in base.reshape(-1, size):
+            view[:8].sort()
+            view[8:].sort()
+        a, b = base.copy(), base.copy()
+        ka = sublist_merge_kernel(a, size)
+        kb = sublist_merge_kernel(b, size)
+        ka.vector_fn(4, {"offset": 0})
+        for gid in range(4):
+            kb.scalar_fn(gid, {"offset": 0})
+        assert (a == b).all()
+        assert (a.reshape(-1, size) == np.sort(a.reshape(-1, size), axis=1)).all()
+
+    def test_offset_addresses_right_pairs(self):
+        data = np.array([4, 3, 2, 1, 1, 2, 3, 4], dtype=np.int64)
+        k = sublist_merge_kernel(data, 4)
+        k.vector_fn(1, {"offset": 1})  # only the second pair
+        assert (data == [4, 3, 2, 1, 1, 2, 3, 4]).all()  # already sorted pair
+        data2 = np.array([3, 4, 1, 2, 9, 9, 9, 9], dtype=np.int64)
+        k2 = sublist_merge_kernel(data2, 4)
+        k2.vector_fn(1, {"offset": 0})
+        assert (data2[:4] == [1, 2, 3, 4]).all()
+        assert (data2[4:] == 9).all()
+
+    def test_cost_is_sublist_size(self):
+        k = sublist_merge_kernel(np.zeros(8, dtype=np.int64), 8)
+        assert k.item_cost({}) == 8.0
+        assert k.divergent
+
+
+class TestPermuteKernel:
+    def test_forward_then_inverse_is_identity(self):
+        data = np.arange(24, dtype=np.int64)
+        orig = data.copy()
+        fwd = permute_kernel(data, num_sublists=4)
+        inv = permute_kernel(data, num_sublists=4, inverse=True)
+        fwd.vector_fn(24, {})
+        assert not (data == orig).all()
+        inv.vector_fn(24, {})
+        assert (data == orig).all()
+
+    def test_forward_interleaves_sublists(self):
+        # sublists [0,1,2] and [10,11,12]: permuted = [0,10,1,11,2,12]
+        data = np.array([0, 1, 2, 10, 11, 12], dtype=np.int64)
+        permute_kernel(data, num_sublists=2).vector_fn(6, {})
+        assert (data == [0, 10, 1, 11, 2, 12]).all()
+
+    def test_scalar_matches_vector(self):
+        base = np.arange(12, dtype=np.int64) * 3 % 7
+        vec = base.copy()
+        permute_kernel(vec, num_sublists=3).vector_fn(12, {})
+        scal = base.copy()
+        k = permute_kernel(scal, num_sublists=3)
+        snapshot = base.copy()
+        for gid in range(12):
+            k.scalar_fn(gid, {"snapshot": snapshot})
+        assert (vec == scal).all()
+
+    def test_regular_and_cheap(self):
+        k = permute_kernel(np.zeros(8, dtype=np.int64), 2)
+        assert not k.divergent
+        assert k.item_cost({}) == 2.0
+
+
+class TestBinarySearchMergeKernel:
+    def test_scalar_matches_vector(self):
+        rng = make_rng(13)
+        base = rng.integers(0, 50, size=32)
+        size = 8
+        for view in base.reshape(-1, size):
+            view[:4].sort()
+            view[4:].sort()
+        vec, scal = base.copy(), base.copy()
+        binary_search_merge_kernel(vec, size).vector_fn(32, {"offset": 0})
+        k = binary_search_merge_kernel(scal, size)
+        snapshot = scal.copy()
+        for gid in range(32):
+            k.scalar_fn(gid, {"snapshot": snapshot, "offset": 0})
+        assert (vec == scal).all()
+        assert (vec.reshape(-1, size) == np.sort(base.reshape(-1, size), axis=1)).all()
+
+    def test_traits(self):
+        k = binary_search_merge_kernel(np.zeros(8, dtype=np.int64), 8)
+        assert not k.divergent  # uniform control flow
+        assert k.item_cost({}) == pytest.approx(np.log2(4) + 1)
+
+
+class TestParallelGPUMergesort:
+    def test_functional_run_sorts(self):
+        rng = make_rng(17)
+        data = rng.integers(0, 10**6, size=1 << 10)
+        work = data.copy()
+        parallel_gpu_mergesort(HPU1, work.size, array=work)
+        assert (work == np.sort(data)).all()
+
+    def test_fig9_speedup_bands(self):
+        """Paper: 18–20x sort-only, ≈12x with transfers at large n."""
+        r = parallel_gpu_mergesort(HPU1, 1 << 24)
+        assert 17.0 < r.speedup_sort_only < 21.5
+        assert 10.5 < r.speedup_with_transfer < 13.5
+
+    def test_slow_for_small_inputs(self):
+        """Fig 9: below ~10^4 the GPU loses to a single CPU core."""
+        r = parallel_gpu_mergesort(HPU1, 1 << 10)
+        assert r.speedup_with_transfer < 1.0
+
+    def test_timing_only_matches_functional_timing(self):
+        rng = make_rng(19)
+        data = rng.integers(0, 100, size=1 << 8)
+        r_timed = parallel_gpu_mergesort(HPU1, 1 << 8)
+        r_func = parallel_gpu_mergesort(HPU1, 1 << 8, array=data.copy())
+        assert r_timed.sort_time == pytest.approx(r_func.sort_time)
+
+    def test_array_size_validated(self):
+        with pytest.raises(ValueError):
+            parallel_gpu_mergesort(HPU1, 16, array=np.zeros(8, dtype=np.int64))

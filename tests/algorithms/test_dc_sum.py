@@ -1,0 +1,135 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.dc_sum import (
+    SumHost,
+    make_sum_workload,
+    sum_level_kernel,
+    sum_recursive,
+    sum_spec,
+)
+from repro.core import run_breadth_first, run_recursive
+from repro.core.schedule import AdvancedSchedule, BasicSchedule, ScheduleExecutor
+from repro.errors import SpecError
+from repro.hpu import HPU1
+from repro.util.rng import make_rng
+
+pow2_arrays = st.integers(min_value=2, max_value=10).flatmap(
+    lambda e: st.lists(
+        st.integers(-10**6, 10**6), min_size=2**e, max_size=2**e
+    ).map(lambda xs: np.array(xs, dtype=np.int64))
+)
+
+
+class TestSumBaselines:
+    @given(pow2_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_recursive_matches_numpy(self, data):
+        assert sum_recursive(data) == data.sum()
+
+    def test_rejects_empty(self):
+        with pytest.raises(SpecError):
+            sum_recursive(np.array([], dtype=np.int64))
+
+    def test_spec_through_generic_executors(self):
+        data = np.arange(256)
+        spec = sum_spec()
+        assert run_recursive(spec, data).solution == data.sum()
+        assert run_breadth_first(spec, data).solution == data.sum()
+
+    def test_work_tally(self):
+        """Sum of n elements: n leaves + n-1 combines."""
+        run = run_recursive(sum_spec(), np.ones(128, dtype=np.int64))
+        assert run.total_ops == 128 + 127
+
+
+class TestSumLevelKernel:
+    def test_algorithm5_stride_semantics(self):
+        """array[i] += array[i + live] for i < live."""
+        data = np.arange(8, dtype=np.int64)
+        k = sum_level_kernel(data, live=4)
+        k.vector_fn(4, {})
+        assert (data[:4] == [0 + 4, 1 + 5, 2 + 6, 3 + 7]).all()
+
+    def test_scalar_matches_vector(self):
+        base = np.arange(16, dtype=np.int64)
+        vec, scal = base.copy(), base.copy()
+        sum_level_kernel(vec, live=8).vector_fn(8, {})
+        ks = sum_level_kernel(scal, live=8)
+        for gid in range(8):
+            ks.scalar_fn(gid, {})
+        assert (vec == scal).all()
+
+    def test_full_reduction(self):
+        rng = make_rng(23)
+        data = rng.integers(-100, 100, size=64)
+        total = data.sum()
+        live = 32
+        while live >= 1:
+            sum_level_kernel(data, live=live).vector_fn(live, {})
+            live //= 2
+        assert data[0] == total
+
+    def test_regular_kernel(self):
+        k = sum_level_kernel(np.zeros(4, dtype=np.int64), 2)
+        assert not k.divergent
+
+
+class TestHybridSum:
+    @pytest.mark.parametrize("strategy", ["advanced", "basic", "cpu"])
+    def test_hybrid_sum_correct(self, strategy):
+        rng = make_rng(29, strategy)
+        data = rng.integers(-1000, 1000, size=1 << 10)
+        host = SumHost(data)
+        workload = make_sum_workload(data.size, host=host)
+        executor = ScheduleExecutor(HPU1, workload)
+        if strategy == "advanced":
+            plan = AdvancedSchedule().plan(
+                workload, HPU1.parameters, alpha=0.25, transfer_level=7
+            )
+            result = executor.run_advanced(plan)
+        elif strategy == "basic":
+            result = executor.run_basic(
+                BasicSchedule().plan(workload, HPU1.parameters)
+            )
+        else:
+            result = executor.run_cpu_only()
+        assert host.result == data.sum()
+        assert result.makespan > 0
+
+    def test_host_validation(self):
+        with pytest.raises(SpecError):
+            SumHost(np.arange(100))  # not a power of two
+
+    def test_workload_validation(self):
+        with pytest.raises(SpecError):
+            make_sum_workload(100)
+
+    def test_gpu_host_program_correct(self):
+        """Algorithm 5 through the full simulated OpenCL stack."""
+        from repro.algorithms.dc_sum import gpu_sum_host_program
+
+        rng = make_rng(37)
+        data = rng.integers(-1000, 1000, size=1 << 10)
+        total, elapsed = gpu_sum_host_program(HPU1, data)
+        assert total == data.sum()
+        # two transfers plus log2(n) kernel launches, all accounted
+        assert elapsed >= 2 * HPU1.transfer_time(data.size // 2)
+        assert elapsed > 10 * HPU1.gpu_spec.launch_overhead
+
+    def test_gpu_host_program_validation(self):
+        from repro.algorithms.dc_sum import gpu_sum_host_program
+
+        with pytest.raises(SpecError):
+            gpu_sum_host_program(HPU1, np.arange(100))
+
+    def test_sum_speedup_modest(self):
+        """f(n)=Θ(1): leaf-dominated, little merge work to offload —
+        the hybrid gains far less than for mergesort."""
+        workload = make_sum_workload(1 << 20)
+        executor = ScheduleExecutor(HPU1, workload)
+        r = executor.run_basic(BasicSchedule().plan(workload, HPU1.parameters))
+        assert r.speedup < 25.6  # bounded by saturated GPU throughput
+        assert r.makespan > 0

@@ -1,0 +1,172 @@
+"""Tests for the genericity-demonstration algorithms: each one runs
+both directly and through the generic framework, and the two agree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.closest_pair import (
+    brute_force_closest,
+    closest_pair,
+    closest_pair_spec,
+    closest_pair_via_spec,
+)
+from repro.algorithms.karatsuba import (
+    karatsuba_multiply,
+    karatsuba_spec,
+    schoolbook_multiply,
+)
+from repro.algorithms.max_subarray import max_subarray, max_subarray_spec
+from repro.algorithms.strassen import strassen_multiply, strassen_spec
+from repro.core import run_breadth_first, run_recursive
+from repro.core.model import MasterCase, classify_recurrence
+from repro.errors import SpecError
+from repro.util.rng import make_rng
+
+pow2_coeffs = st.integers(min_value=0, max_value=5).flatmap(
+    lambda e: st.lists(
+        st.integers(-50, 50), min_size=2**e, max_size=2**e
+    ).map(lambda xs: np.array(xs, dtype=np.int64))
+)
+
+
+class TestKaratsuba:
+    @given(pow2_coeffs, pow2_coeffs)
+    @settings(max_examples=30, deadline=None)
+    def test_direct_matches_schoolbook(self, a, b):
+        if a.size != b.size:
+            b = np.resize(b, a.size)
+        assert (karatsuba_multiply(a, b) == schoolbook_multiply(a, b)).all()
+
+    def test_spec_matches_direct(self):
+        rng = make_rng(31)
+        a = rng.integers(-10, 10, size=32)
+        b = rng.integers(-10, 10, size=32)
+        run = run_recursive(karatsuba_spec(), (a, b))
+        assert (run.solution == karatsuba_multiply(a, b)).all()
+
+    def test_breadth_first_agrees(self):
+        rng = make_rng(32)
+        a = rng.integers(-10, 10, size=16)
+        b = rng.integers(-10, 10, size=16)
+        bf = run_breadth_first(karatsuba_spec(), (a, b))
+        assert (bf.solution == schoolbook_multiply(a, b)).all()
+
+    def test_recurrence_is_leaves_dominated(self):
+        spec = karatsuba_spec()
+        result = classify_recurrence(spec.a, spec.b, spec.f_cost)
+        assert result.case is MasterCase.LEAVES_DOMINATE
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            karatsuba_multiply(np.arange(4), np.arange(8))
+        with pytest.raises(SpecError):
+            karatsuba_multiply(np.arange(3), np.arange(3))
+
+
+class TestStrassen:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_direct_matches_numpy(self, n):
+        rng = make_rng(33, n)
+        a = rng.integers(-5, 5, size=(n, n))
+        b = rng.integers(-5, 5, size=(n, n))
+        assert (strassen_multiply(a, b) == a @ b).all()
+
+    def test_spec_matches_numpy(self):
+        rng = make_rng(34)
+        a = rng.integers(-5, 5, size=(8, 8))
+        b = rng.integers(-5, 5, size=(8, 8))
+        run = run_recursive(strassen_spec(), (a, b))
+        assert (run.solution == a @ b).all()
+
+    def test_breadth_first_agrees(self):
+        rng = make_rng(35)
+        a = rng.integers(-3, 3, size=(8, 8))
+        b = rng.integers(-3, 3, size=(8, 8))
+        bf = run_breadth_first(strassen_spec(), (a, b))
+        assert (bf.solution == a @ b).all()
+
+    def test_seven_way_recursion_counted(self):
+        run = run_recursive(strassen_spec(), (np.eye(8), np.eye(8)))
+        # levels: 8 -> 4 -> 2 (base). Internal nodes: 1 + 7 = 8.
+        assert run.leaves == 49
+        assert run.max_depth == 2
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            strassen_multiply(np.zeros((3, 3)), np.zeros((3, 3)))
+        with pytest.raises(SpecError):
+            strassen_multiply(np.zeros((4, 2)), np.zeros((4, 2)))
+
+
+class TestMaxSubarray:
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_kadane_reference(self, xs):
+        data = np.array(xs, dtype=float)
+        expected = max(
+            sum(xs[i:j]) for i in range(len(xs)) for j in range(i + 1, len(xs) + 1)
+        )
+        assert max_subarray(data) == pytest.approx(expected)
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_spec_matches_kadane(self, xs):
+        data = np.array(xs, dtype=float)
+        run = run_recursive(max_subarray_spec(), data)
+        assert run.solution.best == pytest.approx(max_subarray(data))
+
+    def test_breadth_first_agrees(self):
+        data = np.array([3.0, -5, 7, -2, 4, -10, 6, 1])
+        bf = run_breadth_first(max_subarray_spec(), data)
+        assert bf.solution.best == pytest.approx(max_subarray(data))
+
+    def test_all_negative(self):
+        data = np.array([-5.0, -1.0, -3.0])
+        assert max_subarray(data) == -1.0
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            max_subarray(np.array([]))
+
+
+class TestClosestPair:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-100, 100, allow_nan=False),
+                st.floats(-100, 100, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, pts):
+        points = np.array(pts, dtype=float)
+        expected = brute_force_closest(points)
+        assert closest_pair(points) == pytest.approx(expected, rel=1e-9)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-50, 50), st.integers(-50, 50)),
+            min_size=2,
+            max_size=32,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_spec_matches_brute_force(self, pts):
+        points = np.array(pts, dtype=float)
+        expected = brute_force_closest(points)
+        assert closest_pair_via_spec(points) == pytest.approx(expected, rel=1e-9)
+
+    def test_duplicate_points_give_zero(self):
+        points = np.array([[1.0, 1.0], [5.0, 5.0], [1.0, 1.0]])
+        assert closest_pair(points) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            closest_pair(np.zeros((1, 2)))
+        with pytest.raises(SpecError):
+            closest_pair(np.zeros((4, 3)))

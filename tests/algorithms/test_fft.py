@@ -1,0 +1,69 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.fft import fft_recursive, fft_spec
+from repro.core import run_breadth_first, run_hybrid, run_recursive
+from repro.core.model import AdvancedModel, MasterCase, ModelContext, classify_recurrence
+from repro.errors import SpecError
+from repro.hpu import HPU1
+from repro.util.rng import make_rng
+
+signals = st.integers(min_value=0, max_value=7).flatmap(
+    lambda e: st.lists(
+        st.floats(-100, 100, allow_nan=False),
+        min_size=2**e,
+        max_size=2**e,
+    ).map(lambda xs: np.array(xs, dtype=np.complex128))
+)
+
+
+class TestFFT:
+    @given(signals)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_numpy(self, signal):
+        assert np.allclose(fft_recursive(signal), np.fft.fft(signal))
+
+    def test_complex_input(self):
+        rng = make_rng(91)
+        signal = rng.normal(size=64) + 1j * rng.normal(size=64)
+        assert np.allclose(fft_recursive(signal), np.fft.fft(signal))
+
+    def test_spec_through_generic_executors(self):
+        """Interleaved (non-contiguous) divides survive the framework."""
+        rng = make_rng(92)
+        signal = rng.normal(size=128)
+        spec = fft_spec()
+        rec = run_recursive(spec, signal.astype(np.complex128))
+        bf = run_breadth_first(spec, signal.astype(np.complex128))
+        assert np.allclose(rec.solution, np.fft.fft(signal))
+        assert np.allclose(bf.solution, rec.solution)
+
+    def test_hybrid_execution_correct(self):
+        rng = make_rng(93)
+        signal = rng.normal(size=256).astype(np.complex128)
+        solution, result = run_hybrid(fft_spec(), signal, HPU1)
+        assert np.allclose(solution, np.fft.fft(signal))
+        assert result.makespan > 0
+
+    def test_balanced_family_like_mergesort(self):
+        spec = fft_spec()
+        assert classify_recurrence(spec.a, spec.b, spec.f_cost).case is (
+            MasterCase.BALANCED
+        )
+        ctx = ModelContext.from_spec(spec, n=1 << 24, params=HPU1.parameters)
+        solution = AdvancedModel(ctx).optimize()
+        # identical recurrence shape -> identical division as mergesort
+        assert solution.alpha == pytest.approx(0.17, abs=0.03)
+        assert solution.gpu_share == pytest.approx(0.52, abs=0.02)
+
+    def test_work_is_n_log_n_plus_n(self):
+        run = run_recursive(fft_spec(), np.ones(64, dtype=np.complex128))
+        assert run.total_ops == pytest.approx(64 * 7)
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            fft_recursive(np.zeros(100))
+        with pytest.raises(SpecError):
+            fft_recursive(np.zeros((4, 4)))

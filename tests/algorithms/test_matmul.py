@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.algorithms.matmul import matmul_recursive, matmul_spec
+from repro.core import run_breadth_first, run_hybrid, run_recursive
+from repro.core.model import MasterCase, classify_recurrence
+from repro.errors import SpecError
+from repro.hpu import HPU1
+from repro.util.rng import make_rng
+
+
+class TestMatmulBaselines:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_recursive_matches_numpy(self, n):
+        rng = make_rng(71, n)
+        a = rng.integers(-5, 5, size=(n, n))
+        b = rng.integers(-5, 5, size=(n, n))
+        assert (matmul_recursive(a, b) == a @ b).all()
+
+    def test_spec_through_both_executors(self):
+        rng = make_rng(72)
+        a = rng.integers(-4, 4, size=(8, 8))
+        b = rng.integers(-4, 4, size=(8, 8))
+        spec = matmul_spec()
+        rec = run_recursive(spec, (a, b))
+        bf = run_breadth_first(spec, (a, b))
+        assert (rec.solution == a @ b).all()
+        assert (bf.solution == a @ b).all()
+
+    def test_work_tally_eight_way(self):
+        run = run_recursive(matmul_spec(), (np.eye(8), np.eye(8)))
+        assert run.leaves == 64  # 8^2 leaves at dim 2
+        assert run.max_depth == 2
+
+    def test_leaves_dominate(self):
+        spec = matmul_spec()
+        result = classify_recurrence(spec.a, spec.b, spec.f_cost)
+        assert result.case is MasterCase.LEAVES_DOMINATE
+        assert result.critical_exponent == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            matmul_recursive(np.zeros((3, 3)), np.zeros((3, 3)))
+        with pytest.raises(SpecError):
+            matmul_recursive(np.zeros((4, 4)), np.zeros((8, 8)))
+        with pytest.raises(SpecError):
+            matmul_recursive(np.zeros((4, 2)), np.zeros((4, 2)))
+
+
+class TestHybridMatmul:
+    @pytest.mark.parametrize("strategy", ["advanced", "basic", "cpu"])
+    def test_hybrid_correct(self, strategy):
+        rng = make_rng(73, strategy)
+        a = rng.integers(-3, 3, size=(32, 32))
+        b = rng.integers(-3, 3, size=(32, 32))
+        solution, result = run_hybrid(
+            matmul_spec(), (a, b), HPU1, strategy=strategy
+        )
+        assert (solution == a @ b).all()
+        assert result.makespan > 0
+
+    def test_leaf_heavy_recurrence_favours_gpu(self):
+        """With log_2 8 = 3, nearly all work is in the leaves, so the
+        model hands the GPU a much larger share than for mergesort."""
+        from repro.core.model import AdvancedModel, ModelContext
+
+        ctx = ModelContext.from_spec(
+            matmul_spec(), n=1 << 8, params=HPU1.parameters
+        )
+        solution = AdvancedModel(ctx).optimize()
+        assert solution.gpu_share > 0.75

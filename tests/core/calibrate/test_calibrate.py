@@ -1,0 +1,81 @@
+import pytest
+
+from repro.core.calibrate import estimate_g, estimate_gamma
+from repro.errors import CalibrationError
+from repro.hpu import HPU1, HPU2
+from repro.util.rng import NoiseModel
+
+
+class TestEstimateG:
+    """Table 2: g = 4096 (HPU1), 1200 (HPU2)."""
+
+    @pytest.mark.parametrize("hpu", [HPU1, HPU2], ids=["HPU1", "HPU2"])
+    def test_recovers_spec_g(self, hpu):
+        _, gpu = hpu.make_devices()
+        est = estimate_g(gpu)
+        true_g = hpu.gpu_spec.g
+        # geometric grid: the knee lands within one grid step of g
+        assert 0.8 * true_g <= est.g_estimate <= 1.25 * true_g
+
+    def test_curve_shape_decreasing_then_flat(self):
+        """Fig. 5: time falls until saturation, flat afterwards."""
+        _, gpu = HPU1.make_devices()
+        est = estimate_g(gpu)
+        times = dict(est.samples)
+        threads = sorted(times)
+        below = [t for t in threads if t <= gpu.spec.g // 2]
+        above = [t for t in threads if t >= gpu.spec.g]
+        assert times[below[0]] > times[below[-1]]  # decreasing region
+        flat = [times[t] for t in above]
+        assert max(flat) <= min(flat) * 1.1  # flat region
+
+    def test_noise_tolerated(self):
+        _, gpu = HPU1.make_devices()
+        est = estimate_g(gpu, noise=NoiseModel(amplitude=0.01))
+        assert 0.7 * gpu.spec.g <= est.g_estimate <= 1.4 * gpu.spec.g
+
+    def test_validation(self):
+        _, gpu = HPU1.make_devices()
+        with pytest.raises(CalibrationError):
+            estimate_g(gpu, array_size=0)
+        with pytest.raises(CalibrationError):
+            estimate_g(gpu, max_threads=1)
+
+    def test_rows_export(self):
+        _, gpu = HPU1.make_devices()
+        est = estimate_g(gpu, num_points=8)
+        rows = est.as_rows()
+        assert len(rows) == len(est.samples)
+        assert all(len(r) == 2 for r in rows)
+
+
+class TestEstimateGamma:
+    """Table 2: γ⁻¹ = 160 (HPU1), 65 (HPU2)."""
+
+    @pytest.mark.parametrize(
+        "hpu,expected", [(HPU1, 160.0), (HPU2, 65.0)], ids=["HPU1", "HPU2"]
+    )
+    def test_recovers_spec_gamma(self, hpu, expected):
+        cpu, gpu = hpu.make_devices()
+        est = estimate_gamma(gpu, cpu)
+        assert est.gamma_inverse_estimate == pytest.approx(expected, rel=0.05)
+        assert est.gamma_estimate == pytest.approx(1 / expected, rel=0.05)
+
+    def test_ratio_roughly_constant_across_sizes(self):
+        """Fig. 6: the ratio does not drift with input size."""
+        cpu, gpu = HPU1.make_devices()
+        est = estimate_gamma(gpu, cpu)
+        ratios = [ratio for _, ratio in est.samples]
+        assert max(ratios) <= min(ratios) * 1.2
+
+    def test_noise_median_robust(self):
+        cpu, gpu = HPU1.make_devices()
+        est = estimate_gamma(gpu, cpu, noise=NoiseModel(amplitude=0.05))
+        assert est.gamma_inverse_estimate == pytest.approx(160.0, rel=0.1)
+
+    def test_validation(self):
+        cpu, gpu = HPU1.make_devices()
+        with pytest.raises(CalibrationError):
+            estimate_gamma(gpu, cpu, sizes=())
+        with pytest.raises(CalibrationError):
+            estimate_gamma(gpu, cpu, sizes=(1,))

@@ -1,0 +1,184 @@
+"""Tests for the advanced work-division analysis — numeric backend,
+closed forms, and their agreement, anchored on the paper's §5.2.2
+worked example (HPU1 parameters, mergesort, n = 2^24)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import AdvancedModel, ClosedFormModel, ModelContext
+from repro.errors import ModelError
+from repro.hpu.hpu import HPUParameters
+
+HPU1_PARAMS = HPUParameters(p=4, g=2**12, gamma=1 / 160)
+
+
+def mergesort_ctx(n=2**24, params=HPU1_PARAMS):
+    return ModelContext(a=2, b=2, n=n, f=lambda m: m, params=params)
+
+
+class TestPaperWorkedExample:
+    """§5.2.2: a=b=2, f(n)=Θ(n), p=4, g=2^12, γ=1/160, n=2^24
+    => α* ≈ 0.16, GPU does ≈52% of the work, y ≈ 10."""
+
+    def test_closed_form_alpha_star(self):
+        cf = ClosedFormModel(mergesort_ctx())
+        alphas = np.linspace(1e-4, 0.999, 5000)
+        best = max(alphas, key=cf.gpu_work)
+        assert best == pytest.approx(0.16, abs=0.01)
+
+    def test_closed_form_gpu_share(self):
+        cf = ClosedFormModel(mergesort_ctx())
+        share = cf.gpu_work(0.16) / cf.total_work()
+        assert share == pytest.approx(0.52, abs=0.01)
+
+    def test_closed_form_transfer_level(self):
+        cf = ClosedFormModel(mergesort_ctx())
+        # paper reports "approximately 10"
+        assert cf.solve_y(0.16) == pytest.approx(10.0, abs=0.7)
+
+    def test_numeric_backend_matches_example(self):
+        sol = AdvancedModel(mergesort_ctx()).optimize()
+        assert sol.alpha == pytest.approx(0.16, abs=0.02)
+        assert sol.gpu_share == pytest.approx(0.52, abs=0.01)
+        assert sol.y == pytest.approx(10.0, abs=1.0)
+
+    def test_gpu_saturated_and_unsaturated_at_optimum(self):
+        """Paper: since log2 g = 12 and y* ≈ 10 < 12, the GPU passes
+        through both regimes — case (iii) is the active one."""
+        ctx = mergesort_ctx()
+        cf = ClosedFormModel(ctx)
+        y = cf.solve_y(0.16)
+        sat_level = np.log2(ctx.params.g / 0.84)
+        assert y < sat_level  # stops above the saturation boundary
+
+
+class TestNumericAgainstClosedForm:
+    @pytest.mark.parametrize("alpha", [0.05, 0.1, 0.16, 0.25, 0.4, 0.6])
+    def test_tc_matches(self, alpha):
+        ctx = mergesort_ctx()
+        num, cf = AdvancedModel(ctx), ClosedFormModel(ctx)
+        assert num.tc(alpha) == pytest.approx(cf.tc(alpha), rel=1e-9)
+
+    @pytest.mark.parametrize("alpha", [0.05, 0.1, 0.16, 0.25, 0.4, 0.6])
+    def test_y_matches_within_discretization(self, alpha):
+        ctx = mergesort_ctx()
+        num, cf = AdvancedModel(ctx), ClosedFormModel(ctx)
+        assert num.solve_y(alpha) == pytest.approx(cf.solve_y(alpha), abs=0.35)
+
+    @pytest.mark.parametrize("alpha", [0.05, 0.1, 0.16, 0.25, 0.4])
+    def test_gpu_work_matches(self, alpha):
+        ctx = mergesort_ctx()
+        num, cf = AdvancedModel(ctx), ClosedFormModel(ctx)
+        assert num.gpu_work(alpha) == pytest.approx(cf.gpu_work(alpha), rel=0.02)
+
+    @pytest.mark.parametrize("n_exp", [14, 18, 22])
+    def test_agreement_across_sizes(self, n_exp):
+        ctx = mergesort_ctx(n=2**n_exp)
+        num, cf = AdvancedModel(ctx), ClosedFormModel(ctx)
+        for alpha in (0.1, 0.2, 0.5):
+            assert num.gpu_work(alpha) == pytest.approx(
+                cf.gpu_work(alpha), rel=0.03
+            )
+
+
+class TestAdvancedModelProperties:
+    def test_tc_increasing_in_alpha(self):
+        model = AdvancedModel(mergesort_ctx())
+        alphas = np.linspace(0.01, 0.9, 30)
+        tcs = [model.tc(float(al)) for al in alphas]
+        assert all(t1 < t2 for t1, t2 in zip(tcs, tcs[1:]))
+
+    def test_y_decreasing_in_alpha(self):
+        """More CPU share -> longer bottom phase -> GPU climbs higher."""
+        model = AdvancedModel(mergesort_ctx())
+        alphas = np.linspace(0.02, 0.9, 30)
+        ys = [model.solve_y(float(al)) for al in alphas]
+        assert all(y1 >= y2 - 1e-9 for y1, y2 in zip(ys, ys[1:]))
+
+    def test_gpu_work_vanishes_at_extremes(self):
+        model = AdvancedModel(mergesort_ctx())
+        tiny = model.gpu_work(model.alpha_min())
+        peak = model.optimize().gpu_work
+        near_one = model.gpu_work(0.9999)
+        assert tiny < peak
+        assert near_one < peak
+
+    def test_solution_fields_consistent(self):
+        model = AdvancedModel(mergesort_ctx())
+        sol = model.solution_at(0.16)
+        assert sol.tc == pytest.approx(model.tc(0.16))
+        assert sol.y == pytest.approx(model.solve_y(0.16))
+        assert 0 < sol.gpu_share < 1
+
+    def test_alpha_validation(self):
+        model = AdvancedModel(mergesort_ctx())
+        with pytest.raises(ModelError):
+            model.tc(0.0)
+        with pytest.raises(ModelError):
+            model.tc(1.5)
+        with pytest.raises(ModelError):
+            model.tc(model.alpha_min() / 10)
+
+    def test_requires_gpu_beats_cpu(self):
+        weak = HPUParameters(p=16, g=16, gamma=0.5)  # γ·g = 8 < p
+        with pytest.raises(ModelError, match="γ·g > p"):
+            AdvancedModel(
+                ModelContext(a=2, b=2, n=1 << 10, f=lambda m: m, params=weak)
+            )
+
+    def test_small_tree_degenerates_gracefully(self):
+        ctx = mergesort_ctx(n=8)  # fewer leaves than useful
+        sol = AdvancedModel(ctx).optimize()
+        assert 0 < sol.alpha <= 1.0
+
+    @given(st.floats(min_value=0.01, max_value=0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_tg_equals_tc_at_solution(self, alpha):
+        """The defining equation: the GPU curve at y(α) equals T_c(α)."""
+        model = AdvancedModel(mergesort_ctx(n=2**18))
+        y = model.solve_y(alpha)
+        G, _ = model._gpu_curves(alpha)
+        interp = float(np.interp(y, np.arange(model.ctx.k + 1), G))
+        tc = model.tc(alpha)
+        if 0.0 < y < model.ctx.k:  # interior solution: exact equality
+            assert interp == pytest.approx(tc, rel=1e-6)
+        elif y == 0.0:  # GPU finished everything early
+            assert G[0] <= tc * (1 + 1e-9)
+
+    def test_sweep_returns_solutions(self):
+        model = AdvancedModel(mergesort_ctx(n=2**16))
+        sols = model.sweep([0.1, 0.2, 0.3])
+        assert [s.alpha for s in sols] == [0.1, 0.2, 0.3]
+
+
+class TestClosedFormValidation:
+    def test_rejects_unbalanced_f(self):
+        ctx = ModelContext(
+            a=2, b=2, n=1 << 10, f=lambda m: m * m, params=HPU1_PARAMS
+        )
+        with pytest.raises(ModelError, match="n\\^\\{log_b a\\}"):
+            ClosedFormModel(ctx)
+
+    def test_rejects_non_unit_leaf(self):
+        ctx = ModelContext(
+            a=2, b=2, n=1 << 10, f=lambda m: m, params=HPU1_PARAMS, leaf_cost=2.0
+        )
+        with pytest.raises(ModelError, match="leaf_cost"):
+            ClosedFormModel(ctx)
+
+    def test_alpha_domain(self):
+        cf = ClosedFormModel(mergesort_ctx())
+        with pytest.raises(ModelError):
+            cf.tc(1.0)
+
+    def test_tg_piecewise_continuous_at_case_boundary(self):
+        """T_g cases (ii) and (iii) agree at y = log_a(g/(1-α))."""
+        ctx = mergesort_ctx()
+        cf = ClosedFormModel(ctx)
+        alpha = 0.16
+        boundary = np.log2(ctx.params.g / (1 - alpha))
+        below = cf.tg(alpha, boundary - 1e-6)
+        above = cf.tg(alpha, boundary + 1e-6)
+        assert below == pytest.approx(above, rel=1e-4)

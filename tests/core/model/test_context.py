@@ -1,0 +1,66 @@
+import pytest
+
+from repro.core.model import ModelContext
+from repro.core.spec import DCSpec
+from repro.errors import ModelError
+from repro.hpu.hpu import HPUParameters
+
+PARAMS = HPUParameters(p=4, g=4096, gamma=1 / 160)
+
+
+def mergesort_ctx(n=1 << 10, params=PARAMS):
+    return ModelContext(a=2, b=2, n=n, f=lambda m: m, params=params)
+
+
+class TestModelContext:
+    def test_derived_fields(self):
+        ctx = mergesort_ctx(1 << 10)
+        assert ctx.k == 10
+        assert ctx.num_leaves == 1024
+        assert ctx.level_tasks[3] == 8
+        assert ctx.level_cost[3] == 128.0
+
+    def test_total_work_mergesort(self):
+        """n (log2 n + 1) for the balanced family with unit leaves."""
+        ctx = mergesort_ctx(1 << 12)
+        assert ctx.total_work() == pytest.approx((1 << 12) * 13)
+
+    def test_internal_work(self):
+        ctx = mergesort_ctx(1 << 8)
+        assert ctx.internal_work() == pytest.approx((1 << 8) * 8)
+
+    def test_critical_exponent(self):
+        ctx = ModelContext(a=4, b=2, n=1 << 8, f=lambda m: m * m, params=PARAMS)
+        assert ctx.critical_exponent == pytest.approx(2.0)
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ModelError, match="power of b"):
+            ModelContext(a=2, b=2, n=100, f=lambda m: m, params=PARAMS)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ModelError):
+            ModelContext(a=2, b=2, n=1, f=lambda m: m, params=PARAMS)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ModelError, match="negative"):
+            ModelContext(a=2, b=2, n=4, f=lambda m: -m, params=PARAMS)
+
+    def test_rejects_bad_constants(self):
+        with pytest.raises(ModelError):
+            ModelContext(a=1, b=2, n=4, f=lambda m: m, params=PARAMS)
+
+    def test_from_spec(self):
+        spec = DCSpec(
+            name="s",
+            a=2,
+            b=2,
+            is_base=lambda x: len(x) <= 1,
+            base_case=lambda x: x,
+            divide=lambda x: (x[: len(x) // 2], x[len(x) // 2 :]),
+            combine=lambda s, x: s[0] + s[1],
+            size_of=len,
+            f_cost=lambda n: float(n),
+        )
+        ctx = ModelContext.from_spec(spec, 64, PARAMS)
+        assert ctx.k == 6
+        assert ctx.level_cost[0] == 64.0

@@ -1,0 +1,155 @@
+import math
+
+import pytest
+
+from repro.core.model import (
+    MasterCase,
+    ModelContext,
+    basic_crossover_level,
+    classify_recurrence,
+    level_time_cpu,
+    level_time_gpu,
+    predict_hybrid_speedup,
+    predict_hybrid_time,
+)
+from repro.core.model.levels import leaves_time_cpu, leaves_time_gpu
+from repro.core.model.prediction import (
+    predict_multicore_speedup,
+    predict_multicore_time,
+)
+from repro.errors import ModelError
+from repro.hpu.hpu import HPUParameters
+
+HPU1_PARAMS = HPUParameters(p=4, g=2**12, gamma=1 / 160)
+
+
+def mergesort_ctx(n=2**20, params=HPU1_PARAMS):
+    return ModelContext(a=2, b=2, n=n, f=lambda m: m, params=params)
+
+
+class TestLevelTimes:
+    def test_top_level_cpu_single_task(self):
+        """§5.1 case 1: fewer tasks than cores -> time = f(n/b^i)."""
+        ctx = mergesort_ctx()
+        assert level_time_cpu(ctx, 0) == ctx.level_cost[0]
+        assert level_time_cpu(ctx, 1) == ctx.level_cost[1]
+
+    def test_wide_level_cpu_divides_by_p(self):
+        ctx = mergesort_ctx()
+        i = 10  # 1024 tasks >> p
+        expected = (1024 / 4) * ctx.level_cost[i]
+        assert level_time_cpu(ctx, i) == pytest.approx(expected)
+
+    def test_gpu_unsaturated_runs_at_gamma(self):
+        ctx = mergesort_ctx()
+        assert level_time_gpu(ctx, 0) == pytest.approx(
+            ctx.level_cost[0] / ctx.params.gamma
+        )
+
+    def test_gpu_saturated_divides_by_g(self):
+        ctx = mergesort_ctx(n=2**20)
+        i = 15  # 32768 tasks > g = 4096
+        expected = (2**15 / (ctx.params.gamma * ctx.params.g)) * ctx.level_cost[i]
+        assert level_time_gpu(ctx, i) == pytest.approx(expected)
+
+    def test_crossover_level_value(self):
+        """i* = log_a(p/γ) = log2(4 * 160) ≈ 9.32 for HPU1."""
+        assert basic_crossover_level(2, 4, 1 / 160) == pytest.approx(
+            math.log2(640)
+        )
+
+    def test_crossover_is_where_gpu_starts_winning(self):
+        ctx = mergesort_ctx()
+        istar = basic_crossover_level(2, 4, 1 / 160)
+        below = math.ceil(istar)
+        above = math.floor(istar) - 1
+        assert level_time_gpu(ctx, below) <= level_time_cpu(ctx, below)
+        assert level_time_gpu(ctx, above) > level_time_cpu(ctx, above)
+
+    def test_leaves_faster_on_gpu(self):
+        """§5.1 case 4 (given γ·g > p)."""
+        ctx = mergesort_ctx()
+        assert leaves_time_gpu(ctx) < leaves_time_cpu(ctx)
+
+    def test_level_bounds(self):
+        ctx = mergesort_ctx()
+        with pytest.raises(ModelError):
+            level_time_cpu(ctx, ctx.k)
+        with pytest.raises(ModelError):
+            level_time_gpu(ctx, -1)
+
+    def test_crossover_validation(self):
+        with pytest.raises(ModelError):
+            basic_crossover_level(1, 4, 0.5)
+        with pytest.raises(ModelError):
+            basic_crossover_level(2, 0, 0.5)
+        with pytest.raises(ModelError):
+            basic_crossover_level(2, 4, 2.0)
+
+
+class TestPrediction:
+    def test_predicted_speedup_in_paper_ballpark(self):
+        """Paper's analysis estimates ≈5.5x for HPU1 at n = 2^24; our
+        conservation-based prediction lands in the same band."""
+        speedup = predict_hybrid_speedup(mergesort_ctx(n=2**24))
+        assert 4.5 < speedup < 7.5
+
+    def test_speedup_grows_with_n(self):
+        """Fig 8's green line rises with input size."""
+        s_small = predict_hybrid_speedup(mergesort_ctx(n=2**14))
+        s_large = predict_hybrid_speedup(mergesort_ctx(n=2**24))
+        assert s_small < s_large
+
+    def test_hybrid_beats_multicore_only(self):
+        """The whole point: the GPU adds real speedup over p cores."""
+        ctx = mergesort_ctx(n=2**24)
+        assert predict_hybrid_speedup(ctx) > predict_multicore_speedup(ctx)
+
+    def test_multicore_speedup_limited_by_serial_merges(self):
+        """Paper cites 2.5–3x on 4 cores [13]; model gives ≈3.4x."""
+        s = predict_multicore_speedup(mergesort_ctx(n=2**24))
+        assert 2.5 < s < 4.0
+
+    def test_time_decreases_with_explicit_good_alpha(self):
+        ctx = mergesort_ctx(n=2**20)
+        t_opt = predict_hybrid_time(ctx)
+        t_bad = predict_hybrid_time(ctx, alpha=0.9)
+        assert t_opt < t_bad
+
+    def test_explicit_y_overrides(self):
+        ctx = mergesort_ctx(n=2**20)
+        t_shallow = predict_hybrid_time(ctx, alpha=0.16, y=ctx.k - 1.0)
+        t_solved = predict_hybrid_time(ctx, alpha=0.16)
+        assert t_solved < t_shallow  # solved y lets the GPU do more
+
+    def test_multicore_time_exceeds_work_over_p(self):
+        ctx = mergesort_ctx(n=2**16)
+        assert predict_multicore_time(ctx) > ctx.total_work() / ctx.params.p
+
+
+class TestMasterTheorem:
+    def test_mergesort_balanced(self):
+        result = classify_recurrence(2, 2, lambda n: n)
+        assert result.case is MasterCase.BALANCED
+        assert "log n" in result.bound
+
+    def test_leaves_dominate(self):
+        # Karatsuba: T(n) = 3T(n/2) + Θ(n)
+        result = classify_recurrence(3, 2, lambda n: n)
+        assert result.case is MasterCase.LEAVES_DOMINATE
+        assert result.critical_exponent == pytest.approx(math.log2(3))
+
+    def test_root_dominates(self):
+        result = classify_recurrence(2, 2, lambda n: n**2)
+        assert result.case is MasterCase.ROOT_DOMINATES
+
+    def test_strassen(self):
+        # T(n) = 7T(n/2) + Θ(n^2): leaves dominate, Θ(n^2.807)
+        result = classify_recurrence(7, 2, lambda n: n**2)
+        assert result.case is MasterCase.LEAVES_DOMINATE
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            classify_recurrence(1, 2, lambda n: n)
+        with pytest.raises(ModelError):
+            classify_recurrence(2, 2, lambda n: 0)

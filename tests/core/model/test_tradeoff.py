@@ -1,0 +1,80 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import ModelContext
+from repro.core.model.tradeoff import (
+    advanced_always_at_least_as_good,
+    compare_strategies,
+    predict_basic_time,
+)
+from repro.hpu.hpu import HPUParameters
+
+HPU1_PARAMS = HPUParameters(p=4, g=4096, gamma=1 / 160)
+
+
+def ctx(n=1 << 20, params=HPU1_PARAMS):
+    return ModelContext(a=2, b=2, n=n, f=lambda m: m, params=params)
+
+
+class TestBasicTime:
+    def test_gpu_gets_deep_levels_only(self):
+        """With the crossover at ~9.32, levels 0-9 price as CPU and the
+        rest (plus leaves) as GPU."""
+        c = ctx()
+        from repro.core.model.levels import (
+            leaves_time_gpu,
+            level_time_cpu,
+            level_time_gpu,
+        )
+
+        expected = leaves_time_gpu(c)
+        for i in range(c.k):
+            expected += level_time_gpu(c, i) if i >= 10 else level_time_cpu(c, i)
+        assert predict_basic_time(c) == pytest.approx(expected)
+
+    def test_weak_gpu_degenerates_to_cpu(self):
+        weak = HPUParameters(p=8, g=8, gamma=0.5)
+        c = ctx(params=weak)
+        from repro.core.model.levels import leaves_time_cpu, level_time_cpu
+
+        expected = leaves_time_cpu(c) + sum(
+            level_time_cpu(c, i) for i in range(c.k)
+        )
+        assert predict_basic_time(c) == pytest.approx(expected)
+
+
+class TestComparison:
+    def test_advanced_beats_basic_in_model(self):
+        comparison = compare_strategies(ctx(1 << 24))
+        assert comparison.advanced_speedup > comparison.basic_speedup
+        assert comparison.overlap_gain > 1.0
+
+    def test_both_beat_sequential(self):
+        comparison = compare_strategies(ctx(1 << 20))
+        assert comparison.basic_speedup > 1.5
+        assert comparison.advanced_speedup > comparison.basic_speedup
+
+    def test_gain_is_modest_for_mergesort(self):
+        """The serial top dominates both strategies, so the overlap
+        gain is real but bounded — matching the paper's emphasis that
+        the hybrid wins come from the GPU share, not magic."""
+        comparison = compare_strategies(ctx(1 << 24))
+        assert 1.0 < comparison.overlap_gain < 1.5
+
+    @given(st.integers(min_value=10, max_value=24))
+    @settings(max_examples=15, deadline=None)
+    def test_advanced_never_loses_across_sizes(self, e):
+        assert advanced_always_at_least_as_good(ctx(1 << e))
+
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.integers(min_value=256, max_value=1 << 14),
+        st.integers(min_value=20, max_value=400),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_advanced_never_loses_across_machines(self, p, g, gamma_inv):
+        params = HPUParameters(p=p, g=g, gamma=1.0 / gamma_inv)
+        if not params.gpu_beats_cpu:
+            return  # advanced model requires γg > p
+        assert advanced_always_at_least_as_good(ctx(1 << 16, params=params))

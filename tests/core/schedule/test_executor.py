@@ -1,0 +1,197 @@
+import numpy as np
+import pytest
+
+from repro.algorithms.mergesort.hybrid import (
+    MergesortHost,
+    hybrid_mergesort,
+    make_mergesort_workload,
+)
+from repro.core.schedule import (
+    AdvancedSchedule,
+    BasicSchedule,
+    ScheduleExecutor,
+)
+from repro.errors import ScheduleError
+from repro.hpu import HPU1, HPU2
+from repro.util.rng import NoiseModel, make_rng
+
+
+def run_advanced(hpu, n, **plan_kwargs):
+    w = make_mergesort_workload(n)
+    executor = ScheduleExecutor(hpu, w)
+    plan = AdvancedSchedule().plan(w, hpu.parameters, **plan_kwargs)
+    return executor.run_advanced(plan)
+
+
+class TestBaselines:
+    def test_sequential_ops_is_n_logn_plus_n(self):
+        w = make_mergesort_workload(1 << 10)
+        assert ScheduleExecutor(HPU1, w).sequential_ops() == (1 << 10) * 11
+
+    def test_single_core_run_close_to_sequential(self):
+        """1-core breadth-first ≈ the recursive baseline (no spawns)."""
+        w = make_mergesort_workload(1 << 14)
+        r = ScheduleExecutor(HPU1, w).run_cpu_only(cores=1)
+        assert r.makespan == pytest.approx(r.sequential_ops, rel=0.01)
+
+    def test_multicore_speedup_in_cited_band(self):
+        """Paper cites 2.5–3x for 4-core mergesort [13]."""
+        w = make_mergesort_workload(1 << 24)
+        r = ScheduleExecutor(HPU1, w).run_cpu_only()
+        assert 2.2 < r.speedup < 3.5
+
+    def test_invalid_core_count(self):
+        w = make_mergesort_workload(1 << 10)
+        with pytest.raises(ScheduleError):
+            ScheduleExecutor(HPU1, w).run_cpu_only(cores=99)
+
+
+class TestBasicExecution:
+    def test_devices_never_overlap(self):
+        """§5.1's drawback: exactly one unit active at a time."""
+        w = make_mergesort_workload(1 << 16)
+        executor = ScheduleExecutor(HPU1, w)
+        plan = BasicSchedule().plan(w, HPU1.parameters)
+        r = executor.run_basic(plan)
+        assert r.overlap == pytest.approx(0.0, abs=1e-9)
+
+    def test_speedup_beats_multicore_at_scale(self):
+        w = make_mergesort_workload(1 << 24)
+        executor = ScheduleExecutor(HPU1, w)
+        r_basic = executor.run_basic(BasicSchedule().plan(w, HPU1.parameters))
+        r_cpu = executor.run_cpu_only()
+        assert r_basic.speedup > r_cpu.speedup
+
+    def test_two_transfers_only(self):
+        w = make_mergesort_workload(1 << 16)
+        executor = ScheduleExecutor(HPU1, w)
+        r = executor.run_basic(BasicSchedule().plan(w, HPU1.parameters))
+        expected = 2 * HPU1.transfer_time(1 << 16)
+        assert r.transfer_time == pytest.approx(expected)
+
+
+class TestAdvancedExecution:
+    def test_paper_headline_speedup(self):
+        """Fig. 8 HPU1: ≈4.5x at n=2^24 near the model's optimum."""
+        r = run_advanced(HPU1, 1 << 24)
+        assert 4.0 < r.speedup < 5.2
+
+    def test_hpu2_headline_speedup(self):
+        r = run_advanced(HPU2, 1 << 24)
+        assert 3.8 < r.speedup < 5.0
+
+    def test_devices_overlap(self):
+        """The whole point of the advanced strategy vs the basic one."""
+        r = run_advanced(HPU1, 1 << 22)
+        assert r.overlap > 0.2 * r.gpu_busy
+
+    def test_two_transfers_of_gpu_share(self):
+        w = make_mergesort_workload(1 << 20)
+        executor = ScheduleExecutor(HPU1, w)
+        plan = AdvancedSchedule().plan(w, HPU1.parameters, alpha=0.25, transfer_level=12)
+        r = executor.run_advanced(plan)
+        words = w.words_for_tasks("leaves", w.leaf_tasks - plan.cpu_leaf_tasks(w))
+        assert r.transfer_time == pytest.approx(2 * HPU1.transfer_time(words))
+
+    def test_cpu_busy_bounded_by_cores_times_makespan(self):
+        r = run_advanced(HPU1, 1 << 20)
+        assert r.cpu_busy <= r.makespan + 1e-6
+        assert r.cpu_fully_busy <= r.cpu_busy + 1e-6
+
+    def test_gpu_cpu_ratio_near_one_at_optimum(self):
+        """Fig. 8 blue line: close to 1 where speedup peaks."""
+        r = run_advanced(HPU1, 1 << 24)
+        assert 0.4 < r.gpu_cpu_ratio < 1.8
+
+    def test_bad_transfer_level_rejected(self):
+        w = make_mergesort_workload(1 << 16)
+        executor = ScheduleExecutor(HPU1, w)
+        plan = AdvancedSchedule().plan(w, HPU1.parameters, alpha=0.25, transfer_level=10)
+        bad = type(plan)(
+            workload_name=plan.workload_name,
+            alpha=plan.alpha,
+            split_level=plan.split_level,
+            transfer_level=w.k + 5,
+            cpu_tasks_at_split=plan.cpu_tasks_at_split,
+            gpu_tasks_at_split=plan.gpu_tasks_at_split,
+        )
+        with pytest.raises(ScheduleError):
+            executor.run_advanced(bad)
+
+
+class TestFunctionalCorrectness:
+    """The schedules must actually sort, whatever the parameters."""
+
+    @pytest.mark.parametrize("strategy", ["advanced", "basic", "cpu"])
+    def test_sorts_random_input(self, strategy):
+        rng = make_rng(1, strategy)
+        data = rng.integers(0, 2**31, size=1 << 12)
+        out, result = hybrid_mergesort(data, HPU1, strategy=strategy, strict=True)
+        assert (out == np.sort(data)).all()
+        assert result.makespan > 0
+
+    @pytest.mark.parametrize("alpha", [0.05, 0.25, 0.6])
+    @pytest.mark.parametrize("level_offset", [0, 3])
+    def test_sorts_at_any_operating_point(self, alpha, level_offset):
+        rng = make_rng(2, alpha, level_offset)
+        data = rng.integers(-1000, 1000, size=1 << 10)
+        out, _ = hybrid_mergesort(
+            data,
+            HPU1,
+            alpha=alpha,
+            transfer_level=7 + level_offset,
+            strict=True,
+        )
+        assert (out == np.sort(data)).all()
+
+    def test_sorts_with_duplicates_and_sorted_input(self):
+        data = np.concatenate([np.zeros(512, dtype=np.int64), np.arange(512)])
+        out, _ = hybrid_mergesort(data, HPU1, strict=True)
+        assert (out == np.sort(data)).all()
+
+    def test_without_coalescing_same_result(self):
+        rng = make_rng(3)
+        data = rng.integers(0, 10**6, size=1 << 12)
+        out_c, _ = hybrid_mergesort(data, HPU1, coalesce=True, strict=True)
+        out_n, _ = hybrid_mergesort(data, HPU1, coalesce=False, strict=True)
+        assert (out_c == out_n).all()
+
+    def test_coalescing_pays_off_at_scale(self):
+        """§6.3: at large n the permutation cost is dwarfed by the 4x
+        strided-access penalty it avoids.  (At small n the extra kernel
+        launches dominate and the optimization loses — also true on
+        real hardware.)"""
+
+        def kernel_time(n, coalesce):
+            w = make_mergesort_workload(n, coalesce=coalesce)
+            executor = ScheduleExecutor(HPU1, w)
+            plan = AdvancedSchedule().plan(
+                w, HPU1.parameters, alpha=0.2, transfer_level=10
+            )
+            return executor.run_advanced(plan).gpu_kernel_time
+
+        assert kernel_time(1 << 22, True) < kernel_time(1 << 22, False)
+        assert kernel_time(1 << 12, True) > kernel_time(1 << 12, False)
+
+    def test_rejects_non_power_of_two(self):
+        from repro.errors import SpecError
+
+        with pytest.raises(SpecError):
+            hybrid_mergesort(np.arange(100), HPU1)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ScheduleError):
+            hybrid_mergesort(np.arange(16), HPU1, strategy="quantum")
+
+
+class TestNoise:
+    def test_noise_perturbs_makespan_deterministically(self):
+        w = make_mergesort_workload(1 << 14)
+        noisy = ScheduleExecutor(HPU1, w, noise=NoiseModel(amplitude=0.03))
+        clean = ScheduleExecutor(HPU1, w)
+        plan = AdvancedSchedule().plan(w, HPU1.parameters, alpha=0.2, transfer_level=10)
+        r1, r2 = noisy.run_advanced(plan), noisy.run_advanced(plan)
+        r3 = clean.run_advanced(plan)
+        assert r1.makespan == r2.makespan  # deterministic
+        assert r1.makespan != r3.makespan  # but jittered
+        assert abs(r1.makespan / r3.makespan - 1) <= 0.03

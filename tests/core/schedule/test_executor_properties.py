@@ -1,0 +1,123 @@
+"""Property-based invariants of the schedule executor.
+
+Whatever operating point the schedulers pick, physics must hold:
+results are sorted, no device does negative or impossible work, the
+makespan dominates every lower bound, and identical runs are identical.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.mergesort.hybrid import (
+    MergesortHost,
+    make_mergesort_workload,
+)
+from repro.core.schedule import AdvancedSchedule, BasicSchedule, ScheduleExecutor
+from repro.hpu import HPU1, HPU2
+from repro.util.rng import make_rng
+
+alphas = st.floats(min_value=0.02, max_value=0.9)
+levels = st.integers(min_value=2, max_value=14)
+exponents = st.integers(min_value=4, max_value=14)
+platforms = st.sampled_from([HPU1, HPU2])
+
+
+def advanced_run(hpu, n, alpha, level, host=None):
+    workload = make_mergesort_workload(n, host=host)
+    executor = ScheduleExecutor(hpu, workload)
+    plan = AdvancedSchedule().plan(
+        workload, hpu.parameters, alpha=alpha, transfer_level=level
+    )
+    return executor.run_advanced(plan)
+
+
+class TestPhysicalInvariants:
+    @given(platforms, exponents, alphas, levels)
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_dominates_lower_bounds(self, hpu, e, alpha, level):
+        n = 1 << e
+        result = advanced_run(hpu, n, alpha, level)
+        # can't beat perfect parallelism over CPU + saturated GPU
+        ideal = result.sequential_ops / (
+            hpu.parameters.p + hpu.parameters.gpu_throughput
+        )
+        assert result.makespan > ideal
+        assert result.makespan >= result.transfer_time / 2  # d2h on path
+
+    @given(platforms, exponents, alphas, levels)
+    @settings(max_examples=60, deadline=None)
+    def test_busy_times_bounded(self, hpu, e, alpha, level):
+        result = advanced_run(hpu, 1 << e, alpha, level)
+        assert 0 <= result.cpu_fully_busy <= result.cpu_busy
+        assert result.cpu_busy <= result.makespan + 1e-6
+        assert result.gpu_busy <= result.makespan + 1e-6
+        assert result.overlap <= min(result.cpu_busy, result.gpu_busy) + 1e-6
+
+    @given(exponents, alphas, levels)
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, e, alpha, level):
+        a = advanced_run(HPU1, 1 << e, alpha, level)
+        b = advanced_run(HPU1, 1 << e, alpha, level)
+        assert a.makespan == b.makespan
+        assert a.gpu_busy == b.gpu_busy
+
+    @given(exponents)
+    @settings(max_examples=20, deadline=None)
+    def test_basic_never_overlaps(self, e):
+        workload = make_mergesort_workload(1 << e)
+        executor = ScheduleExecutor(HPU1, workload)
+        result = executor.run_basic(
+            BasicSchedule().plan(workload, HPU1.parameters)
+        )
+        assert result.overlap == pytest.approx(0.0, abs=1e-9)
+
+    @given(exponents)
+    @settings(max_examples=20, deadline=None)
+    def test_more_cores_never_slower_without_spawn_cost(self, e):
+        """Monotone scaling holds once thread-team spawn costs are
+        removed.  (With them, more cores CAN lose on tiny inputs —
+        that's real, and it's why the paper's small-n speedups sit
+        near 1; see test_spawn_overhead_can_invert_scaling.)"""
+        from dataclasses import replace
+
+        from repro.hpu.hpu import HPU
+
+        hpu = HPU(
+            "spawn-free",
+            replace(HPU1.cpu_spec, thread_spawn_overhead=0.0),
+            HPU1.gpu_spec,
+        )
+        workload = make_mergesort_workload(1 << e)
+        executor = ScheduleExecutor(hpu, workload)
+        times = [
+            executor.run_cpu_only(cores=c).makespan for c in (1, 2, 4)
+        ]
+        assert times[0] >= times[1] >= times[2]
+
+    def test_spawn_overhead_can_invert_scaling(self):
+        """On tiny inputs, spawning a team costs more than it saves."""
+        workload = make_mergesort_workload(16)
+        executor = ScheduleExecutor(HPU1, workload)
+        assert (
+            executor.run_cpu_only(cores=4).makespan
+            > executor.run_cpu_only(cores=1).makespan
+        )
+
+
+class TestFunctionalProperty:
+    @given(
+        st.integers(min_value=4, max_value=10),
+        alphas,
+        levels,
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_always_sorts(self, e, alpha, level, seed):
+        """Any admissible (α, y) yields a correctly sorted array."""
+        n = 1 << e
+        data = make_rng(seed).integers(-(10**9), 10**9, size=n)
+        host = MergesortHost(data.copy(), strict=True)
+        advanced_run(HPU1, n, alpha, level, host=host)
+        assert (host.array == np.sort(data)).all()

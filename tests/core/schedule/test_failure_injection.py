@@ -1,0 +1,104 @@
+"""Failure injection: errors raised inside a simulated run must surface
+loudly, and the library's state must stay reusable afterwards."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.mergesort.hybrid import make_mergesort_workload
+from repro.core.schedule import AdvancedSchedule, BasicSchedule, ScheduleExecutor
+from repro.core.schedule.workload import LEAVES
+from repro.errors import ScheduleError
+from repro.hpu import HPU1
+
+
+class FlakyHookError(RuntimeError):
+    pass
+
+
+def make_executor(n=1 << 12, fail_on=None):
+    workload = make_mergesort_workload(n)
+    calls = []
+
+    def hook(phase, level, offset, count):
+        calls.append((phase, level, offset, count))
+        if fail_on is not None and level == fail_on:
+            raise FlakyHookError(f"injected failure at level {level}")
+
+    workload.execute = hook
+    return ScheduleExecutor(HPU1, workload), calls
+
+
+class TestHookFailures:
+    def test_hook_error_propagates_from_cpu_batch(self):
+        executor, _ = make_executor(fail_on=2)
+        with pytest.raises(FlakyHookError, match="level 2"):
+            executor.run_cpu_only()
+
+    def test_hook_error_propagates_from_gpu_level(self):
+        executor, _ = make_executor(fail_on=11)  # deep level: on the GPU
+        plan = BasicSchedule().plan(executor.workload, HPU1.parameters)
+        with pytest.raises(FlakyHookError):
+            executor.run_basic(plan)
+
+    def test_hook_error_propagates_from_advanced(self):
+        executor, _ = make_executor(fail_on=5)
+        plan = AdvancedSchedule().plan(
+            executor.workload, HPU1.parameters, alpha=0.25, transfer_level=9
+        )
+        with pytest.raises(FlakyHookError):
+            executor.run_advanced(plan)
+
+    def test_executor_reusable_after_failure(self):
+        """A failed run must not poison subsequent runs (fresh devices
+        and simulator per run)."""
+        workload = make_mergesort_workload(1 << 12)
+        state = {"fail": True}
+
+        def hook(phase, level, offset, count):
+            if state["fail"] and level == 3:
+                raise FlakyHookError("once")
+
+        workload.execute = hook
+        executor = ScheduleExecutor(HPU1, workload)
+        with pytest.raises(FlakyHookError):
+            executor.run_cpu_only()
+        state["fail"] = False
+        result = executor.run_cpu_only()
+        assert result.makespan > 0
+
+    def test_hooks_called_in_bottom_up_level_order(self):
+        executor, calls = make_executor()
+        executor.run_cpu_only()
+        levels = [
+            (12 if level == LEAVES else int(level))
+            for _, level, _, _ in calls
+        ]
+        assert levels == sorted(levels, reverse=True)
+
+
+class TestPlanValidation:
+    def test_transfer_level_bounds_enforced_at_run(self):
+        executor, _ = make_executor()
+        plan = AdvancedSchedule().plan(
+            executor.workload, HPU1.parameters, alpha=0.25, transfer_level=9
+        )
+        broken = type(plan)(
+            workload_name=plan.workload_name,
+            alpha=plan.alpha,
+            split_level=plan.split_level,
+            transfer_level=plan.split_level - 1,
+            cpu_tasks_at_split=plan.cpu_tasks_at_split,
+            gpu_tasks_at_split=plan.gpu_tasks_at_split,
+        )
+        with pytest.raises(ScheduleError):
+            executor.run_advanced(broken)
+
+    def test_workload_mismatch_is_harmless_but_detected_by_bounds(self):
+        """Running a plan built for a bigger tree trips range checks."""
+        big = make_mergesort_workload(1 << 16)
+        plan = AdvancedSchedule().plan(
+            big, HPU1.parameters, alpha=0.25, transfer_level=12
+        )
+        small_exec = ScheduleExecutor(HPU1, make_mergesort_workload(1 << 8))
+        with pytest.raises(ScheduleError):
+            small_exec.run_advanced(plan)

@@ -1,0 +1,109 @@
+import math
+
+import pytest
+
+from repro.algorithms.mergesort.hybrid import make_mergesort_workload
+from repro.core.schedule import AdvancedSchedule, BasicSchedule
+from repro.errors import ScheduleError
+from repro.hpu.hpu import HPUParameters
+
+HPU1_PARAMS = HPUParameters(p=4, g=4096, gamma=1 / 160)
+WEAK_GPU = HPUParameters(p=8, g=8, gamma=0.5)  # γ·g = 4 < p
+
+
+class TestBasicPlanner:
+    def test_crossover_matches_paper_formula(self):
+        """HPU1: log2(p/γ) = log2(640) ≈ 9.32 -> crossover at 10."""
+        w = make_mergesort_workload(1 << 20)
+        plan = BasicSchedule().plan(w, HPU1_PARAMS)
+        assert plan.use_gpu
+        assert plan.crossover == math.ceil(math.log2(4 * 160))
+
+    def test_level_partition_covers_tree(self):
+        w = make_mergesort_workload(1 << 20)
+        plan = BasicSchedule().plan(w, HPU1_PARAMS)
+        gpu = set(plan.gpu_levels(w.k))
+        cpu = set(plan.cpu_levels(w.k))
+        assert gpu | cpu == set(range(w.k))
+        assert gpu & cpu == set()
+        assert all(g > c for g in gpu for c in cpu)  # GPU gets deep levels
+
+    def test_weak_gpu_degenerates_to_cpu_only(self):
+        """§5.1: if gγ < p there is no transfer at any point."""
+        w = make_mergesort_workload(1 << 16)
+        plan = BasicSchedule().plan(w, WEAK_GPU)
+        assert not plan.use_gpu
+        assert list(plan.gpu_levels(w.k)) == []
+        assert set(plan.cpu_levels(w.k)) == set(range(w.k))
+
+    def test_shallow_tree_crossover_clamped(self):
+        w = make_mergesort_workload(16)  # k = 4 < crossover 10
+        plan = BasicSchedule().plan(w, HPU1_PARAMS)
+        assert plan.crossover == w.k  # GPU gets only the leaf batch
+
+
+class TestAdvancedPlanner:
+    def test_defaults_come_from_model(self):
+        """Planner defaults reproduce the §5.2.2 optimum for n=2^24."""
+        w = make_mergesort_workload(1 << 24)
+        plan = AdvancedSchedule().plan(w, HPU1_PARAMS)
+        assert plan.alpha == pytest.approx(0.17, abs=0.03)
+        assert plan.transfer_level in (9, 10)
+        assert abs(plan.effective_alpha - plan.alpha) < 0.04
+
+    def test_split_level_is_where_cpu_side_narrows_to_p(self):
+        w = make_mergesort_workload(1 << 24)
+        plan = AdvancedSchedule().plan(w, HPU1_PARAMS, alpha=0.16)
+        assert plan.split_level == math.ceil(math.log2(4 / 0.16))
+        # the CPU side at the split has about p subtrees
+        assert plan.cpu_tasks_at_split == pytest.approx(4, abs=2)
+
+    def test_task_partition_consistent_across_levels(self):
+        """The chosen ratio persists down the tree (no resync, §5.2)."""
+        w = make_mergesort_workload(1 << 16)
+        plan = AdvancedSchedule().plan(w, HPU1_PARAMS, alpha=0.25, transfer_level=10)
+        for level in range(plan.split_level, w.k):
+            cpu = plan.cpu_tasks_at(level, w)
+            gpu = plan.gpu_tasks_at(level, w)
+            assert cpu + gpu == w.tasks_at(level)
+            assert cpu / (cpu + gpu) == pytest.approx(
+                plan.effective_alpha, abs=1e-9
+            )
+        leaves_cpu = plan.cpu_leaf_tasks(w)
+        assert leaves_cpu / w.leaf_tasks == pytest.approx(
+            plan.effective_alpha, abs=1e-9
+        )
+
+    def test_transfer_level_clamped_to_split(self):
+        w = make_mergesort_workload(1 << 16)
+        plan = AdvancedSchedule().plan(w, HPU1_PARAMS, alpha=0.25, transfer_level=1)
+        assert plan.transfer_level >= plan.split_level
+
+    def test_each_side_gets_at_least_one_subtree(self):
+        w = make_mergesort_workload(1 << 16)
+        plan = AdvancedSchedule().plan(w, HPU1_PARAMS, alpha=0.001, transfer_level=12)
+        assert plan.cpu_tasks_at_split >= 1
+        assert plan.gpu_tasks_at_split >= 1
+
+    def test_rejects_weak_gpu(self):
+        w = make_mergesort_workload(1 << 16)
+        with pytest.raises(ScheduleError, match="γ·g > p"):
+            AdvancedSchedule().plan(w, WEAK_GPU)
+
+    def test_rejects_bad_alpha(self):
+        w = make_mergesort_workload(1 << 16)
+        with pytest.raises(ScheduleError):
+            AdvancedSchedule().plan(w, HPU1_PARAMS, alpha=1.5, transfer_level=8)
+
+    def test_rejects_bad_split(self):
+        w = make_mergesort_workload(1 << 16)
+        with pytest.raises(ScheduleError):
+            AdvancedSchedule().plan(
+                w, HPU1_PARAMS, alpha=0.2, transfer_level=8, split_level=99
+            )
+
+    def test_level_queries_outside_split_region_rejected(self):
+        w = make_mergesort_workload(1 << 16)
+        plan = AdvancedSchedule().plan(w, HPU1_PARAMS, alpha=0.25, transfer_level=10)
+        with pytest.raises(ScheduleError):
+            plan.cpu_tasks_at(plan.split_level - 1, w)

@@ -1,0 +1,106 @@
+import pytest
+
+from repro.algorithms.mergesort.recursive import mergesort_spec
+from repro.core.recursion_tree import RecursionTree
+from repro.core.schedule.workload import LEAVES, DCWorkload, KernelStep
+from repro.errors import ScheduleError
+from repro.opencl.kernel import AccessPattern
+
+
+def generic_workload(n=64):
+    tree = RecursionTree(mergesort_spec(), n)
+    return DCWorkload.from_tree(tree)
+
+
+class TestKernelStep:
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            KernelStep(name="k", items=0, ops_per_item=1.0)
+        with pytest.raises(ScheduleError):
+            KernelStep(name="k", items=1, ops_per_item=0.0)
+
+
+class TestDCWorkload:
+    def test_from_tree_geometry(self):
+        w = generic_workload(64)
+        assert w.k == 6
+        assert w.level_tasks == [1, 2, 4, 8, 16, 32]
+        assert w.level_cost[0] == 64.0
+        assert w.leaf_tasks == 64
+        assert w.tasks_at(LEAVES) == 64
+        assert w.cost_at(3) == 8.0
+
+    def test_generic_gpu_steps_are_pessimistic(self):
+        """The no-knowledge translation: divergent + strided (§4.2)."""
+        w = generic_workload()
+        steps = w.gpu_steps(2, 4)
+        assert len(steps) == 1
+        assert steps[0].divergent
+        assert steps[0].access is AccessPattern.STRIDED
+        assert steps[0].items == 4
+
+    def test_gpu_steps_fn_override(self):
+        w = generic_workload()
+        w.gpu_steps_fn = lambda wl, level, tasks, offset: [
+            KernelStep(name="custom", items=tasks, ops_per_item=1.0)
+        ]
+        assert w.gpu_steps(1, 2)[0].name == "custom"
+
+    def test_words_for_tasks_proportional(self):
+        w = generic_workload(64)
+        assert w.words_for_tasks(LEAVES, 64) == 64
+        assert w.words_for_tasks(LEAVES, 16) == 16
+        assert w.words_for_tasks(0, 1) == 64  # the root task covers all
+        assert w.words_for_tasks(2, 1) == 16
+
+    def test_words_for_tasks_bounds(self):
+        w = generic_workload(64)
+        with pytest.raises(ScheduleError):
+            w.words_for_tasks(2, 5)
+
+    def test_working_set(self):
+        w = generic_workload(64)
+        assert w.working_set_bytes() == 2.0 * 64 * 4
+
+    def test_hook_bounds_checked(self):
+        calls = []
+        w = generic_workload(64)
+        w.execute = lambda phase, level, off, cnt: calls.append((level, off, cnt))
+        w.run_hook("combine", 2, 0, 4)
+        assert calls == [(2, 0, 4)]
+        with pytest.raises(ScheduleError):
+            w.run_hook("combine", 2, 3, 4)  # 3+4 > 4 tasks
+
+    def test_hook_skips_empty(self):
+        calls = []
+        w = generic_workload(64)
+        w.execute = lambda *a: calls.append(a)
+        w.run_hook("combine", 2, 0, 0)
+        assert calls == []
+
+    def test_level_bounds(self):
+        w = generic_workload(64)
+        with pytest.raises(ScheduleError):
+            w.tasks_at(6)
+        with pytest.raises(ScheduleError):
+            w.cost_at(-1)
+
+    def test_structural_validation(self):
+        with pytest.raises(ScheduleError):
+            DCWorkload(
+                name="bad",
+                level_tasks=[1, 2],
+                level_cost=[1.0],
+                leaf_tasks=4,
+                leaf_cost=1.0,
+                total_elements=4,
+            )
+        with pytest.raises(ScheduleError):
+            DCWorkload(
+                name="bad",
+                level_tasks=[],
+                level_cost=[],
+                leaf_tasks=4,
+                leaf_cost=1.0,
+                total_elements=4,
+            )

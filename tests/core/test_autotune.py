@@ -1,0 +1,68 @@
+import pytest
+
+from repro.algorithms.mergesort.hybrid import make_mergesort_workload
+from repro.core.autotune import AutoTuner
+from repro.core.schedule import AdvancedSchedule
+from repro.errors import ScheduleError
+from repro.hpu import HPU1
+
+
+def tuner(n=1 << 18):
+    return AutoTuner(HPU1, make_mergesort_workload(n))
+
+
+class TestAutoTuner:
+    def test_full_tune_beats_model_default(self):
+        """The grid best is at least as fast as the analytical point."""
+        t = tuner(1 << 20)
+        plan = AdvancedSchedule().plan(t.workload, HPU1.parameters)
+        model_point = t.executor.run_advanced(plan)
+        tuned = t.tune(alphas=[0.1, 0.2, 0.3], levels=range(8, 13))
+        assert tuned.speedup >= model_point.speedup * 0.999
+
+    def test_cpu_fallback_wins_on_tiny_input(self):
+        t = tuner(1 << 8)
+        tuned = t.tune(alphas=[0.25], levels=[6, 8])
+        assert not tuned.used_gpu
+        assert tuned.alpha is None and tuned.transfer_level is None
+
+    def test_fallback_excluded_forces_gpu_point(self):
+        t = tuner(1 << 8)
+        tuned = t.tune(
+            alphas=[0.25], levels=[6], include_cpu_fallback=False
+        )
+        assert tuned.used_gpu
+
+    def test_evaluation_count_reported(self):
+        t = tuner(1 << 14)
+        tuned = t.tune(alphas=[0.2, 0.3], levels=[10, 12])
+        assert tuned.evaluations == 5  # 4 grid points + fallback
+
+    def test_warm_start_cheaper_than_full_grid(self):
+        t = tuner(1 << 20)
+        warm = t.tune_around_model()
+        full_grid = len(t.default_alphas()) * len(list(t.default_levels()))
+        assert warm.evaluations < full_grid / 4
+        assert warm.used_gpu
+        # lands near the analytical optimum
+        plan = AdvancedSchedule().plan(t.workload, HPU1.parameters)
+        assert abs(warm.transfer_level - plan.transfer_level) <= 2
+
+    def test_inadmissible_points_skipped(self):
+        t = tuner(1 << 14)
+        tuned = t.tune(
+            alphas=[2.0, 0.25], levels=[10], include_cpu_fallback=False
+        )  # the invalid 2.0 is skipped, 0.25 evaluated
+        assert tuned.used_gpu
+        assert tuned.alpha == 0.25
+
+    def test_no_admissible_point_raises(self):
+        t = tuner(1 << 14)
+        with pytest.raises(ScheduleError, match="no admissible"):
+            t.tune(alphas=[2.0], levels=[10], include_cpu_fallback=False)
+
+    def test_default_grids_validate(self):
+        t = tuner()
+        with pytest.raises(ScheduleError):
+            t.default_alphas(step=0.9)
+        assert list(t.default_levels(span=3))[-1] == t.workload.k

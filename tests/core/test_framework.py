@@ -1,0 +1,292 @@
+"""Tests for the generic D&C framework (Algorithms 1-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DCSpec,
+    RecursionTree,
+    make_level_kernel,
+    run_breadth_first,
+    run_recursive,
+)
+from repro.errors import KernelError, ModelError, SpecError
+from repro.opencl.kernel import NDRange
+
+
+def sum_spec() -> DCSpec:
+    """The paper's Algorithm 4: D&C sum over a tuple of numbers."""
+    return DCSpec(
+        name="sum",
+        a=2,
+        b=2,
+        is_base=lambda xs: len(xs) == 1,
+        base_case=lambda xs: xs[0],
+        divide=lambda xs: (xs[: len(xs) // 2], xs[len(xs) // 2 :]),
+        combine=lambda subs, xs: subs[0] + subs[1],
+        size_of=len,
+        f_cost=lambda n: 1.0,  # one addition per combine
+        leaf_cost=1.0,
+    )
+
+
+def concat_sort_spec() -> DCSpec:
+    """Mergesort on tuples — exercises f(n) = n combines."""
+
+    def merge(subs, xs):
+        left, right = list(subs[0]), list(subs[1])
+        out = []
+        while left and right:
+            out.append(left.pop(0) if left[0] <= right[0] else right.pop(0))
+        return tuple(out + left + right)
+
+    return DCSpec(
+        name="tuple-mergesort",
+        a=2,
+        b=2,
+        is_base=lambda xs: len(xs) <= 1,
+        base_case=lambda xs: xs,
+        divide=lambda xs: (xs[: len(xs) // 2], xs[len(xs) // 2 :]),
+        combine=merge,
+        size_of=len,
+        f_cost=lambda n: float(n),
+        leaf_cost=1.0,
+    )
+
+
+class TestDCSpecValidation:
+    def test_rejects_small_a(self):
+        with pytest.raises(SpecError, match="a must be >= 2"):
+            DCSpec(
+                name="bad",
+                a=1,
+                b=2,
+                is_base=bool,
+                base_case=lambda x: x,
+                divide=lambda x: [x],
+                combine=lambda s, x: s[0],
+                size_of=len,
+                f_cost=lambda n: 1.0,
+            )
+
+    def test_rejects_small_b(self):
+        with pytest.raises(SpecError, match="b must be >= 2"):
+            DCSpec(
+                name="bad",
+                a=2,
+                b=1,
+                is_base=bool,
+                base_case=lambda x: x,
+                divide=lambda x: [x, x],
+                combine=lambda s, x: s[0],
+                size_of=len,
+                f_cost=lambda n: 1.0,
+            )
+
+    def test_rejects_nonpositive_leaf_cost(self):
+        with pytest.raises(SpecError, match="leaf_cost"):
+            DCSpec(
+                name="bad",
+                a=2,
+                b=2,
+                is_base=bool,
+                base_case=lambda x: x,
+                divide=lambda x: [x, x],
+                combine=lambda s, x: s[0],
+                size_of=len,
+                f_cost=lambda n: 1.0,
+                leaf_cost=0.0,
+            )
+
+    def test_checked_divide_enforces_arity(self):
+        spec = sum_spec()
+        spec.divide = lambda xs: (xs,)  # wrong arity
+        with pytest.raises(SpecError, match="expected a=2"):
+            run_recursive(spec, (1, 2, 3, 4))
+
+    def test_critical_exponent(self):
+        assert sum_spec().critical_exponent == pytest.approx(1.0)
+
+
+class TestRecursiveExecutor:
+    def test_sum_correct(self):
+        xs = tuple(range(16))
+        run = run_recursive(sum_spec(), xs)
+        assert run.solution == sum(xs)
+
+    def test_work_tally_for_sum(self):
+        """Sum of 2^k elements: 2^k - 1 combines, 2^k leaves."""
+        run = run_recursive(sum_spec(), tuple(range(16)))
+        assert run.leaves == 16
+        assert run.internal_ops == 15.0
+        assert run.total_ops == 31.0
+        assert run.max_depth == 4
+
+    def test_mergesort_correct(self):
+        xs = (5, 3, 8, 1, 9, 2, 7, 4)
+        run = run_recursive(concat_sort_spec(), xs)
+        assert run.solution == tuple(sorted(xs))
+
+    def test_mergesort_work_is_n_log_n_plus_n(self):
+        """T(n) = n(log2 n + 1) for the paper's mergesort cost model."""
+        n = 64
+        xs = tuple(range(n))
+        run = run_recursive(concat_sort_spec(), xs)
+        assert run.total_ops == pytest.approx(n * (np.log2(n) + 1))
+
+    def test_ops_per_level(self):
+        run = run_recursive(concat_sort_spec(), tuple(range(8)))
+        # every internal level does n = 8 ops total
+        assert run.ops_per_level == {0: 8.0, 1: 8.0, 2: 8.0}
+
+    def test_runaway_recursion_detected(self):
+        spec = sum_spec()
+        spec.divide = lambda xs: (xs, xs)  # never shrinks
+        with pytest.raises(SpecError, match="max recursion depth"):
+            run_recursive(spec, (1, 2, 3, 4))
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_sum_matches_builtin_any_size(self, xs):
+        run = run_recursive(sum_spec(), tuple(xs))
+        assert run.solution == sum(xs)
+
+
+class TestBreadthFirstExecutor:
+    def test_matches_recursive_solution(self):
+        xs = (5, 3, 8, 1, 9, 2, 7, 4, 6, 0, 11, 13, 12, 10, 15, 14)
+        rec = run_recursive(concat_sort_spec(), xs)
+        bf = run_breadth_first(concat_sort_spec(), xs)
+        assert bf.solution == rec.solution
+
+    def test_matches_recursive_work(self):
+        xs = tuple(range(32))
+        rec = run_recursive(concat_sort_spec(), xs)
+        bf = run_breadth_first(concat_sort_spec(), xs)
+        assert bf.total_ops == pytest.approx(rec.total_ops)
+
+    def test_batches_structure_power_of_two(self):
+        bf = run_breadth_first(concat_sort_spec(), tuple(range(8)))
+        kinds = [(batch.kind, batch.level, batch.tasks) for batch in bf.batches]
+        # leaves at level 3 (8 of them), then combines bottom-up.
+        assert kinds == [
+            ("base", 3, 8),
+            ("combine", 2, 4),
+            ("combine", 1, 2),
+            ("combine", 0, 1),
+        ]
+
+    def test_delayed_base_cases_non_power_of_two(self):
+        """A base case met early is delayed until the leaf batch."""
+        bf = run_breadth_first(concat_sort_spec(), tuple(range(6)))
+        base_batches = [batch for batch in bf.batches if batch.kind == "base"]
+        assert len(base_batches) == 1  # all leaves solved in one batch
+        assert base_batches[0].tasks == 6  # sizes 2,1 splits -> 6 leaves
+
+    def test_combine_batch_counts_only_internal_nodes(self):
+        bf = run_breadth_first(concat_sort_spec(), tuple(range(6)))
+        for batch in bf.batches:
+            assert batch.tasks > 0
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=48))
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_with_recursive_any_input(self, xs):
+        """The breadth-first translation is semantics-preserving."""
+        rec = run_recursive(concat_sort_spec(), tuple(xs))
+        bf = run_breadth_first(concat_sort_spec(), tuple(xs))
+        assert bf.solution == rec.solution
+
+    def test_runaway_detected(self):
+        spec = sum_spec()
+        spec.divide = lambda xs: (xs, xs)
+        spec.is_base = lambda xs: False
+        with pytest.raises(SpecError, match="max recursion depth"):
+            # cap the depth: a non-shrinking divide doubles the frontier
+            # every level, so the default guard of 64 would first build
+            # an astronomically wide tree before tripping.
+            run_breadth_first(spec, (1, 2), max_depth=8)
+
+
+class TestRecursionTree:
+    def test_level_geometry(self):
+        tree = RecursionTree(concat_sort_spec(), 64)
+        assert tree.depth == 6
+        top = tree.level(0)
+        assert (top.tasks, top.size, top.ops_per_task) == (1, 64, 64.0)
+        bottom = tree.level(5)
+        assert (bottom.tasks, bottom.size, bottom.ops_per_task) == (32, 2, 2.0)
+
+    def test_total_ops_matches_executor(self):
+        n = 64
+        tree = RecursionTree(concat_sort_spec(), n)
+        run = run_recursive(concat_sort_spec(), tuple(range(n)))
+        assert tree.total_ops() == pytest.approx(run.total_ops)
+
+    def test_leaf_count(self):
+        tree = RecursionTree(sum_spec(), 256)
+        assert tree.num_leaves == 256
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ModelError, match="power of"):
+            RecursionTree(sum_spec(), 24)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ModelError):
+            RecursionTree(sum_spec(), 0)
+
+    def test_level_bounds_checked(self):
+        tree = RecursionTree(sum_spec(), 8)
+        with pytest.raises(ModelError):
+            tree.level(3)
+        with pytest.raises(ModelError):
+            tree.level(-1)
+
+    def test_levels_from_bottom(self):
+        tree = RecursionTree(sum_spec(), 8)
+        indices = [lv.index for lv in tree.levels_from_bottom()]
+        assert indices == [2, 1, 0]
+
+
+class TestGPUAdapter:
+    def test_algorithm3_indexing(self):
+        """Each work-item loads parameters[id] and its memory block."""
+        data = np.zeros(8, dtype=np.int64)
+        params = [(i, 10 * i) for i in range(8)]
+
+        def thread_function(param, memory):
+            idx, value = param
+            memory[0] += value
+
+        kernel = make_level_kernel(
+            name="scatter",
+            parameters=params,
+            thread_function=thread_function,
+            memory_of=lambda gid, param: data[param[0] : param[0] + 1],
+            ops_per_item=lambda param: 1.0,
+        )
+        kernel.execute(NDRange(8, 8), {})
+        assert (data == 10 * np.arange(8)).all()
+
+    def test_empty_level_rejected(self):
+        with pytest.raises(KernelError, match="no tasks"):
+            make_level_kernel(
+                name="empty",
+                parameters=[],
+                thread_function=lambda p, m: None,
+                memory_of=lambda gid, p: None,
+                ops_per_item=lambda p: 1.0,
+            )
+
+    def test_defaults_are_generic_pessimistic(self):
+        kernel = make_level_kernel(
+            name="k",
+            parameters=[1],
+            thread_function=lambda p, m: None,
+            memory_of=lambda gid, p: None,
+            ops_per_item=lambda p: 2.0,
+        )
+        assert kernel.divergent
+        assert kernel.meta["level_tasks"] == 1
+        assert kernel.item_cost({}) == 2.0

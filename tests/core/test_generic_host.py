@@ -1,0 +1,103 @@
+"""Tests for generic hybrid execution of arbitrary DCSpecs."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.karatsuba import karatsuba_spec, schoolbook_multiply
+from repro.algorithms.max_subarray import max_subarray, max_subarray_spec
+from repro.algorithms.mergesort.recursive import mergesort_spec
+from repro.algorithms.strassen import strassen_spec
+from repro.core.generic_host import GenericDCHost, run_hybrid
+from repro.core.spec import DCSpec
+from repro.errors import ScheduleError, SpecError
+from repro.hpu import HPU1
+from repro.util.rng import make_rng
+
+
+class TestGenericHost:
+    def test_tree_materialization(self):
+        host = GenericDCHost(mergesort_spec(), np.arange(16))
+        assert host.k == 4
+        assert [len(level) for level in host.levels] == [1, 2, 4, 8, 16]
+
+    def test_irregular_recursion_rejected(self):
+        """Mixed base/recursive nodes at one level violate §5."""
+        spec = DCSpec(
+            name="irregular",
+            a=2,
+            b=2,
+            is_base=lambda x: x <= 1,
+            base_case=lambda x: x,
+            divide=lambda x: (x // 2, x - x // 2),  # 3 -> (1, 2): irregular
+            combine=lambda subs, x: subs[0] + subs[1],
+            size_of=lambda x: x,
+            f_cost=lambda n: 1.0,
+        )
+        with pytest.raises(SpecError, match="irregular"):
+            GenericDCHost(spec, 24)
+
+    def test_too_shallow_rejected(self):
+        with pytest.raises(ScheduleError, match="too shallow"):
+            GenericDCHost(mergesort_spec(), np.arange(2))
+
+    def test_out_of_order_combine_detected(self):
+        host = GenericDCHost(mergesort_spec(), np.arange(16))
+        with pytest.raises(ScheduleError, match="out of order"):
+            host.execute("combine", 0, 0, 1)  # children not solved yet
+
+    def test_solution_before_run_rejected(self):
+        host = GenericDCHost(mergesort_spec(), np.arange(16))
+        with pytest.raises(ScheduleError, match="root solution"):
+            _ = host.solution
+
+
+class TestRunHybridAcrossAlgorithms:
+    """The paper's genericity claim: same call, any algorithm."""
+
+    @pytest.mark.parametrize("strategy", ["advanced", "basic", "cpu"])
+    def test_mergesort(self, strategy):
+        data = make_rng(61, strategy).integers(0, 10**6, size=256)
+        solution, result = run_hybrid(
+            mergesort_spec(), data, HPU1, strategy=strategy
+        )
+        assert (solution == np.sort(data)).all()
+        assert result.makespan > 0
+
+    def test_karatsuba(self):
+        rng = make_rng(62)
+        a = rng.integers(-9, 9, size=64)
+        b = rng.integers(-9, 9, size=64)
+        solution, _ = run_hybrid(karatsuba_spec(), (a, b), HPU1)
+        assert (solution == schoolbook_multiply(a, b)).all()
+
+    def test_strassen(self):
+        rng = make_rng(63)
+        a = rng.integers(-3, 3, size=(32, 32))
+        b = rng.integers(-3, 3, size=(32, 32))
+        solution, _ = run_hybrid(strassen_spec(), (a, b), HPU1)
+        assert (solution == a @ b).all()
+
+    def test_max_subarray(self):
+        rng = make_rng(64)
+        data = rng.normal(size=512)
+        solution, _ = run_hybrid(max_subarray_spec(), data, HPU1)
+        assert solution.best == pytest.approx(max_subarray(data))
+
+    def test_explicit_operating_point(self):
+        data = make_rng(65).integers(0, 100, size=256)
+        solution, result = run_hybrid(
+            mergesort_spec(), data, HPU1, alpha=0.3, transfer_level=6
+        )
+        assert (solution == np.sort(data)).all()
+        assert result.transfer_time > 0
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ScheduleError, match="unknown strategy"):
+            run_hybrid(mergesort_spec(), np.arange(16), HPU1, strategy="??")
+
+    def test_workload_geometry_matches_spec(self):
+        host = GenericDCHost(karatsuba_spec(), (np.arange(32), np.arange(32)))
+        workload = host.workload()
+        assert workload.rec_a == 3
+        assert workload.level_tasks == [1, 3, 9, 27]
+        assert workload.leaf_tasks == 81

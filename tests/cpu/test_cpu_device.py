@@ -1,0 +1,126 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu import CPUDevice, CPUDeviceSpec, contention_factor
+from repro.errors import DeviceError
+from repro.sim import Simulator
+
+MB = 1 << 20
+
+
+def spec(**overrides):
+    defaults = dict(name="testcpu", p=4, llc_bytes=8 * MB, cache_kappa=0.05)
+    defaults.update(overrides)
+    return CPUDeviceSpec(**defaults)
+
+
+class TestContentionFactor:
+    def test_fits_in_cache_no_penalty(self):
+        assert contention_factor(4 * MB, 8 * MB, 4, 0.05) == 1.0
+
+    def test_single_core_no_penalty(self):
+        assert contention_factor(100 * MB, 8 * MB, 1, 0.05) == 1.0
+
+    def test_zero_kappa_disables(self):
+        assert contention_factor(100 * MB, 8 * MB, 4, 0.0) == 1.0
+
+    def test_penalty_grows_with_cores(self):
+        f2 = contention_factor(100 * MB, 8 * MB, 2, 0.05)
+        f4 = contention_factor(100 * MB, 8 * MB, 4, 0.05)
+        assert 1.0 < f2 < f4
+
+    def test_penalty_grows_with_working_set(self):
+        f_small = contention_factor(16 * MB, 8 * MB, 4, 0.05)
+        f_big = contention_factor(256 * MB, 8 * MB, 4, 0.05)
+        assert 1.0 < f_small < f_big
+
+    def test_penalty_bounded(self):
+        """Saturates at 1 + kappa*(cores-1) for huge working sets."""
+        f = contention_factor(1e12, 8 * MB, 4, 0.05)
+        assert f <= 1.0 + 0.05 * 3 + 1e-12
+
+    @given(
+        st.floats(min_value=0, max_value=1e12),
+        st.integers(min_value=1, max_value=64),
+        st.floats(min_value=0, max_value=1),
+    )
+    def test_always_at_least_one(self, ws, cores, kappa):
+        assert contention_factor(ws, 8 * MB, cores, kappa) >= 1.0
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            contention_factor(-1, 8 * MB, 1, 0.0)
+        with pytest.raises(DeviceError):
+            contention_factor(1, 0, 1, 0.0)
+        with pytest.raises(DeviceError):
+            contention_factor(1, 8 * MB, 0, 0.0)
+        with pytest.raises(DeviceError):
+            contention_factor(1, 8 * MB, 1, -0.1)
+
+
+class TestCPUDeviceSpec:
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            spec(p=0)
+        with pytest.raises(DeviceError):
+            spec(llc_bytes=0)
+        with pytest.raises(DeviceError):
+            spec(cache_kappa=-1)
+        with pytest.raises(DeviceError):
+            spec(thread_spawn_overhead=-1)
+
+
+class TestCPUDevice:
+    def test_task_time_unit_rate(self):
+        dev = CPUDevice(spec())
+        assert dev.task_time(1000.0) == 1000.0
+
+    def test_task_time_with_contention(self):
+        dev = CPUDevice(spec())
+        t = dev.task_time(1000.0, active_cores=4, working_set_bytes=100 * MB)
+        assert t > 1000.0
+
+    def test_batch_time_perfectly_divisible(self):
+        dev = CPUDevice(spec(cache_kappa=0.0))
+        # 8 tasks of 100 ops on 4 cores: two rounds of 100.
+        assert dev.batch_time(8, 100.0, 4) == 200.0
+
+    def test_batch_time_ceiling(self):
+        dev = CPUDevice(spec(cache_kappa=0.0))
+        # 9 tasks on 4 cores: three rounds.
+        assert dev.batch_time(9, 100.0, 4) == 300.0
+
+    def test_batch_fewer_tasks_than_cores(self):
+        dev = CPUDevice(spec(cache_kappa=0.0))
+        assert dev.batch_time(2, 100.0, 4) == 100.0
+
+    def test_batch_zero_tasks(self):
+        dev = CPUDevice(spec())
+        assert dev.batch_time(0, 100.0, 4) == 0.0
+
+    def test_batch_validates_core_count(self):
+        dev = CPUDevice(spec())
+        with pytest.raises(DeviceError):
+            dev.batch_time(4, 1.0, 5)
+        with pytest.raises(DeviceError):
+            dev.batch_time(4, 1.0, 0)
+
+    def test_negative_ops_rejected(self):
+        dev = CPUDevice(spec())
+        with pytest.raises(DeviceError):
+            dev.task_time(-1.0)
+
+    def test_cores_requires_bind(self):
+        dev = CPUDevice(spec())
+        with pytest.raises(DeviceError):
+            _ = dev.cores
+        dev.bind(Simulator())
+        assert dev.cores.capacity == 4
+
+    def test_bind_refreshes_pool(self):
+        dev = CPUDevice(spec())
+        dev.bind(Simulator())
+        dev.cores.request(4)
+        dev.bind(Simulator())
+        assert dev.cores.available == 4

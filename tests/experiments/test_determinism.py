@@ -1,0 +1,42 @@
+"""End-to-end determinism: the README promises bit-identical reruns."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS
+
+
+class TestPipelineDeterminism:
+    @pytest.mark.parametrize("key", ["table2", "fig3", "fig7", "fig9"])
+    def test_experiment_reruns_identical(self, key):
+        first = EXPERIMENTS[key](True)
+        second = EXPERIMENTS[key](True)
+        assert first.rows == second.rows
+        assert first.notes == second.notes
+
+    def test_fig8_sweep_reruns_identical(self):
+        """The heaviest pipeline: grid searches + noise + DES runs."""
+        first = EXPERIMENTS["fig8"](True)
+        second = EXPERIMENTS["fig8"](True)
+        assert first.rows == second.rows
+
+    def test_noise_is_keyed_not_sequential(self):
+        """Measurement jitter depends on the configuration key, not on
+        call order — reordering evaluations cannot change any value."""
+        from repro.algorithms.mergesort.hybrid import make_mergesort_workload
+        from repro.core.schedule import AdvancedSchedule, ScheduleExecutor
+        from repro.experiments.common import MEASUREMENT_NOISE
+        from repro.hpu import HPU1
+
+        workload = make_mergesort_workload(1 << 14)
+        executor = ScheduleExecutor(HPU1, workload, noise=MEASUREMENT_NOISE)
+        scheduler = AdvancedSchedule()
+
+        def run(alpha, level):
+            plan = scheduler.plan(
+                workload, HPU1.parameters, alpha=alpha, transfer_level=level
+            )
+            return executor.run_advanced(plan).makespan
+
+        forward = [run(0.2, 10), run(0.3, 11)]
+        backward = [run(0.3, 11), run(0.2, 10)]
+        assert forward == backward[::-1]

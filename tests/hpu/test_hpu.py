@@ -1,0 +1,71 @@
+import pytest
+
+from repro.errors import DeviceError
+from repro.hpu import HPU1, HPU2, HPUParameters, get_platform
+
+
+class TestHPUParameters:
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            HPUParameters(p=0, g=4, gamma=0.5)
+        with pytest.raises(DeviceError):
+            HPUParameters(p=4, g=0, gamma=0.5)
+        with pytest.raises(DeviceError):
+            HPUParameters(p=4, g=4, gamma=1.5)
+
+    def test_throughput(self):
+        params = HPUParameters(p=4, g=4096, gamma=1 / 160)
+        assert params.gpu_throughput == pytest.approx(25.6)
+        assert params.gpu_beats_cpu
+
+
+class TestPlatformPresets:
+    """Table 2 of the paper: published calibrations."""
+
+    def test_hpu1_table2_values(self):
+        params = HPU1.parameters
+        assert params.p == 4
+        assert params.g == 4096
+        assert 1 / params.gamma == pytest.approx(160)
+
+    def test_hpu2_table2_values(self):
+        params = HPU2.parameters
+        assert params.p == 4
+        assert params.g == 1200
+        assert 1 / params.gamma == pytest.approx(65)
+
+    def test_standing_assumption_gamma_g_exceeds_p(self):
+        """§3.2: raw GPU power exceeds CPU power on both platforms."""
+        assert HPU1.parameters.gpu_beats_cpu
+        assert HPU2.parameters.gpu_beats_cpu
+
+    def test_table1_hardware_identity(self):
+        assert "Q6850" in HPU1.cpu_spec.name
+        assert "5970" in HPU1.gpu_spec.name
+        assert "A6-3650" in HPU2.cpu_spec.name
+        assert "6530D" in HPU2.gpu_spec.name
+
+    def test_llc_sizes_match_paper(self):
+        assert HPU1.cpu_spec.llc_bytes == 8 << 20
+        assert HPU2.cpu_spec.llc_bytes == 4 << 20
+
+    def test_get_platform(self):
+        assert get_platform("HPU1") is HPU1
+        assert get_platform("HPU2") is HPU2
+        with pytest.raises(DeviceError):
+            get_platform("HPU3")
+
+    def test_make_devices_returns_fresh_instances(self):
+        cpu_a, gpu_a = HPU1.make_devices()
+        cpu_b, gpu_b = HPU1.make_devices()
+        assert cpu_a is not cpu_b
+        assert gpu_a is not gpu_b
+        gpu_a.alloc(64)
+        assert gpu_b.memory.allocated_bytes == 0
+
+    def test_transfer_time_formula(self):
+        spec = HPU1.gpu_spec
+        assert HPU1.transfer_time(1000) == pytest.approx(
+            spec.transfer_latency + spec.transfer_per_word * 1000
+        )
+        assert HPU1.transfer_time(0) == 0.0

@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+
+from repro.algorithms.mergesort.hybrid import (
+    MergesortHost,
+    make_mergesort_workload,
+)
+from repro.core.schedule import AdvancedSchedule, ScheduleExecutor
+from repro.errors import DeviceError, ScheduleError
+from repro.hpu import HPU1
+from repro.hpu.multi import MultiGPUHPU, dual_card
+from repro.util.rng import make_rng
+
+
+class TestMultiGPUHPU:
+    def test_aggregate_parameters(self):
+        duo = dual_card(HPU1)
+        assert duo.parameters.g == 2 * HPU1.parameters.g
+        assert duo.parameters.gamma == HPU1.parameters.gamma
+        assert duo.parameters.p == HPU1.parameters.p
+
+    def test_card_devices_are_distinct(self):
+        duo = dual_card(HPU1)
+        cards = duo.make_gpu_devices()
+        assert len(cards) == 2
+        assert cards[0].spec.name != cards[1].spec.name
+        cards[0].alloc(64)
+        assert cards[1].memory.allocated_bytes == 0
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            MultiGPUHPU("bad", HPU1.cpu_spec, HPU1.gpu_spec, num_cards=0)
+
+
+class TestMultiGPUExecution:
+    def test_functional_correctness(self):
+        rng = make_rng(47)
+        data = rng.integers(0, 10**6, size=1 << 11)
+        host = MergesortHost(data.copy(), strict=True)
+        duo = dual_card(HPU1)
+        workload = make_mergesort_workload(data.size, host=host)
+        executor = ScheduleExecutor(duo, workload)
+        plan = AdvancedSchedule().plan(
+            workload, duo.parameters, alpha=0.25, transfer_level=7
+        )
+        executor.run_advanced_multi(plan)
+        assert (host.array == np.sort(data)).all()
+
+    def test_footnote5_modest_gain(self):
+        """A second card helps only modestly for mergesort at 2^24 —
+        the paper's footnote-5 rationale, quantified."""
+        n = 1 << 24
+        single = ScheduleExecutor(HPU1, make_mergesort_workload(n))
+        r1 = single.run_advanced(
+            AdvancedSchedule().plan(single.workload, HPU1.parameters)
+        )
+        duo = dual_card(HPU1)
+        dual_exec = ScheduleExecutor(duo, make_mergesort_workload(n))
+        r2 = dual_exec.run_advanced_multi(
+            AdvancedSchedule().plan(dual_exec.workload, duo.parameters)
+        )
+        assert r2.speedup > r1.speedup  # it does help...
+        assert r2.speedup < 1.15 * r1.speedup  # ...but under 15%
+
+    def test_transfers_serialize_on_shared_link(self):
+        """Total transfer time equals the sum over cards (no overlap)."""
+        n = 1 << 16
+        duo = dual_card(HPU1)
+        workload = make_mergesort_workload(n)
+        executor = ScheduleExecutor(duo, workload)
+        plan = AdvancedSchedule().plan(
+            workload, duo.parameters, alpha=0.25, transfer_level=10
+        )
+        result = executor.run_advanced_multi(plan)
+        gpu_leaves = workload.leaf_tasks - plan.cpu_leaf_tasks(workload)
+        half = [gpu_leaves // 2 + (gpu_leaves % 2), gpu_leaves // 2]
+        expected = sum(
+            2 * duo.transfer_time(workload.words_for_tasks("leaves", h))
+            for h in half
+        )
+        assert result.transfer_time == pytest.approx(expected)
+
+    def test_single_card_platform_rejected(self):
+        executor = ScheduleExecutor(HPU1, make_mergesort_workload(1 << 12))
+        plan = AdvancedSchedule().plan(
+            executor.workload, HPU1.parameters, alpha=0.25, transfer_level=8
+        )
+        with pytest.raises(ScheduleError, match="not a multi-GPU"):
+            executor.run_advanced_multi(plan)

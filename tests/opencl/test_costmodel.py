@@ -1,0 +1,150 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DeviceError, KernelError
+from repro.opencl.costmodel import (
+    GPUCostParameters,
+    effective_lane_efficiency,
+    kernel_launch_time,
+    transfer_time,
+)
+from repro.opencl.kernel import AccessPattern, Kernel, NDRange
+
+
+def make_kernel(divergent=False, access=AccessPattern.COALESCED, cost=1.0):
+    return Kernel(
+        name="k",
+        ops_per_item=lambda args: cost,
+        vector_fn=lambda n, args: None,
+        divergent=divergent,
+        access=access,
+    )
+
+
+PARAMS = GPUCostParameters(g=1024, gamma=1 / 160, lane_efficiency=8.0)
+
+
+class TestParameterValidation:
+    def test_gamma_must_be_fraction(self):
+        with pytest.raises(DeviceError):
+            GPUCostParameters(g=4, gamma=1.5)
+        with pytest.raises(DeviceError):
+            GPUCostParameters(g=4, gamma=0.0)
+
+    def test_g_positive(self):
+        with pytest.raises(DeviceError):
+            GPUCostParameters(g=0, gamma=0.5)
+
+    def test_lane_efficiency_at_least_one(self):
+        with pytest.raises(DeviceError):
+            GPUCostParameters(g=4, gamma=0.5, lane_efficiency=0.5)
+
+    def test_negative_launch_overhead_rejected(self):
+        with pytest.raises(DeviceError):
+            GPUCostParameters(g=4, gamma=0.5, launch_overhead=-1)
+
+
+class TestLaneEfficiency:
+    def test_single_thread_gets_no_boost(self):
+        """Fig. 6's γ-calibration setting: one divergent-or-not thread."""
+        k = make_kernel(divergent=False)
+        assert effective_lane_efficiency(PARAMS, k, 1) == 1.0
+
+    def test_saturated_regular_kernel_gets_full_boost(self):
+        k = make_kernel(divergent=False)
+        assert effective_lane_efficiency(PARAMS, k, PARAMS.g) == 8.0
+
+    def test_divergent_kernel_never_boosted(self):
+        k = make_kernel(divergent=True)
+        assert effective_lane_efficiency(PARAMS, k, PARAMS.g) == 1.0
+
+    def test_interpolation_monotone(self):
+        k = make_kernel(divergent=False)
+        effs = [
+            effective_lane_efficiency(PARAMS, k, c) for c in (1, 2, 256, 512, 1024)
+        ]
+        assert effs == sorted(effs)
+
+    def test_invalid_concurrency(self):
+        with pytest.raises(DeviceError):
+            effective_lane_efficiency(PARAMS, make_kernel(), 0)
+
+
+class TestKernelLaunchTime:
+    def test_single_item_time_is_cost_over_gamma(self):
+        """A one-item divergent launch runs at the measured scalar rate γ."""
+        k = make_kernel(divergent=True, cost=100.0)
+        t = kernel_launch_time(PARAMS, k, NDRange(1, 1), {})
+        assert t == pytest.approx(100.0 / PARAMS.gamma)
+
+    def test_saturated_divergent_matches_paper_gamma_g(self):
+        """m >> g tasks of cost c take ~ m*c/(γ*g) — §5.1 case 3."""
+        m, c = 64 * PARAMS.g, 50.0
+        k = make_kernel(divergent=True, cost=c)
+        t = kernel_launch_time(PARAMS, k, NDRange(m, 64), {})
+        assert t == pytest.approx(m * c / (PARAMS.gamma * PARAMS.g), rel=0.01)
+
+    def test_strided_access_pays_penalty(self):
+        kc = make_kernel(access=AccessPattern.COALESCED, cost=10.0)
+        ks = make_kernel(access=AccessPattern.STRIDED, cost=10.0)
+        nd = NDRange(PARAMS.g, 64)
+        tc = kernel_launch_time(PARAMS, kc, nd, {})
+        ts = kernel_launch_time(PARAMS, ks, nd, {})
+        assert ts == pytest.approx(tc * PARAMS.strided_penalty)
+
+    def test_launch_overhead_added(self):
+        params = GPUCostParameters(g=16, gamma=0.5, launch_overhead=1000.0)
+        k = make_kernel(cost=1.0)
+        t = kernel_launch_time(params, k, NDRange(1, 1), {})
+        assert t == pytest.approx(1000.0 + 1.0 / 0.5)
+
+    def test_padding_lanes_occupy_pes(self):
+        """global_size rounded up to full work-groups costs full waves."""
+        params = GPUCostParameters(g=128, gamma=0.5)
+        k = make_kernel(cost=1.0)
+        t_small = kernel_launch_time(params, k, NDRange(65, 64), {})
+        t_full = kernel_launch_time(params, k, NDRange(128, 64), {})
+        assert t_small == pytest.approx(t_full)  # both pad to 128
+
+    def test_time_flat_beyond_saturation(self):
+        """Fig. 5's knee: fixed total work, threads beyond g don't help."""
+        params = GPUCostParameters(g=256, gamma=1 / 100, lane_efficiency=4.0)
+        total = 1 << 20
+
+        def time_at(threads):
+            k = make_kernel(cost=total / threads)
+            return kernel_launch_time(params, k, NDRange(threads, 1), {})
+
+        before = time_at(64)
+        at_g = time_at(256)
+        after = time_at(1024)
+        assert before > at_g
+        assert after == pytest.approx(at_g, rel=0.01)
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_time_positive_and_monotone_in_cost(self, m):
+        k1 = make_kernel(cost=1.0)
+        k2 = make_kernel(cost=2.0)
+        nd = NDRange(m, 64)
+        t1 = kernel_launch_time(PARAMS, k1, nd, {})
+        t2 = kernel_launch_time(PARAMS, k2, nd, {})
+        assert 0 < t1 < t2
+
+    def test_nonpositive_cost_rejected(self):
+        k = make_kernel(cost=0.0)
+        with pytest.raises(KernelError):
+            kernel_launch_time(PARAMS, k, NDRange(1, 1), {})
+
+
+class TestTransferTime:
+    def test_formula(self):
+        assert transfer_time(100.0, 0.5, 1000) == pytest.approx(600.0)
+
+    def test_zero_words_free(self):
+        assert transfer_time(100.0, 0.5, 0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(DeviceError):
+            transfer_time(1.0, 1.0, -5)

@@ -1,0 +1,176 @@
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError, KernelError
+from repro.opencl import (
+    AccessPattern,
+    CommandQueue,
+    GPUDevice,
+    GPUDeviceSpec,
+    Kernel,
+    NDRange,
+    run_reference,
+)
+from repro.opencl.device import saturated_throughput
+from repro.sim import AllOf, Simulator
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        name="testgpu",
+        g=64,
+        gamma=1 / 10,
+        memory_bytes=1 << 20,
+        lane_efficiency=4.0,
+        transfer_latency=100.0,
+        transfer_per_word=0.5,
+    )
+    defaults.update(overrides)
+    return GPUDeviceSpec(**defaults)
+
+
+def double_kernel(buf):
+    """A kernel doubling each element, with both implementations."""
+
+    def vector_fn(n, args):
+        args["buf"].data[:n] *= 2
+
+    def scalar_fn(gid, args):
+        args["buf"].data[gid] *= 2
+
+    return Kernel(
+        name="double",
+        ops_per_item=lambda args: 2.0,
+        vector_fn=vector_fn,
+        scalar_fn=scalar_fn,
+    )
+
+
+class TestGPUDevice:
+    def test_alloc_and_launch_functional(self):
+        dev = GPUDevice(small_spec())
+        buf = dev.alloc(8 * 16)
+        buf.data[:] = np.arange(16)
+        k = double_kernel(buf)
+        duration = dev.launch(k, NDRange(16, 16), {"buf": buf})
+        assert duration > 0
+        assert (buf.data == 2 * np.arange(16)).all()
+        assert dev.kernels_launched == 1
+
+    def test_time_for_does_not_execute(self):
+        dev = GPUDevice(small_spec())
+        buf = dev.alloc(8 * 16)
+        buf.data[:] = 1
+        k = double_kernel(buf)
+        dev.time_for(k, NDRange(16, 16), {"buf": buf})
+        assert (buf.data == 1).all()
+
+    def test_alloc_like_rejects_2d(self):
+        dev = GPUDevice(small_spec())
+        with pytest.raises(DeviceError):
+            dev.alloc_like(np.zeros((2, 2)))
+
+    def test_default_ndrange_clamps_local_size(self):
+        dev = GPUDevice(small_spec(preferred_workgroup=64))
+        nd = dev.default_ndrange(10)
+        assert nd.local_size == 10
+        assert nd.global_size == 10
+
+    def test_transfer_time_uses_spec(self):
+        dev = GPUDevice(small_spec())
+        assert dev.transfer_time(100) == pytest.approx(100.0 + 0.5 * 100)
+
+    def test_saturated_throughput(self):
+        spec = small_spec()
+        assert saturated_throughput(spec) == pytest.approx(6.4)
+        assert saturated_throughput(spec, regular=True) == pytest.approx(25.6)
+
+
+class TestReferenceExecutor:
+    def test_scalar_matches_vector(self):
+        dev = GPUDevice(small_spec())
+        buf_v = dev.alloc(8 * 32)
+        buf_s = dev.alloc(8 * 32)
+        data = np.arange(32)
+        buf_v.data[:] = data
+        buf_s.data[:] = data
+        k_v = double_kernel(buf_v)
+        k_s = double_kernel(buf_s)
+        dev.launch(k_v, NDRange(32, 16), {"buf": buf_v})
+        run_reference(k_s, NDRange(32, 16), {"buf": buf_s})
+        assert (buf_v.data == buf_s.data).all()
+
+    def test_requires_scalar_fn(self):
+        k = Kernel(name="v", ops_per_item=lambda a: 1.0, vector_fn=lambda n, a: None)
+        with pytest.raises(KernelError):
+            run_reference(k, NDRange(4, 4), {})
+
+    def test_kernel_requires_some_implementation(self):
+        with pytest.raises(KernelError):
+            Kernel(name="none", ops_per_item=lambda a: 1.0)
+
+
+class TestNDRange:
+    def test_groups_and_padding(self):
+        nd = NDRange(100, 64)
+        assert nd.num_groups == 2
+        assert nd.padded_global_size == 128
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(KernelError):
+            NDRange(0, 64)
+        with pytest.raises(KernelError):
+            NDRange(16, 0)
+
+
+class TestCommandQueue:
+    def test_in_order_execution_and_trace(self):
+        sim = Simulator()
+        dev = GPUDevice(small_spec())
+        q = CommandQueue(sim, dev)
+        buf = dev.alloc(8 * 16)
+        host_in = np.arange(16, dtype=np.int64)
+        host_out = np.zeros(16, dtype=np.int64)
+        k = double_kernel(buf)
+
+        def host():
+            w = q.enqueue_write(buf, host_in)
+            l = q.enqueue_kernel(k, NDRange(16, 16), {"buf": buf})
+            r = q.enqueue_read(buf, host_out)
+            yield AllOf([w, l, r])
+            return sim.now
+
+        total = sim.run_process(host())
+        assert (host_out == 2 * host_in).all()
+        expected = (
+            dev.transfer_time(16) * 2
+            + dev.time_for(k, NDRange(16, 16), {"buf": buf})
+        )
+        assert total == pytest.approx(expected)
+        # Three tagged intervals, non-overlapping (in-order queue).
+        assert len(dev.trace.intervals) == 3
+        assert dev.trace.busy_time() == pytest.approx(dev.trace.work_time())
+
+    def test_write_overflow_rejected(self):
+        sim = Simulator()
+        dev = GPUDevice(small_spec())
+        q = CommandQueue(sim, dev)
+        buf = dev.alloc(8 * 4)
+        with pytest.raises(DeviceError):
+            q.enqueue_write(buf, np.zeros(5, dtype=np.int64))
+
+    def test_barrier_orders_after_prior_commands(self):
+        sim = Simulator()
+        dev = GPUDevice(small_spec())
+        q = CommandQueue(sim, dev)
+        buf = dev.alloc(8 * 16)
+        k = double_kernel(buf)
+        q.enqueue_kernel(k, NDRange(16, 16), {"buf": buf})
+        done = q.barrier()
+
+        def host():
+            t = yield done
+            return t
+
+        t = sim.run_process(host())
+        assert t == pytest.approx(dev.time_for(k, NDRange(16, 16), {"buf": buf}))

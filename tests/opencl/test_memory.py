@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_
+from repro.opencl.memory import Buffer, DeviceMemory, MemoryRegion
+
+
+class TestBuffer:
+    def test_basic_allocation(self):
+        buf = Buffer(64, dtype=np.dtype(np.int64))
+        assert len(buf) == 8
+        assert buf.words == 8
+        assert buf.region is MemoryRegion.GLOBAL
+        assert (buf.data == 0).all()
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(MemoryError_):
+            Buffer(0)
+
+    def test_rejects_misaligned_size(self):
+        with pytest.raises(MemoryError_):
+            Buffer(13, dtype=np.dtype(np.int64))
+
+    def test_names_unique_by_default(self):
+        a, b = Buffer(8), Buffer(8)
+        assert a.name != b.name
+
+    def test_check_live_after_free(self):
+        mem = DeviceMemory(1024)
+        buf = mem.alloc(64)
+        mem.free(buf)
+        with pytest.raises(MemoryError_):
+            buf.check_live()
+
+
+class TestDeviceMemory:
+    def test_capacity_enforced(self):
+        mem = DeviceMemory(100 * 8)
+        mem.alloc(60 * 8)
+        with pytest.raises(MemoryError_, match="cannot allocate"):
+            mem.alloc(60 * 8)
+
+    def test_free_returns_capacity(self):
+        mem = DeviceMemory(100 * 8)
+        buf = mem.alloc(60 * 8)
+        mem.free(buf)
+        mem.alloc(80 * 8)  # fits now
+
+    def test_double_free_rejected(self):
+        mem = DeviceMemory(1024)
+        buf = mem.alloc(64)
+        mem.free(buf)
+        with pytest.raises(MemoryError_):
+            mem.free(buf)
+
+    def test_foreign_buffer_rejected(self):
+        mem1 = DeviceMemory(1024)
+        mem2 = DeviceMemory(1024)
+        buf = mem1.alloc(64)
+        with pytest.raises(MemoryError_, match="not allocated here"):
+            mem2.free(buf)
+
+    def test_live_buffers_snapshot(self):
+        mem = DeviceMemory(1024)
+        buf = mem.alloc(64, name="x")
+        assert "x" in mem.live_buffers()
+        mem.free(buf)
+        assert mem.live_buffers() == {}
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(MemoryError_):
+            DeviceMemory(0)

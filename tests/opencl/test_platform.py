@@ -1,0 +1,34 @@
+import pytest
+
+from repro.errors import DeviceError
+from repro.hpu import HPU1, HPU2
+from repro.opencl import Platform
+
+
+class TestPlatform:
+    def test_register_and_lookup(self):
+        platform = Platform("test", [HPU1.gpu_spec, HPU2.gpu_spec])
+        device = platform.get_device(HPU1.gpu_spec.name)
+        assert device.spec.g == 4096
+        assert len(platform.devices()) == 2
+
+    def test_duplicate_name_rejected(self):
+        platform = Platform("test", [HPU1.gpu_spec])
+        with pytest.raises(DeviceError, match="already has a device"):
+            platform.add_device(HPU1.gpu_spec)
+
+    def test_unknown_device(self):
+        platform = Platform("test")
+        with pytest.raises(DeviceError, match="no device"):
+            platform.get_device("nope")
+
+    def test_devices_in_insertion_order(self):
+        platform = Platform("test", [HPU2.gpu_spec, HPU1.gpu_spec])
+        names = [d.spec.name for d in platform.devices()]
+        assert names == [HPU2.gpu_spec.name, HPU1.gpu_spec.name]
+
+    def test_add_returns_live_device(self):
+        platform = Platform("test")
+        device = platform.add_device(HPU1.gpu_spec)
+        device.alloc(64)
+        assert platform.get_device(HPU1.gpu_spec.name) is device

@@ -1,0 +1,94 @@
+import numpy as np
+import pytest
+
+from repro.opencl import CommandQueue, GPUDevice, GPUDeviceSpec, Kernel, NDRange
+from repro.sim import AllOf, Simulator
+
+
+def make_device():
+    return GPUDevice(
+        GPUDeviceSpec(
+            name="profgpu",
+            g=64,
+            gamma=0.5,
+            memory_bytes=1 << 20,
+            launch_overhead=10.0,
+            transfer_latency=100.0,
+            transfer_per_word=1.0,
+        )
+    )
+
+
+def noop_kernel(cost: float) -> Kernel:
+    return Kernel(
+        name=f"noop[{cost}]",
+        ops_per_item=lambda args: cost,
+        vector_fn=lambda n, args: None,
+    )
+
+
+class TestCommandProfiling:
+    def _run(self, commands):
+        sim = Simulator()
+        device = make_device()
+        queue = CommandQueue(sim, device, name="q")
+        signals = [c(queue) for c in commands]
+
+        def host():
+            yield AllOf(signals)
+            return None
+
+        sim.run_process(host())
+        return queue.profile
+
+    def test_profile_order_and_contiguity(self):
+        """In-order queue: command k starts exactly when k-1 ends."""
+        buf_holder = {}
+
+        def write(queue):
+            buf_holder["buf"] = queue.device.alloc(8 * 16)
+            return queue.enqueue_write(
+                buf_holder["buf"], np.arange(16, dtype=np.int64)
+            )
+
+        def launch(queue):
+            return queue.enqueue_kernel(noop_kernel(4.0), NDRange(16, 16), {})
+
+        def read(queue):
+            return queue.enqueue_read(
+                buf_holder["buf"], np.zeros(16, dtype=np.int64)
+            )
+
+        profile = self._run([write, launch, read])
+        assert [p.tag.split(":")[0] for p in profile] == [
+            "write",
+            "kernel",
+            "read",
+        ]
+        for prev, cur in zip(profile, profile[1:]):
+            assert cur.start == pytest.approx(prev.end)
+
+    def test_queue_delay_measured(self):
+        """All commands are queued at t=0; later ones wait their turn."""
+        profile = self._run(
+            [
+                lambda q: q.enqueue_kernel(noop_kernel(50.0), NDRange(1, 1), {}),
+                lambda q: q.enqueue_kernel(noop_kernel(1.0), NDRange(1, 1), {}),
+            ]
+        )
+        first, second = profile
+        assert first.queue_delay == pytest.approx(0.0)
+        assert second.queued == pytest.approx(0.0)
+        assert second.queue_delay == pytest.approx(first.duration)
+
+    def test_durations_match_cost_model(self):
+        profile = self._run(
+            [lambda q: q.enqueue_kernel(noop_kernel(8.0), NDRange(1, 1), {})]
+        )
+        # launch_overhead 10 + 8 ops / gamma 0.5 = 26
+        assert profile[0].duration == pytest.approx(26.0)
+
+    def test_barrier_profiled_with_zero_duration(self):
+        profile = self._run([lambda q: q.barrier()])
+        assert profile[0].tag == "barrier"
+        assert profile[0].duration == 0.0

@@ -1,0 +1,121 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelError
+from repro.opencl.kernel import NDRange
+from repro.opencl.workgroup import (
+    BARRIER,
+    GroupKernel,
+    LocalMemory,
+    group_reduce_kernel,
+    run_grouped,
+)
+
+
+class TestLocalMemory:
+    def test_named_allocation_shared(self):
+        mem = LocalMemory()
+        a = mem.alloc("x", 8)
+        b = mem.alloc("x", 8)
+        assert a is b  # same buffer for every work-item
+
+    def test_limit_enforced(self):
+        mem = LocalMemory(limit_bytes=64)
+        mem.alloc("a", 8)  # 64 bytes of int64
+        with pytest.raises(KernelError, match="local memory exhausted"):
+            mem.alloc("b", 1)
+
+    def test_zero_initialized(self):
+        assert (LocalMemory().alloc("z", 4) == 0).all()
+
+
+class TestGroupReduce:
+    @given(
+        st.lists(st.integers(-1000, 1000), min_size=1, max_size=200),
+        st.sampled_from([4, 8, 16, 64]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_group_sums_correct(self, xs, local_size):
+        source = np.array(xs, dtype=np.int64)
+        nd = NDRange(source.size, local_size)
+        sums = np.zeros(nd.num_groups, dtype=np.int64)
+        run_grouped(group_reduce_kernel(source, sums), nd, {})
+        assert sums.sum() == source.sum()
+        for g in range(nd.num_groups):
+            chunk = source[g * local_size : (g + 1) * local_size]
+            assert sums[g] == chunk.sum()
+
+    def test_ops_accounted(self):
+        source = np.arange(16, dtype=np.int64)
+        nd = NDRange(16, 16)
+        sums = np.zeros(1, dtype=np.int64)
+        total_ops = run_grouped(group_reduce_kernel(source, sums), nd, {})
+        # 16 items x (load+store) + 15 adds + 1 writeback = 48
+        assert total_ops == pytest.approx(48.0)
+
+    def test_partial_last_group(self):
+        source = np.ones(10, dtype=np.int64)
+        nd = NDRange(10, 8)
+        sums = np.zeros(nd.num_groups, dtype=np.int64)
+        run_grouped(group_reduce_kernel(source, sums), nd, {})
+        assert list(sums) == [8, 2]
+
+
+class TestBarrierSemantics:
+    def test_lockstep_across_barrier(self):
+        """No item passes barrier k before all reached it."""
+        order = []
+
+        def body(ctx):
+            order.append(("before", ctx.local_id))
+            yield BARRIER
+            order.append(("after", ctx.local_id))
+
+        run_grouped(GroupKernel("k", body), NDRange(4, 4), {})
+        befores = [i for i, (tag, _) in enumerate(order) if tag == "before"]
+        afters = [i for i, (tag, _) in enumerate(order) if tag == "after"]
+        assert max(befores) < min(afters)
+
+    def test_barrier_divergence_detected(self):
+        """Half the group barriers, half returns: UB -> loud error."""
+
+        def body(ctx):
+            if ctx.local_id % 2 == 0:
+                yield BARRIER
+
+        with pytest.raises(KernelError, match="barrier divergence"):
+            run_grouped(GroupKernel("diverge", body), NDRange(4, 4), {})
+
+    def test_divergence_ok_across_groups(self):
+        """Different groups may take different barrier counts."""
+
+        def body(ctx):
+            if ctx.group_id == 0:
+                yield BARRIER
+            # group 1 items all return immediately: no divergence
+
+        run_grouped(GroupKernel("per-group", body), NDRange(8, 4), {})
+
+    def test_non_barrier_yield_rejected(self):
+        def body(ctx):
+            yield "not-a-barrier"
+
+        with pytest.raises(KernelError, match="only BARRIER"):
+            run_grouped(GroupKernel("bad", body), NDRange(2, 2), {})
+
+    def test_local_memory_isolated_between_groups(self):
+        leaks = []
+
+        def body(ctx):
+            scratch = ctx.local.alloc("s", ctx.local_size)
+            # only the first lane checks, before anyone writes
+            if ctx.local_id == 0:
+                if scratch[0] != 0:
+                    leaks.append(ctx.group_id)
+                scratch[0] = 99
+            yield BARRIER
+
+        run_grouped(GroupKernel("isolation", body), NDRange(16, 4), {})
+        assert leaks == []

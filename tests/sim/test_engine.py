@@ -1,0 +1,163 @@
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import AllOf, Simulator, Timeout
+from repro.sim.signals import Signal
+
+
+class TestEventOrdering:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(9.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 9.0
+
+    def test_ties_run_fifo(self):
+        sim = Simulator()
+        order = []
+        for i in range(10):
+            sim.schedule(2.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == list(range(10))
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(3.0, lambda: hits.append(3))
+        sim.schedule(10.0, lambda: hits.append(10))
+        sim.run(until=5.0)
+        assert hits == [3]
+        assert sim.now == 5.0
+
+
+class TestProcesses:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(4.0)
+            return sim.now
+
+        assert sim.run_process(proc()) == 4.0
+
+    def test_process_return_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            return "done"
+
+        assert sim.run_process(proc()) == "done"
+
+    def test_child_process_join(self):
+        sim = Simulator()
+
+        def child():
+            yield Timeout(2.0)
+            return 42
+
+        def parent():
+            result = yield sim.spawn(child())
+            return (result, sim.now)
+
+        assert sim.run_process(parent()) == (42, 2.0)
+
+    def test_wait_on_signal_receives_value(self):
+        sim = Simulator()
+        sig = Signal("s")
+        sim.fire_later(3.0, sig, "payload")
+
+        def proc():
+            value = yield sig
+            return (value, sim.now)
+
+        assert sim.run_process(proc()) == ("payload", 3.0)
+
+    def test_allof_waits_for_all(self):
+        sim = Simulator()
+
+        def child(d):
+            yield Timeout(d)
+            return d
+
+        def parent():
+            kids = [sim.spawn(child(d)) for d in (5.0, 1.0, 3.0)]
+            values = yield AllOf(kids)
+            return (values, sim.now)
+
+        values, t = sim.run_process(parent())
+        assert values == [5.0, 1.0, 3.0]
+        assert t == 5.0
+
+    def test_allof_empty_completes_immediately(self):
+        sim = Simulator()
+
+        def proc():
+            values = yield AllOf([])
+            return values
+
+        assert sim.run_process(proc()) == []
+
+    def test_unsupported_yield_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield 123
+
+        with pytest.raises(SimulationError, match="unsupported waitable"):
+            sim.run_process(proc())
+
+    def test_process_exception_propagates(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run_process(proc())
+
+    def test_deadlock_detected(self):
+        sim = Simulator()
+        never = Signal("never")
+
+        def proc():
+            yield never
+
+        sim.spawn(proc())
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_spawn_requires_generator(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="generator"):
+            sim.spawn(lambda: None)  # type: ignore[arg-type]
+
+
+class TestSignals:
+    def test_double_fire_rejected(self):
+        sig = Signal()
+        sig.fire(1)
+        with pytest.raises(SimulationError):
+            sig.fire(2)
+
+    def test_value_before_fire_rejected(self):
+        sig = Signal("pending")
+        with pytest.raises(SimulationError):
+            _ = sig.value
+
+    def test_late_callback_runs_immediately(self):
+        sig = Signal()
+        sig.fire("v")
+        seen = []
+        sig.on_fire(lambda s: seen.append(s.value))
+        assert seen == ["v"]

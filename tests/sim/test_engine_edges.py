@@ -1,0 +1,128 @@
+"""DES engine edge cases beyond the basics of test_engine."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import AllOf, Resource, Simulator, Timeout
+from repro.sim.signals import Signal
+
+
+class TestEngineEdges:
+    def test_run_until_then_continue(self):
+        """The clock can be advanced in slices."""
+        sim = Simulator()
+        hits = []
+        for t in (1.0, 5.0, 9.0):
+            sim.schedule(t, lambda t=t: hits.append(t))
+        sim.run(until=4.0)
+        assert hits == [1.0]
+        sim.run()
+        assert hits == [1.0, 5.0, 9.0]
+
+    def test_spawn_from_callback(self):
+        """Processes can be spawned by scheduled callbacks mid-run."""
+        sim = Simulator()
+        log = []
+
+        def late_proc():
+            yield Timeout(2.0)
+            log.append(sim.now)
+
+        sim.schedule(3.0, lambda: sim.spawn(late_proc()))
+        sim.run()
+        assert log == [5.0]
+
+    def test_nested_allof(self):
+        sim = Simulator()
+
+        def child(d):
+            yield Timeout(d)
+            return d
+
+        def mid():
+            values = yield AllOf([sim.spawn(child(1.0)), sim.spawn(child(2.0))])
+            return sum(values)
+
+        def top():
+            values = yield AllOf([sim.spawn(mid()), sim.spawn(child(5.0))])
+            return values
+
+        assert sim.run_process(top()) == [3.0, 5.0]
+
+    def test_zero_duration_timeout(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(0.0)
+            return sim.now
+
+        assert sim.run_process(proc()) == 0.0
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert errors and "not reentrant" in errors[0]
+
+    def test_chain_of_dependent_processes(self):
+        """A pipeline of processes each waiting on the previous one."""
+        sim = Simulator()
+
+        def stage(prev, d):
+            if prev is not None:
+                yield prev
+            yield Timeout(d)
+            return sim.now
+
+        prev = None
+        for d in (1.0, 2.0, 3.0):
+            prev = sim.spawn(stage(prev, d))
+        sim.run()
+        assert prev.value == 6.0
+
+    def test_deadlock_reports_count(self):
+        sim = Simulator()
+        never = Signal()
+        for _ in range(3):
+
+            def waiter():
+                yield never
+
+            sim.spawn(waiter())
+        with pytest.raises(DeadlockError, match="3 process"):
+            sim.run()
+
+    def test_resource_released_then_immediately_granted_same_tick(self):
+        sim = Simulator()
+        cores = Resource(1)
+        order = []
+
+        def a():
+            yield cores.request(1)
+            yield Timeout(1.0)
+            cores.release(1)
+            order.append("a-done")
+
+        def b():
+            yield cores.request(1)
+            order.append(("b-got", sim.now))
+            cores.release(1)
+
+        sim.spawn(a())
+        sim.spawn(b())
+        sim.run()
+        # the grant fires synchronously inside release(), so b resumes
+        # before a's generator runs its next statement — both at t=1.0
+        assert order == [("b-got", 1.0), "a-done"]

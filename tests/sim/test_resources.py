@@ -1,0 +1,99 @@
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Resource, Simulator, Timeout
+
+
+class TestResourceBasics:
+    def test_grant_when_available(self):
+        sim = Simulator()
+        cores = Resource(4, "cores")
+
+        def proc():
+            yield cores.request(2)
+            held_at = sim.now
+            yield Timeout(5.0)
+            cores.release(2)
+            return held_at
+
+        assert sim.run_process(proc()) == 0.0
+        assert cores.in_use == 0
+
+    def test_fifo_blocking(self):
+        sim = Simulator()
+        cores = Resource(2, "cores")
+        log = []
+
+        def worker(name, units, hold):
+            yield cores.request(units)
+            log.append((name, "start", sim.now))
+            yield Timeout(hold)
+            cores.release(units)
+            log.append((name, "end", sim.now))
+
+        def driver():
+            a = sim.spawn(worker("a", 2, 10.0))
+            b = sim.spawn(worker("b", 1, 5.0))
+            c = sim.spawn(worker("c", 1, 5.0))
+            yield a
+            yield b
+            yield c
+
+        sim.run_process(driver())
+        # a holds both cores until t=10; b and c start together afterwards.
+        assert ("a", "start", 0.0) in log
+        assert ("b", "start", 10.0) in log
+        assert ("c", "start", 10.0) in log
+        assert ("b", "end", 15.0) in log
+
+    def test_large_request_blocks_later_small_one(self):
+        """FIFO means a head-of-line big request is not bypassed."""
+        sim = Simulator()
+        cores = Resource(2, "cores")
+        starts = {}
+
+        def worker(name, units, hold):
+            yield cores.request(units)
+            starts[name] = sim.now
+            yield Timeout(hold)
+            cores.release(units)
+
+        def driver():
+            a = sim.spawn(worker("a", 1, 10.0))
+            yield Timeout(1.0)
+            b = sim.spawn(worker("b", 2, 1.0))  # must wait for a
+            c = sim.spawn(worker("c", 1, 1.0))  # arrives later; behind b
+            yield a
+            yield b
+            yield c
+
+        sim.run_process(driver())
+        assert starts["a"] == 0.0
+        assert starts["b"] == 10.0
+        assert starts["c"] == 11.0
+
+
+class TestResourceValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Resource(0)
+
+    def test_impossible_request_rejected(self):
+        cores = Resource(2)
+        with pytest.raises(SimulationError):
+            cores.request(3)
+        with pytest.raises(SimulationError):
+            cores.request(0)
+
+    def test_over_release_rejected(self):
+        cores = Resource(2)
+        with pytest.raises(SimulationError):
+            cores.release(1)
+
+    def test_available_tracks_in_use(self):
+        cores = Resource(3)
+        cores.request(2)  # granted immediately
+        assert cores.in_use == 2
+        assert cores.available == 1
+        cores.release(2)
+        assert cores.available == 3

@@ -1,0 +1,89 @@
+import pytest
+
+from repro.sim.timeline import render_timeline, timeline_from_traces
+from repro.sim.trace import BusyTrace
+
+
+class TestRenderTimeline:
+    def test_full_coverage_lane(self):
+        out = render_timeline({"cpu": [(0, 10)]}, width=10)
+        lane = out.splitlines()[0]
+        assert lane.count("█") == 10
+
+    def test_half_coverage(self):
+        out = render_timeline({"cpu": [(0, 5)]}, width=10, end=10)
+        lane = out.splitlines()[0]
+        assert lane.count("█") == 5
+        assert lane.index("█") < lane.rindex("|") // 2
+
+    def test_two_lanes_aligned(self):
+        out = render_timeline(
+            {"cpu": [(0, 4)], "gpu": [(4, 8)]}, width=8, end=8
+        )
+        cpu_line, gpu_line, _scale = out.splitlines()
+        cpu_cells = cpu_line.split("|")[1]
+        gpu_cells = gpu_line.split("|")[1]
+        assert cpu_cells == "████    "
+        assert gpu_cells == "    ████"
+
+    def test_scale_line(self):
+        out = render_timeline({"a": [(0, 100)]}, width=20)
+        assert "t=100" in out.splitlines()[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_timeline({})
+        with pytest.raises(ValueError):
+            render_timeline({"a": [(0, 1)]}, width=2)
+        with pytest.raises(ValueError):
+            render_timeline({"a": []})
+
+    def test_from_traces(self):
+        cpu, gpu = BusyTrace("cpu"), BusyTrace("gpu")
+        cpu.record(0, 5)
+        gpu.record(2, 8)
+        out = timeline_from_traces(cpu, gpu, width=16)
+        assert out.splitlines()[0].lstrip().startswith("cpu")
+        assert out.splitlines()[1].lstrip().startswith("gpu")
+
+
+class TestTimelineOfRealRun:
+    def test_advanced_run_renders_overlapping_lanes(self):
+        """The advanced schedule's CPU and GPU lanes overlap in time,
+        and the run result can render itself as a Gantt."""
+        from repro.algorithms.mergesort.hybrid import make_mergesort_workload
+        from repro.core.schedule import AdvancedSchedule, ScheduleExecutor
+        from repro.hpu import HPU1
+
+        workload = make_mergesort_workload(1 << 20)
+        executor = ScheduleExecutor(HPU1, workload)
+        plan = AdvancedSchedule().plan(workload, HPU1.parameters)
+        result = executor.run_advanced(plan)
+        assert result.overlap > 0
+        chart = result.timeline(width=40)
+        cpu_line, gpu_line, _ = chart.splitlines()
+        # some column is busy on both lanes simultaneously
+        cpu_cells = cpu_line.split("|")[1]
+        gpu_cells = gpu_line.split("|")[1]
+        assert any(
+            c == "█" and g == "█" for c, g in zip(cpu_cells, gpu_cells)
+        )
+
+    def test_basic_run_lanes_disjoint(self):
+        from repro.algorithms.mergesort.hybrid import make_mergesort_workload
+        from repro.core.schedule import BasicSchedule, ScheduleExecutor
+        from repro.hpu import HPU1
+
+        workload = make_mergesort_workload(1 << 20)
+        executor = ScheduleExecutor(HPU1, workload)
+        result = executor.run_basic(
+            BasicSchedule().plan(workload, HPU1.parameters)
+        )
+        chart = result.timeline(width=40)
+        cpu_line, gpu_line, _ = chart.splitlines()
+        cpu_cells = cpu_line.split("|")[1]
+        gpu_cells = gpu_line.split("|")[1]
+        both = sum(
+            1 for c, g in zip(cpu_cells, gpu_cells) if c == "█" and g == "█"
+        )
+        assert both <= 1  # at most the boundary cell rounds both ways

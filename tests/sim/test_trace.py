@@ -1,0 +1,103 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.trace import BusyTrace, merge_intervals, overlap_length
+
+intervals_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    ).map(lambda t: (min(t), max(t))),
+    max_size=20,
+)
+
+
+class TestMergeIntervals:
+    def test_disjoint_preserved(self):
+        assert merge_intervals([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+
+    def test_overlapping_merged(self):
+        assert merge_intervals([(0, 2), (1, 3), (3, 4)]) == [(0, 4)]
+
+    def test_zero_length_dropped(self):
+        assert merge_intervals([(1, 1), (2, 3)]) == [(2, 3)]
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            merge_intervals([(2, 1)])
+
+    @given(intervals_strategy)
+    def test_result_is_sorted_and_disjoint(self, intervals):
+        merged = merge_intervals(intervals)
+        for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+            assert e1 < s2
+        for s, e in merged:
+            assert e > s
+
+    @given(intervals_strategy)
+    def test_total_length_never_exceeds_sum(self, intervals):
+        merged_len = sum(e - s for s, e in merge_intervals(intervals))
+        raw_len = sum(e - s for s, e in intervals)
+        assert merged_len <= raw_len + 1e-9
+
+
+class TestOverlapLength:
+    def test_simple(self):
+        assert overlap_length([(0, 10)], [(5, 15)]) == 5
+
+    def test_no_overlap(self):
+        assert overlap_length([(0, 1)], [(2, 3)]) == 0
+
+    def test_multiple_pieces(self):
+        assert overlap_length([(0, 10)], [(1, 2), (4, 6)]) == 3
+
+    @given(intervals_strategy, intervals_strategy)
+    def test_symmetric(self, a, b):
+        assert overlap_length(a, b) == pytest.approx(overlap_length(b, a))
+
+    @given(intervals_strategy)
+    def test_self_overlap_is_busy_time(self, a):
+        merged_len = sum(e - s for s, e in merge_intervals(a))
+        assert overlap_length(a, a) == pytest.approx(merged_len)
+
+
+class TestBusyTrace:
+    def test_busy_vs_work_time(self):
+        tr = BusyTrace("cpu")
+        tr.record(0, 10, "level0")
+        tr.record(5, 15, "level1")
+        assert tr.busy_time() == 15  # union
+        assert tr.work_time() == 20  # sum
+
+    def test_span(self):
+        tr = BusyTrace()
+        assert tr.span() == (0.0, 0.0)
+        tr.record(3, 7)
+        tr.record(1, 2)
+        assert tr.span() == (1, 7)
+
+    def test_tagged_filter(self):
+        tr = BusyTrace()
+        tr.record(0, 1, "a")
+        tr.record(1, 2, "b")
+        assert tr.tagged("a") == [(0, 1)]
+
+    def test_utilization(self):
+        tr = BusyTrace()
+        tr.record(0, 5)
+        assert tr.utilization(10) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            tr.utilization(0)
+
+    def test_overlap_with(self):
+        a = BusyTrace("gpu")
+        b = BusyTrace("cpu")
+        a.record(0, 10)
+        b.record(8, 12)
+        assert a.overlap_with(b) == 2
+
+    def test_inverted_interval_rejected(self):
+        tr = BusyTrace()
+        with pytest.raises(ValueError):
+            tr.record(5, 4)

@@ -1,0 +1,113 @@
+"""Public-API surface checks: the documented entry points exist, are
+importable exactly as README/TUTORIAL show them, and carry docstrings."""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_IMPORTS = [
+    ("repro", ["__version__"]),
+    (
+        "repro.core",
+        [
+            "DCSpec",
+            "run_recursive",
+            "run_breadth_first",
+            "run_hybrid",
+            "GenericDCHost",
+            "AutoTuner",
+            "RecursionTree",
+            "make_level_kernel",
+        ],
+    ),
+    (
+        "repro.core.model",
+        [
+            "AdvancedModel",
+            "ClosedFormModel",
+            "ModelContext",
+            "basic_crossover_level",
+            "classify_recurrence",
+            "predict_hybrid_speedup",
+        ],
+    ),
+    (
+        "repro.core.schedule",
+        [
+            "AdvancedSchedule",
+            "BasicSchedule",
+            "ScheduleExecutor",
+            "HybridRunResult",
+            "DCWorkload",
+            "plan_parallel_tail",
+        ],
+    ),
+    ("repro.core.calibrate", ["estimate_g", "estimate_gamma"]),
+    ("repro.hpu", ["HPU", "HPUParameters", "HPU1", "HPU2", "MultiGPUHPU", "dual_card"]),
+    (
+        "repro.opencl",
+        [
+            "GPUDevice",
+            "GPUDeviceSpec",
+            "Kernel",
+            "NDRange",
+            "CommandQueue",
+            "Platform",
+            "run_reference",
+        ],
+    ),
+    ("repro.cpu", ["CPUDevice", "CPUDeviceSpec", "contention_factor"]),
+    ("repro.sim", ["Simulator", "Resource", "Timeout", "AllOf", "BusyTrace"]),
+    (
+        "repro.algorithms.mergesort",
+        [
+            "hybrid_mergesort",
+            "make_mergesort_workload",
+            "mergesort_recursive",
+            "mergesort_bf",
+            "parallel_gpu_mergesort",
+            "mergesort_spec",
+        ],
+    ),
+]
+
+
+class TestPublicSurface:
+    @pytest.mark.parametrize(
+        "module_name,names", PUBLIC_IMPORTS, ids=[m for m, _ in PUBLIC_IMPORTS]
+    )
+    def test_exports_exist(self, module_name, names):
+        module = importlib.import_module(module_name)
+        for name in names:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    @pytest.mark.parametrize(
+        "module_name,names", PUBLIC_IMPORTS, ids=[m for m, _ in PUBLIC_IMPORTS]
+    )
+    def test_public_items_documented(self, module_name, names):
+        """Every public class/function carries a docstring."""
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+        for name in names:
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert inspect.getdoc(obj), f"{module_name}.{name} undocumented"
+
+    def test_all_lists_are_accurate(self):
+        for module_name, _ in PUBLIC_IMPORTS:
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), (
+                    f"{module_name}.__all__ lists missing name {name!r}"
+                )
+
+    def test_cli_entry_point_importable(self):
+        from repro.experiments.runner import main
+
+        assert callable(main)
+
+    def test_version_matches_package_metadata(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

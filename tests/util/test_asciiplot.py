@@ -1,0 +1,77 @@
+import pytest
+
+from repro.util.asciiplot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        out = ascii_plot(
+            {"s": [(0, 0), (1, 1), (2, 4)]},
+            width=20,
+            height=6,
+            title="T",
+            xlabel="x",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "o" in out  # first marker
+        assert "o s" in lines[-1]  # legend
+
+    def test_extreme_points_at_corners(self):
+        out = ascii_plot({"s": [(0, 0), (10, 10)]}, width=20, height=5)
+        lines = out.splitlines()
+        # max y on the first grid row, min y on the last
+        assert "o" in lines[0]
+        assert "o" in lines[4]
+
+    def test_multiple_series_get_distinct_markers(self):
+        out = ascii_plot(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]},
+            width=20,
+            height=5,
+        )
+        assert "o a" in out and "x b" in out
+        top_row = out.splitlines()[0]
+        assert "o" in top_row and "x" in top_row  # both peak at y=1
+
+    def test_log_axes(self):
+        out = ascii_plot(
+            {"s": [(10, 1), (100, 10), (1000, 100)]},
+            logx=True,
+            logy=True,
+            width=20,
+            height=5,
+        )
+        # axis labels back-transformed to data space
+        assert "1e+03" in out
+        assert "100" in out
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            ascii_plot({"s": [(0, 1)]}, logx=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"s": []})
+
+    def test_tiny_area_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": [(0, 0)]}, width=4, height=2)
+
+    def test_constant_series_handled(self):
+        out = ascii_plot({"s": [(0, 5), (1, 5)]}, width=20, height=5)
+        assert "o" in out  # degenerate span does not crash
+
+
+class TestFigurePlotters:
+    def test_all_plotters_render_fast_results(self):
+        from repro.experiments.plots import PLOTTERS
+        from repro.experiments.runner import EXPERIMENTS
+
+        for key, plotter in PLOTTERS.items():
+            result = EXPERIMENTS[key](True)
+            out = plotter(result)
+            assert "Fig" in out
+            assert "|" in out

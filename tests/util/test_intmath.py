@@ -1,0 +1,98 @@
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.intmath import (
+    ceil_div,
+    ilog2,
+    is_power_of_two,
+    log_base,
+    next_power_of_two,
+    powers_of_two,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_small_powers(self):
+        assert all(is_power_of_two(1 << e) for e in range(30))
+
+    def test_non_powers(self):
+        for n in (0, -1, -2, 3, 5, 6, 7, 12, 1023):
+            assert not is_power_of_two(n)
+
+
+class TestIlog2:
+    def test_exact(self):
+        for e in range(40):
+            assert ilog2(1 << e) == e
+
+    @pytest.mark.parametrize("bad", [0, -4, 3, 6, 100])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ValueError):
+            ilog2(bad)
+
+    @given(st.integers(min_value=0, max_value=60))
+    def test_roundtrip(self, e):
+        assert ilog2(2**e) == e
+
+
+class TestNextPowerOfTwo:
+    def test_values(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(17) == 32
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_is_smallest_bounding_power(self, n):
+        p = next_power_of_two(n)
+        assert is_power_of_two(p)
+        assert p >= n
+        assert p // 2 < n
+
+
+class TestCeilDiv:
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=1, max_value=10**6),
+    )
+    def test_matches_float_ceil(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+
+class TestLogBase:
+    def test_known_values(self):
+        assert log_base(8, 2) == pytest.approx(3.0)
+        assert log_base(81, 3) == pytest.approx(4.0)
+
+    def test_rejects_bad_domain(self):
+        with pytest.raises(ValueError):
+            log_base(0, 2)
+        with pytest.raises(ValueError):
+            log_base(8, 1)
+        with pytest.raises(ValueError):
+            log_base(8, -2)
+
+
+class TestPowersOfTwo:
+    def test_range(self):
+        assert list(powers_of_two(3, 6)) == [8, 16, 32, 64]
+
+    def test_single(self):
+        assert list(powers_of_two(5, 5)) == [32]
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            list(powers_of_two(4, 2))

@@ -1,0 +1,40 @@
+import pytest
+
+from repro.util.rng import NO_NOISE, NoiseModel, make_rng
+
+
+class TestMakeRng:
+    def test_deterministic_for_same_seed(self):
+        a = make_rng(7, "x").random(5)
+        b = make_rng(7, "x").random(5)
+        assert (a == b).all()
+
+    def test_salt_decorrelates(self):
+        a = make_rng(7, "x").random(5)
+        b = make_rng(7, "y").random(5)
+        assert (a != b).any()
+
+    def test_default_seed_is_stable(self):
+        assert (make_rng().random(3) == make_rng().random(3)).all()
+
+
+class TestNoiseModel:
+    def test_zero_amplitude_is_identity(self):
+        assert NO_NOISE.apply(123.456, "k") == 123.456
+
+    def test_bounded(self):
+        nm = NoiseModel(amplitude=0.05)
+        for key in range(50):
+            v = nm.apply(100.0, key)
+            assert 95.0 <= v <= 105.0
+
+    def test_deterministic_per_key(self):
+        nm = NoiseModel(amplitude=0.05)
+        assert nm.apply(10.0, "a", 1) == nm.apply(10.0, "a", 1)
+        assert nm.apply(10.0, "a", 1) != nm.apply(10.0, "a", 2)
+
+    def test_rejects_invalid_amplitude(self):
+        with pytest.raises(ValueError):
+            NoiseModel(amplitude=1.0)
+        with pytest.raises(ValueError):
+            NoiseModel(amplitude=-0.1)

@@ -1,0 +1,34 @@
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["n", "speedup"], [[1024, 1.5], [2048, 2.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("speedup")
+        assert "1024" in lines[2]
+        assert "2.25" in lines[3]
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1.23456789]], floatfmt=".2f")
+        assert "1.23" in out
+        assert "1.2345" not in out
+
+    def test_strings_pass_through(self):
+        out = format_table(["name"], [["HPU1"]])
+        assert "HPU1" in out
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_bools_not_formatted_as_numbers(self):
+        out = format_table(["flag"], [[True]], floatfmt=".2f")
+        assert "True" in out
