@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Perf-regression harness: time the hot paths, write BENCH_perf.json.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py [--out PATH]
+
+Times four levels of the stack and records them, plus the improvement
+factor over the recorded seed baseline, in ``BENCH_perf.json`` at the
+repo root so successive PRs can track the perf trajectory:
+
+- ``engine_events_per_s``: raw DES event throughput (timeout chains);
+- ``executor_advanced_fast_ms`` / ``executor_advanced_reference_ms``:
+  one advanced-schedule run (n = 2^20, HPU1) on the macro-task fast
+  path vs the process-per-worker reference path — the harness asserts
+  the two makespans are identical while timing them;
+- ``autotune_full_runs`` / ``autotune_adaptive_runs``: executor runs
+  spent by the exhaustive grid vs the coarse-to-fine search;
+- ``fig8_fast_s``: wall-clock of the full Fig. 8 ``--fast`` pipeline
+  (the acceptance metric; seed: ~4.9 s on the reference machine).
+
+Numbers are wall-clock on whatever machine runs this, so compare
+trajectories on one machine, not absolute values across machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: fig8 --fast wall-clock of the seed tree on the reference machine,
+#: recorded before the fast-path PR.  The acceptance criterion of that
+#: PR was >= 4x against this number.
+SEED_FIG8_FAST_S = 4.86
+
+
+def bench_engine_events(events: int = 200_000) -> float:
+    """DES event throughput: one long timeout chain, events/second."""
+    from repro.sim import Simulator, Timeout
+
+    sim = Simulator()
+
+    def chain():
+        for _ in range(events):
+            yield Timeout(1.0)
+
+    start = time.perf_counter()
+    sim.run_process(chain())
+    return events / (time.perf_counter() - start)
+
+
+def bench_executor(repeats: int = 20) -> dict:
+    """Advanced-schedule run: fast path vs reference path, ms/run."""
+    from repro.algorithms.mergesort.hybrid import make_mergesort_workload
+    from repro.core.schedule import AdvancedSchedule, ScheduleExecutor
+    from repro.hpu import HPU1
+
+    workload = make_mergesort_workload(1 << 20)
+    plan = AdvancedSchedule().plan(
+        workload, HPU1.parameters, alpha=0.2, transfer_level=12
+    )
+    timings = {}
+    makespans = {}
+    for label, fast in (("fast", True), ("reference", False)):
+        executor = ScheduleExecutor(HPU1, workload, fast=fast)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            result = executor.run_advanced(plan)
+        timings[label] = (time.perf_counter() - start) / repeats * 1000.0
+        makespans[label] = result.makespan
+    if makespans["fast"] != makespans["reference"]:
+        raise AssertionError(
+            f"fast/reference makespans diverged: {makespans}"
+        )
+    return {
+        "executor_advanced_fast_ms": round(timings["fast"], 3),
+        "executor_advanced_reference_ms": round(timings["reference"], 3),
+        "executor_fast_speedup": round(
+            timings["reference"] / timings["fast"], 2
+        ),
+    }
+
+
+def bench_autotune() -> dict:
+    """Executor runs spent: exhaustive grid vs coarse-to-fine search."""
+    from repro.algorithms.mergesort.hybrid import make_mergesort_workload
+    from repro.core.autotune import AutoTuner
+    from repro.hpu import HPU1
+
+    n = 1 << 18
+
+    full_tuner = AutoTuner(HPU1, make_mergesort_workload(n))
+    full = full_tuner.tune()
+    adaptive_tuner = AutoTuner(HPU1, make_mergesort_workload(n))
+    adaptive = adaptive_tuner.tune_adaptive()
+    return {
+        "autotune_full_runs": full.evaluations,
+        "autotune_adaptive_runs": adaptive.evaluations,
+        "autotune_adaptive_speedup_gap_pct": round(
+            (full.speedup - adaptive.speedup) / full.speedup * 100.0, 3
+        ),
+    }
+
+
+def bench_fig8_fast() -> float:
+    """Wall-clock of the full fig8 --fast pipeline (cold tuner caches)."""
+    from repro.experiments import common, fig8_speedup_vs_n
+
+    common._TUNERS.clear()
+    start = time.perf_counter()
+    fig8_speedup_vs_n.run(fast=True)
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_perf.json",
+        help="where to write the JSON report (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    # Fail on an unwritable destination now, not after minutes of
+    # benchmarking.
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+
+    results = {"engine_events_per_s": round(bench_engine_events())}
+    results.update(bench_executor())
+    results.update(bench_autotune())
+    fig8_s = bench_fig8_fast()
+    results["fig8_fast_s"] = round(fig8_s, 3)
+    results["fig8_fast_vs_seed_speedup"] = round(SEED_FIG8_FAST_S / fig8_s, 2)
+
+    report = {
+        "generated_unix": int(time.time()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "seed_baseline": {"fig8_fast_s": SEED_FIG8_FAST_S},
+        "benchmarks": results,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

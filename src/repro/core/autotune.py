@@ -14,7 +14,7 @@ The Fig. 8/10 experiment sweeps are thin wrappers over this.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -42,18 +42,38 @@ class TunedPoint:
 
 
 class AutoTuner:
-    """Grid search over the advanced schedule's operating points."""
+    """Grid search over the advanced schedule's operating points.
+
+    One :class:`ScheduleExecutor` is built per tuner and reused across
+    every sweep point, and :meth:`evaluate` memoizes its results on the
+    (α, y) key — the executor is deterministic and the measurement noise
+    is keyed, not sequential, so a repeated operating point is always
+    the same measurement.  ``tuned.evaluations`` therefore counts
+    *executor runs actually spent*, not grid points visited.
+    """
 
     def __init__(
         self,
         hpu: HPU,
         workload: DCWorkload,
         noise: NoiseModel = NO_NOISE,
+        executor: Optional[ScheduleExecutor] = None,
     ) -> None:
         self.hpu = hpu
         self.workload = workload
-        self.executor = ScheduleExecutor(hpu, workload, noise=noise)
+        self.executor = (
+            ScheduleExecutor(hpu, workload, noise=noise)
+            if executor is None
+            else executor
+        )
         self.scheduler = AdvancedSchedule()
+        #: (α, y) -> result, or the ScheduleError the point raised.
+        self._cache: Dict[
+            Tuple[float, int], Union[HybridRunResult, ScheduleError]
+        ] = {}
+        self._cpu_fallback: Optional[HybridRunResult] = None
+        #: Executor runs spent over this tuner's lifetime (cache misses).
+        self.executor_runs = 0
 
     # ------------------------------------------------------------------
     def default_alphas(self, step: float = 0.02) -> np.ndarray:
@@ -69,14 +89,40 @@ class AutoTuner:
 
     # ------------------------------------------------------------------
     def evaluate(self, alpha: float, transfer_level: int) -> HybridRunResult:
-        """Run one operating point (raises if it is inadmissible)."""
-        plan = self.scheduler.plan(
-            self.workload,
-            self.hpu.parameters,
-            alpha=float(alpha),
-            transfer_level=int(transfer_level),
-        )
-        return self.executor.run_advanced(plan)
+        """Run one operating point (raises if it is inadmissible).
+
+        Memoized: the first visit plans and runs the executor; repeat
+        visits (e.g. the refinement pass of :meth:`tune_adaptive`
+        re-crossing the coarse grid) return the recorded result — or
+        re-raise the recorded :class:`ScheduleError` — for free.
+        """
+        key = (float(alpha), int(transfer_level))
+        cached = self._cache.get(key)
+        if cached is not None:
+            if isinstance(cached, ScheduleError):
+                raise cached
+            return cached
+        try:
+            plan = self.scheduler.plan(
+                self.workload,
+                self.hpu.parameters,
+                alpha=key[0],
+                transfer_level=key[1],
+            )
+        except ScheduleError as err:
+            self._cache[key] = err
+            raise
+        result = self.executor.run_advanced(plan)
+        self.executor_runs += 1
+        self._cache[key] = result
+        return result
+
+    def evaluate_cpu_fallback(self) -> HybridRunResult:
+        """The multicore-only execution (memoized like the grid points)."""
+        if self._cpu_fallback is None:
+            self._cpu_fallback = self.executor.run_cpu_only()
+            self.executor_runs += 1
+        return self._cpu_fallback
 
     def tune(
         self,
@@ -92,37 +138,96 @@ class AutoTuner:
         """
         alphas = self.default_alphas() if alphas is None else alphas
         levels = self.default_levels() if levels is None else levels
-        evaluations = 0
-        best: Optional[TunedPoint] = None
+        runs_before = self.executor_runs
+        best: Optional[HybridRunResult] = None
+        best_point: Tuple[Optional[float], Optional[int]] = (None, None)
         if include_cpu_fallback:
-            result = self.executor.run_cpu_only()
-            evaluations += 1
-            best = TunedPoint(result.speedup, None, None, result, evaluations)
+            best = self.evaluate_cpu_fallback()
         for level in levels:
             for alpha in alphas:
                 try:
                     result = self.evaluate(float(alpha), int(level))
                 except ScheduleError:
                     continue
-                evaluations += 1
                 if best is None or result.speedup > best.speedup:
-                    best = TunedPoint(
-                        result.speedup,
-                        float(alpha),
-                        int(level),
-                        result,
-                        evaluations,
-                    )
+                    best = result
+                    best_point = (float(alpha), int(level))
         if best is None:
             raise ScheduleError(
                 "auto-tuning found no admissible operating point"
             )
         return TunedPoint(
             best.speedup,
+            best_point[0],
+            best_point[1],
+            best,
+            self.executor_runs - runs_before,
+        )
+
+    def tune_adaptive(
+        self,
+        alphas: Optional[Sequence[float]] = None,
+        levels: Optional[Sequence[int]] = None,
+        include_cpu_fallback: bool = True,
+        coarse: int = 3,
+    ) -> TunedPoint:
+        """Coarse-to-fine search: a decimated grid, then refinement.
+
+        Evaluates every ``coarse``-th α and level, then re-tunes the
+        full-resolution neighbourhood around the incumbent.  Thanks to
+        :meth:`evaluate`'s memoization the refinement pass pays nothing
+        for re-crossing coarse points, so the total cost drops from
+        ``|alphas| x |levels|`` to roughly ``that / coarse**2`` plus a
+        ``(2 coarse - 1)**2`` neighbourhood — tens of runs instead of
+        hundreds on the Fig. 8/10 grids.  The incumbent-refinement
+        search can in principle settle on a slightly different point
+        than the exhaustive grid (it is a search heuristic, not an
+        executor change), which is why only the ``--fast`` experiment
+        sweeps use it.
+        """
+        alphas = [
+            float(a)
+            for a in (self.default_alphas() if alphas is None else alphas)
+        ]
+        levels = [
+            int(y)
+            for y in (self.default_levels() if levels is None else levels)
+        ]
+        if coarse < 2 or len(alphas) * len(levels) <= coarse**2:
+            return self.tune(alphas, levels, include_cpu_fallback)
+        runs_before = self.executor_runs
+        try:
+            best = self.tune(
+                alphas[::coarse], levels[::coarse], include_cpu_fallback
+            )
+        except ScheduleError:
+            # The decimated grid can miss every admissible point; the
+            # full grid is the authority on "no admissible point".
+            return self.tune(alphas, levels, include_cpu_fallback)
+        if best.used_gpu:
+            ai = min(
+                range(len(alphas)), key=lambda i: abs(alphas[i] - best.alpha)
+            )
+            yi = min(
+                range(len(levels)),
+                key=lambda i: abs(levels[i] - best.transfer_level),
+            )
+            near_alphas = alphas[max(0, ai - coarse + 1) : ai + coarse]
+            near_levels = levels[max(0, yi - coarse + 1) : yi + coarse]
+            try:
+                refined = self.tune(
+                    near_alphas, near_levels, include_cpu_fallback=False
+                )
+            except ScheduleError:  # pragma: no cover - incumbent admissible
+                refined = best
+            if refined.speedup > best.speedup:
+                best = refined
+        return TunedPoint(
+            best.speedup,
             best.alpha,
             best.transfer_level,
             best.result,
-            evaluations,
+            self.executor_runs - runs_before,
         )
 
     def tune_around_model(self, spread: int = 2) -> TunedPoint:

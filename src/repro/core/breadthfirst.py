@@ -86,7 +86,6 @@ def run_breadth_first(
         if not recursions:
             break
         next_level: List[_Node] = []
-        divide_sizes = []
         for node in frontier:
             if node.is_base:
                 # Algorithm 2 line 6: delay the base case downward.
@@ -96,7 +95,6 @@ def run_breadth_first(
                 child = _Node(problem=sub, is_base=spec.is_base(sub))
                 node.children.append(child)
                 next_level.append(child)
-            divide_sizes.append(spec.size_of(node.problem))
         levels.append(next_level)
         depth += 1
 
@@ -117,21 +115,24 @@ def run_breadth_first(
     # -- upward sweep: combine level by level (Algorithm 2 lines 12-13)
     for level_index in range(len(levels) - 2, -1, -1):
         combined = 0
-        ops = 0.0
+        total_ops = 0.0
         for node in levels[level_index]:
             if not node.children:
                 continue
             subsolutions = [child.solution for child in node.children]
             node.solution = spec.combine(subsolutions, node.problem)
             combined += 1
-            ops = spec.level_cost(spec.size_of(node.problem))
+            total_ops += spec.level_cost(spec.size_of(node.problem))
         if combined:
+            # ops_per_task is the level *mean*: on non-uniform levels
+            # (e.g. odd split sizes) the per-node costs differ, and the
+            # batch must account for the aggregate, not the last node.
             batches.append(
                 LevelBatch(
                     level=level_index,
                     kind="combine",
                     tasks=combined,
-                    ops_per_task=ops,
+                    ops_per_task=total_ops / combined,
                 )
             )
 

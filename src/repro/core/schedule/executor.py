@@ -27,7 +27,7 @@ from repro.errors import ScheduleError
 from repro.hpu.hpu import HPU
 from repro.opencl.costmodel import kernel_launch_time
 from repro.opencl.kernel import Kernel, NDRange
-from repro.sim import AllOf, Resource, Simulator, Timeout
+from repro.sim import AllOf, Resource, Simulator, TeamBatch, Timeout
 from repro.sim.trace import time_at_concurrency
 from repro.util.intmath import ceil_div
 from repro.util.rng import NO_NOISE, NoiseModel
@@ -89,17 +89,28 @@ def _step_kernel(step: KernelStep) -> Kernel:
 
 
 class ScheduleExecutor:
-    """Executes plans for one (HPU, workload) pair."""
+    """Executes plans for one (HPU, workload) pair.
+
+    ``fast=True`` (the default) resolves statically-chunked CPU worker
+    teams in closed form — homogeneous batches become a single engine
+    event, heterogeneous or contended ones a :class:`TeamBatch` — which
+    is bit-identical to, and an order of magnitude cheaper than, the
+    process-per-worker reference path (``fast=False``).  The reference
+    path is kept for the equivalence suite in
+    ``tests/core/schedule/test_fast_path_equivalence.py``.
+    """
 
     def __init__(
         self,
         hpu: HPU,
         workload: DCWorkload,
         noise: NoiseModel = NO_NOISE,
+        fast: bool = True,
     ) -> None:
         self.hpu = hpu
         self.workload = workload
         self.noise = noise
+        self.fast = fast
 
     # ------------------------------------------------------------------
     # baselines
@@ -434,10 +445,21 @@ class _Run:
     ):
         """Run ``count`` tasks of a level on the shared core pool.
 
-        Spawns up to ``cores`` workers with statically-chunked task
-        ranges (an OpenMP-style team); each worker holds one core for
-        its chunk's duration, so concurrent batches from the two sides
-        share the pool FIFO-fairly.
+        Runs up to ``cores`` workers with statically-chunked task ranges
+        (an OpenMP-style team); each worker holds one core for its
+        chunk's duration, so concurrent batches from the two sides share
+        the pool FIFO-fairly.
+
+        Fast mode routes the team through :class:`TeamBatch`, which
+        computes each worker's busy interval in closed form from its
+        grant time and chunk duration and records it into the trace
+        directly — no per-worker generator processes.  The chunks of one
+        batch are homogeneous whenever ``count`` is a multiple of the
+        worker count (always true for the power-of-two levels of regular
+        D&C trees), so on an uncontended pool the whole team resolves as
+        a single completion event.  The reference path spawns one
+        process per worker; both paths produce bit-identical clocks and
+        traces (see ``tests/core/schedule/test_fast_path_equivalence``).
         """
         if count == 0:
             return
@@ -450,23 +472,43 @@ class _Run:
             self.x.hpu.cpu_spec.thread_spawn_overhead if workers > 1 else 0.0
         )
 
-        def worker(tasks: int):
-            yield self.cpu.cores.request(1)
-            start = self.sim.now
-            yield Timeout(spawn_overhead + tasks * cost * contention)
-            self.cpu.trace.record(start, self.sim.now, tag)
-            self.cpu.cores.release(1)
-            return None
+        if not self.x.fast:
+            # Reference path: one generator process per worker.
+            def worker(tasks: int):
+                yield self.cpu.cores.request(1)
+                start = self.sim.now
+                yield Timeout(spawn_overhead + tasks * cost * contention)
+                self.cpu.trace.record(start, self.sim.now, tag)
+                self.cpu.cores.release(1)
+                return None
 
-        remaining = count
-        procs = []
-        for _ in range(workers):
-            take = min(chunk, remaining)
-            if take <= 0:
-                break
-            procs.append(self.sim.spawn(worker(take)))
-            remaining -= take
-        yield AllOf(procs)
+            remaining = count
+            procs = []
+            for _ in range(workers):
+                take = min(chunk, remaining)
+                if take <= 0:
+                    break
+                procs.append(self.sim.spawn(worker(take)))
+                remaining -= take
+            yield AllOf(procs)
+            return
+
+        if chunk * workers == count:
+            # Homogeneous static chunks: every worker runs for the same
+            # closed-form duration (the overwhelmingly common case).
+            durations = [spawn_overhead + chunk * cost * contention] * workers
+        else:
+            durations = []
+            remaining = count
+            for _ in range(workers):
+                take = min(chunk, remaining)
+                if take <= 0:
+                    break
+                durations.append(spawn_overhead + take * cost * contention)
+                remaining -= take
+        yield TeamBatch(
+            self.sim, self.cpu.cores, durations, trace=self.cpu.trace, tag=tag
+        )
 
     # -- GPU ------------------------------------------------------------
     def gpu_level(

@@ -70,6 +70,26 @@ class BestPoint:
     result: HybridRunResult
 
 
+#: Tuners (and with them executors and evaluation caches) shared across
+#: sweep points and experiments: Fig. 10 re-searches the same
+#: (platform, n) grids Fig. 8 already ran, so in a full-runner
+#: invocation its sweeps are nearly free.  Keyed by values only —
+#: NoiseModel is frozen — so identical sweeps always coincide.
+_TUNERS: Dict[tuple, object] = {}
+
+
+def _tuner_for(hpu: HPU, n: int, noise: NoiseModel):
+    from repro.core.autotune import AutoTuner
+
+    key = (hpu.name, n, noise)
+    tuner = _TUNERS.get(key)
+    if tuner is None:
+        _TUNERS[key] = tuner = AutoTuner(
+            hpu, make_mergesort_workload(n), noise=noise
+        )
+    return tuner
+
+
 def sweep_best_operating_point(
     hpu: HPU,
     n: int,
@@ -77,6 +97,7 @@ def sweep_best_operating_point(
     levels: Optional[Sequence[int]] = None,
     noise: NoiseModel = NO_NOISE,
     include_cpu_fallback: bool = True,
+    adaptive: bool = False,
 ) -> BestPoint:
     """Grid-search (α, y) for the best measured advanced-hybrid speedup.
 
@@ -85,14 +106,14 @@ def sweep_best_operating_point(
     fastest.  ``include_cpu_fallback`` also tries the CPU-only path,
     which wins for small inputs where transfers dominate.  Thin wrapper
     over :class:`repro.core.autotune.AutoTuner` for the mergesort
-    workload.
+    workload.  ``adaptive=True`` replaces the exhaustive grid with the
+    tuner's coarse-to-fine search (used by the ``--fast`` sweeps).
     """
-    from repro.core.autotune import AutoTuner
-
-    tuner = AutoTuner(hpu, make_mergesort_workload(n), noise=noise)
+    tuner = _tuner_for(hpu, n, noise)
     if levels is None:
         levels = range(max(2, tuner.workload.k - 18), tuner.workload.k + 1)
-    point = tuner.tune(
+    search = tuner.tune_adaptive if adaptive else tuner.tune
+    point = search(
         alphas=alphas,
         levels=levels,
         include_cpu_fallback=include_cpu_fallback,

@@ -29,7 +29,12 @@ def run(fast: bool = False) -> ExperimentResult:
         if n < 1 << 12:
             continue  # below this the CPU-only fallback always wins
         best = sweep_best_operating_point(
-            HPU1, n, alphas, noise=MEASUREMENT_NOISE, include_cpu_fallback=False
+            HPU1,
+            n,
+            alphas,
+            noise=MEASUREMENT_NOISE,
+            include_cpu_fallback=False,
+            adaptive=fast,
         )
         ctx = ModelContext(a=2, b=2, n=n, f=lambda m: m, params=HPU1.parameters)
         sol = AdvancedModel(ctx).optimize()

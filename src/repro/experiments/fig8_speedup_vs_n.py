@@ -40,7 +40,7 @@ def run(fast: bool = False) -> ExperimentResult:
         peak = (0.0, 0)
         for n in size_grid(fast):
             best = sweep_best_operating_point(
-                hpu, n, alphas, noise=MEASUREMENT_NOISE
+                hpu, n, alphas, noise=MEASUREMENT_NOISE, adaptive=fast
             )
             pred = predicted_speedup(hpu, n)
             ratio = best.result.gpu_cpu_ratio

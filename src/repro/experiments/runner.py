@@ -72,6 +72,13 @@ def main(argv=None) -> int:
         "tables",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the selection under cProfile and print the top 20 "
+        "functions by cumulative time (the profiling recipe of "
+        "docs/PERFORMANCE.md)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list available experiments"
     )
     args = parser.parse_args(argv)
@@ -89,6 +96,13 @@ def main(argv=None) -> int:
             f"available: {', '.join(EXPERIMENTS)}"
         )
 
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+
     for key in selected:
         result = EXPERIMENTS[key](args.fast)
         if args.json:
@@ -105,6 +119,13 @@ def main(argv=None) -> int:
                 print()
                 print(plotter(result))
         print()
+
+    if profiler is not None:
+        import pstats
+
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(20)
     return 0
 
 

@@ -13,6 +13,7 @@ requests in FIFO order.  All times are floats in *simulated ops*
 normalization).
 """
 
+from repro.sim.batch import TeamBatch
 from repro.sim.engine import Simulator
 from repro.sim.events import EventQueue
 from repro.sim.process import AllOf, Process, Timeout
@@ -28,6 +29,7 @@ __all__ = [
     "Timeout",
     "Resource",
     "Signal",
+    "TeamBatch",
     "BusyTrace",
     "merge_intervals",
     "overlap_length",

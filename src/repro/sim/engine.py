@@ -18,6 +18,8 @@ from repro.sim.signals import Signal
 class Simulator:
     """A simulated clock plus the machinery to run processes against it."""
 
+    __slots__ = ("_queue", "now", "_live_processes", "_running")
+
     def __init__(self) -> None:
         self._queue = EventQueue()
         self.now: float = 0.0
@@ -29,8 +31,12 @@ class Simulator:
     # ------------------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` after ``delay`` units of simulated time."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        # The chained comparison also rejects NaN (every comparison with
+        # NaN is false) and +inf, so EventQueue.push can skip validation.
+        if not 0.0 <= delay < float("inf"):
+            raise SimulationError(
+                f"delay must be finite and >= 0, got {delay!r}"
+            )
         self._queue.push(self.now + delay, callback)
 
     def fire_later(self, delay: float, signal: Signal, value: Any = None) -> None:
@@ -43,8 +49,12 @@ class Simulator:
     def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
         """Start a new process; it begins executing at the current time."""
         process = Process(generator, name)
+        process._sim = self
         self._live_processes += 1
-        self.schedule(0.0, lambda: self._step(process, None))
+        # Bound-method dispatch: scheduling the process's own resume
+        # methods avoids allocating a closure (lambda + cell) per step —
+        # this is the engine's hottest allocation site.
+        self.schedule(0.0, process._kick)
         return process
 
     def _step(self, process: Process, send_value: Any) -> None:
@@ -58,13 +68,11 @@ class Simulator:
 
     def _wire(self, process: Process, yielded: Any) -> None:
         if isinstance(yielded, Timeout):
-            self.schedule(yielded.duration, lambda: self._step(process, None))
+            self.schedule(yielded.duration, process._kick)
         elif isinstance(yielded, AllOf):
-            yielded.as_signal().on_fire(
-                lambda sig: self._step(process, sig.value)
-            )
+            yielded.as_signal().on_fire(process._resume)
         elif isinstance(yielded, Signal):  # includes child Process objects
-            yielded.on_fire(lambda sig: self._step(process, sig.value))
+            yielded.on_fire(process._resume)
         else:
             raise SimulationError(
                 f"process {process.name!r} yielded unsupported waitable "

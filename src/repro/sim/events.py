@@ -15,9 +15,18 @@ from typing import Callable, Tuple
 
 Callback = Callable[[], None]
 
+#: When True, :meth:`EventQueue.push` validates that timestamps are
+#: finite.  Off by default: ``push`` is the engine's hottest call and
+#: :meth:`Simulator.schedule` already rejects negative, NaN and infinite
+#: delays, so the check here only matters when driving an EventQueue
+#: directly.  Flip it on in tests or while debugging.
+DEBUG_VALIDATE = False
+
 
 class EventQueue:
     """A deterministic priority queue of timestamped callbacks."""
+
+    __slots__ = ("_heap", "_counter")
 
     def __init__(self) -> None:
         self._heap: list[Tuple[float, int, Callback]] = []
@@ -28,7 +37,7 @@ class EventQueue:
 
     def push(self, time: float, callback: Callback) -> None:
         """Schedule ``callback`` to run at absolute ``time``."""
-        if not math.isfinite(time):
+        if DEBUG_VALIDATE and not math.isfinite(time):
             raise ValueError(f"event time must be finite, got {time!r}")
         heapq.heappush(self._heap, (time, next(self._counter), callback))
 

@@ -46,24 +46,26 @@ class AllOf:
     the waitables were given.
     """
 
+    __slots__ = ("signals",)
+
     def __init__(self, signals: Iterable[Signal]) -> None:
         self.signals: Sequence[Signal] = list(signals)
 
     def as_signal(self, name: str = "all_of") -> Signal:
         """Collapse into a single signal firing when all members fired."""
         done = Signal(name)
-        remaining = len(self.signals)
-        if remaining == 0:
+        signals = self.signals
+        if not signals:
             done.fire([])
             return done
-        state = {"remaining": remaining}
+        remaining = [len(signals)]
 
         def _on_member(_sig: Signal) -> None:
-            state["remaining"] -= 1
-            if state["remaining"] == 0:
-                done.fire([s.value for s in self.signals])
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                done.fire([s.value for s in signals])
 
-        for sig in self.signals:
+        for sig in signals:
             sig.on_fire(_on_member)
         return done
 
@@ -71,7 +73,7 @@ class AllOf:
 class Process(Signal):
     """A running generator; fires (as a signal) with its return value."""
 
-    __slots__ = ("generator",)
+    __slots__ = ("generator", "_sim")
 
     def __init__(self, generator: ProcessGenerator, name: str = "") -> None:
         if not hasattr(generator, "send"):
@@ -81,3 +83,15 @@ class Process(Signal):
             )
         super().__init__(name or getattr(generator, "__name__", "process"))
         self.generator = generator
+        self._sim = None  # set by Simulator.spawn
+
+    # -- engine dispatch targets ----------------------------------------
+    # The simulator schedules these bound methods directly instead of
+    # wrapping each step in a fresh closure; see Simulator._wire.
+    def _kick(self) -> None:
+        """Resume with no value (spawn and Timeout continuations)."""
+        self._sim._step(self, None)
+
+    def _resume(self, signal: Signal) -> None:
+        """Resume with a fired signal's value (Signal/AllOf waits)."""
+        self._sim._step(self, signal.value)

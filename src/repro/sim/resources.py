@@ -21,6 +21,8 @@ from repro.sim.signals import Signal
 class Resource:
     """A FIFO pool of ``capacity`` identical units."""
 
+    __slots__ = ("capacity", "name", "_in_use", "_waiters")
+
     def __init__(self, capacity: int, name: str = "resource") -> None:
         if capacity < 1:
             raise ValueError(f"resource capacity must be >= 1, got {capacity!r}")
@@ -44,6 +46,34 @@ class Resource:
     def available(self) -> int:
         """Units currently free."""
         return self.capacity - self._in_use
+
+    def can_grant(self, n: int) -> bool:
+        """Whether ``request(n)`` would be granted immediately.
+
+        True only when ``n`` units are free *and* no earlier request is
+        waiting — granting past the FIFO queue would break the pool's
+        fairness contract.
+        """
+        return not self._waiters and self._in_use + n <= self.capacity
+
+    def acquire(self, n: int = 1) -> None:
+        """Synchronously take ``n`` units; requires :meth:`can_grant`.
+
+        The fast path of the schedule executor uses this to seize a
+        whole worker team's cores in one call when the pool is
+        uncontended, skipping the request/grant signal round-trip.
+        """
+        if not 1 <= n <= self.capacity:
+            raise SimulationError(
+                f"acquire of {n} unit(s) can never be granted by "
+                f"{self.name!r} with capacity {self.capacity}"
+            )
+        if not self.can_grant(n):
+            raise SimulationError(
+                f"{self.name!r}: cannot acquire {n} unit(s) synchronously "
+                f"({self.available} free, {len(self._waiters)} waiting)"
+            )
+        self._in_use += n
 
     def request(self, n: int = 1) -> Signal:
         """Request ``n`` units; returns a signal that fires when granted."""

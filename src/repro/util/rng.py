@@ -9,12 +9,24 @@ constructing it with ``amplitude=0``).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
 
 #: Library-wide default seed. Experiments derive their streams from it.
 DEFAULT_SEED = 20140131  # IJNC 4(1), January 2014
+
+
+def _stable_hash(value: object) -> int:
+    """A 32-bit hash of ``value`` that is identical across processes.
+
+    The builtin ``hash`` is randomized per process for strings
+    (PYTHONHASHSEED), which would make "measured" series drift between
+    runs of different interpreters and break golden tests.
+    """
+    digest = hashlib.blake2b(repr(value).encode(), digest_size=4).digest()
+    return int.from_bytes(digest, "little")
 
 
 def make_rng(seed: int | None = None, *salt: object) -> np.random.Generator:
@@ -25,7 +37,7 @@ def make_rng(seed: int | None = None, *salt: object) -> np.random.Generator:
     root seed.
     """
     root = DEFAULT_SEED if seed is None else seed
-    material = [root] + [abs(hash(s)) % (2**32) for s in salt]
+    material = [root] + [_stable_hash(s) for s in salt]
     return np.random.default_rng(np.random.SeedSequence(material))
 
 

@@ -1,0 +1,105 @@
+"""Fast path vs reference path: bit-identical simulated executions.
+
+The macro-task fast path (``ScheduleExecutor(fast=True)``, the default)
+resolves statically-chunked worker teams in closed form instead of
+spawning one generator process per worker.  This suite is the
+acceptance gate for that optimization: on both HPU presets, across
+schedule kinds and operating points, the two paths must produce
+*identical* makespans, speedups, and per-device busy traces — not
+merely approximately equal ones.
+"""
+
+import pytest
+
+from repro.algorithms.mergesort.hybrid import make_mergesort_workload
+from repro.core.schedule import (
+    AdvancedSchedule,
+    BasicSchedule,
+    ScheduleExecutor,
+)
+from repro.hpu import HPU1, HPU2
+from repro.util.rng import NoiseModel
+
+HPUS = [HPU1, HPU2]
+SIZES = [1 << 12, 1 << 16, 1 << 20]
+#: (alpha, levels-above-leaves) operating points, spanning balanced,
+#: CPU-heavy, and deep-transfer schedules.
+POINTS = [(0.1, 4), (0.2, 8), (0.35, 2)]
+
+
+def executors(hpu, n, noise=None):
+    workload = make_mergesort_workload(n)
+    kwargs = {} if noise is None else {"noise": noise}
+    fast = ScheduleExecutor(hpu, workload, fast=True, **kwargs)
+    reference = ScheduleExecutor(hpu, workload, fast=False, **kwargs)
+    return workload, fast, reference
+
+
+def assert_identical(a, b):
+    assert a.makespan == b.makespan
+    assert a.speedup == b.speedup
+    assert a.cpu_busy == b.cpu_busy
+    assert a.gpu_busy == b.gpu_busy
+    assert a.cpu_fully_busy == b.cpu_fully_busy
+    assert a.cpu_intervals == b.cpu_intervals
+    assert a.gpu_intervals == b.gpu_intervals
+
+
+@pytest.mark.parametrize("hpu", HPUS, ids=lambda h: h.name)
+@pytest.mark.parametrize("n", SIZES, ids=lambda n: f"n={n}")
+class TestAdvancedEquivalence:
+    def test_advanced_identical_across_operating_points(self, hpu, n):
+        workload, fast, reference = executors(hpu, n)
+        k = workload.k
+        for alpha, above in POINTS:
+            plan = AdvancedSchedule().plan(
+                workload,
+                hpu.parameters,
+                alpha=alpha,
+                transfer_level=max(2, k - above),
+            )
+            assert_identical(
+                fast.run_advanced(plan), reference.run_advanced(plan)
+            )
+
+    def test_cpu_only_identical(self, hpu, n):
+        _workload, fast, reference = executors(hpu, n)
+        assert_identical(fast.run_cpu_only(), reference.run_cpu_only())
+
+    def test_cpu_only_ragged_chunks_identical(self, hpu, n):
+        """cores=3 never divides power-of-two batches: heterogeneous
+        chunks exercise TeamBatch's multi-group completion path."""
+        _workload, fast, reference = executors(hpu, n)
+        assert_identical(
+            fast.run_cpu_only(cores=3), reference.run_cpu_only(cores=3)
+        )
+
+    def test_basic_identical(self, hpu, n):
+        workload, fast, reference = executors(hpu, n)
+        plan = BasicSchedule().plan(workload, hpu.parameters)
+        assert_identical(fast.run_basic(plan), reference.run_basic(plan))
+
+
+def test_noisy_measurements_identical():
+    """Noise is applied after simulation, so it must not break identity."""
+    noise = NoiseModel(amplitude=0.015)
+    workload, fast, reference = executors(HPU1, 1 << 16, noise=noise)
+    plan = AdvancedSchedule().plan(
+        workload, HPU1.parameters, alpha=0.2, transfer_level=workload.k - 4
+    )
+    assert_identical(fast.run_advanced(plan), reference.run_advanced(plan))
+
+
+def test_parallel_tail_identical():
+    """The parallel-tail extension shares cpu_batch; cover it too."""
+    from repro.core.schedule.extensions import plan_parallel_tail
+
+    workload, fast, reference = executors(HPU1, 1 << 16)
+    base = AdvancedSchedule().plan(
+        workload, HPU1.parameters, alpha=0.2, transfer_level=workload.k - 4
+    )
+    plan = plan_parallel_tail(base, workload, HPU1.parameters)
+    assert_identical(
+        fast.run_advanced_parallel_tail(plan),
+        reference.run_advanced_parallel_tail(plan),
+    )

@@ -66,3 +66,88 @@ class TestAutoTuner:
         with pytest.raises(ScheduleError):
             t.default_alphas(step=0.9)
         assert list(t.default_levels(span=3))[-1] == t.workload.k
+
+
+class TestEvaluationCache:
+    def test_repeat_evaluation_spends_no_executor_run(self):
+        t = tuner(1 << 14)
+        first = t.evaluate(0.2, 10)
+        assert t.executor_runs == 1
+        second = t.evaluate(0.2, 10)
+        assert t.executor_runs == 1
+        assert second is first
+
+    def test_cache_key_normalizes_numeric_types(self):
+        import numpy as np
+
+        t = tuner(1 << 14)
+        a = t.evaluate(np.float64(0.2), np.int64(10))
+        b = t.evaluate(0.2, 10)
+        assert t.executor_runs == 1
+        assert b is a
+
+    def test_inadmissible_point_cached_and_reraised(self):
+        t = tuner(1 << 14)
+        with pytest.raises(ScheduleError):
+            t.evaluate(2.0, 10)
+        with pytest.raises(ScheduleError):
+            t.evaluate(2.0, 10)
+        assert t.executor_runs == 0  # plan() failed before the executor
+
+    def test_cpu_fallback_memoized(self):
+        t = tuner(1 << 14)
+        first = t.evaluate_cpu_fallback()
+        second = t.evaluate_cpu_fallback()
+        assert second is first
+        assert t.executor_runs == 1
+
+    def test_overlapping_tunes_share_the_cache(self):
+        """A second sweep over a superset grid only pays for new points."""
+        t = tuner(1 << 14)
+        t.tune(alphas=[0.2, 0.3], levels=[10, 12])
+        assert t.executor_runs == 5  # 4 points + fallback
+        second = t.tune(alphas=[0.2, 0.3, 0.4], levels=[10, 12])
+        assert second.evaluations == 2  # only the two 0.4 points
+        assert t.executor_runs == 7
+
+
+class TestAdaptiveTune:
+    def test_small_grid_falls_back_to_full_tune(self):
+        t = tuner(1 << 14)
+        adaptive = t.tune_adaptive(alphas=[0.2, 0.3], levels=[10, 12])
+        exhaustive = tuner(1 << 14).tune(alphas=[0.2, 0.3], levels=[10, 12])
+        assert adaptive == exhaustive
+
+    def test_cheaper_than_exhaustive_on_default_grids(self):
+        full = tuner(1 << 18).tune()
+        adaptive = tuner(1 << 18).tune_adaptive()
+        assert adaptive.evaluations < full.evaluations / 2
+        assert adaptive.used_gpu
+
+    def test_finds_a_competitive_point(self):
+        """The heuristic may settle off the global best, but not far."""
+        full = tuner(1 << 18).tune()
+        adaptive = tuner(1 << 18).tune_adaptive()
+        assert adaptive.speedup >= full.speedup * 0.97
+
+    def test_cpu_fallback_still_wins_on_tiny_input(self):
+        adaptive = tuner(1 << 8).tune_adaptive()
+        assert not adaptive.used_gpu
+
+    def test_no_admissible_point_still_raises(self):
+        t = tuner(1 << 14)
+        with pytest.raises(ScheduleError, match="no admissible"):
+            t.tune_adaptive(
+                alphas=[2.0] * 9,
+                levels=[10] * 9,
+                include_cpu_fallback=False,
+            )
+
+    def test_deterministic(self):
+        a = tuner(1 << 16).tune_adaptive()
+        b = tuner(1 << 16).tune_adaptive()
+        assert (a.speedup, a.alpha, a.transfer_level) == (
+            b.speedup,
+            b.alpha,
+            b.transfer_level,
+        )

@@ -190,6 +190,28 @@ class TestBreadthFirstExecutor:
         for batch in bf.batches:
             assert batch.tasks > 0
 
+    def test_nonuniform_level_combine_ops_aggregate(self):
+        """n=5 splits 2|3: the level-1 combine batch holds nodes of
+        different sizes, so its ops must be the level total (2 + 3),
+        not tasks x the last node's cost."""
+        bf = run_breadth_first(concat_sort_spec(), tuple(range(5)))
+        level1 = [
+            b for b in bf.batches if b.kind == "combine" and b.level == 1
+        ]
+        assert len(level1) == 1
+        assert level1[0].tasks == 2
+        assert level1[0].total_ops == pytest.approx(5.0)
+        assert level1[0].ops_per_task == pytest.approx(2.5)
+
+    @pytest.mark.parametrize("n", [3, 5, 6, 7, 11, 13, 48])
+    def test_total_ops_matches_recursive_on_ragged_inputs(self, n):
+        """Aggregate accounting agrees with the recursive tally even
+        when levels are non-uniform (odd split sizes)."""
+        xs = tuple(range(n))
+        rec = run_recursive(concat_sort_spec(), xs)
+        bf = run_breadth_first(concat_sort_spec(), xs)
+        assert bf.total_ops == pytest.approx(rec.total_ops)
+
     @given(st.lists(st.integers(-100, 100), min_size=1, max_size=48))
     @settings(max_examples=40, deadline=None)
     def test_equivalence_with_recursive_any_input(self, xs):

@@ -1,0 +1,69 @@
+"""Golden test: the Fig. 8 ``--fast`` sweep, pinned to exact values.
+
+The fast sweep is fully deterministic — a DES over exact arithmetic,
+keyed measurement noise with a process-independent salt hash, and a
+deterministic coarse-to-fine search — so its output can be pinned
+exactly, not banded.  Any change to the engine's event ordering, the
+executor fast path, the tuner's search order, or the noise stream shows
+up here as a precise diff.
+
+If a change *intentionally* moves these numbers (e.g. a new search
+heuristic), repin them from a fresh run and say so in the commit; an
+unintentional diff means bit-identical reproducibility broke.
+"""
+
+from repro.experiments import fig8_speedup_vs_n
+
+#: measured-speedup column per platform for n = 2^10, 2^12, ..., 2^26.
+GOLDEN_MEASURED = {
+    "HPU1": [1.268, 2.264, 2.883, 3.149, 3.548, 4.574, 4.564, 4.572, 4.392],
+    "HPU2": [1.268, 2.264, 2.883, 3.149, 3.723, 4.436, 4.462, 4.292, 4.316],
+}
+
+#: model predictions are noise-free and search-independent.
+GOLDEN_PREDICTED = {
+    "HPU1": [3.258, 3.705, 4.159, 4.603, 5.033, 5.45, 5.857, 6.249, 6.631],
+    "HPU2": [3.449, 3.94, 4.418, 4.87, 5.294, 5.71, 6.094, 6.468, 6.824],
+}
+
+GOLDEN_NOTES = [
+    "HPU1: max measured speedup 4.57x at n=2^20",
+    "HPU2: max measured speedup 4.46x at n=2^22",
+]
+
+SIZES = [f"2^{e}" for e in range(10, 27, 2)]
+
+
+class TestGoldenFig8Fast:
+    def setup_method(self):
+        self.result = fig8_speedup_vs_n.run(fast=True)
+
+    def rows_for(self, platform):
+        return [row for row in self.result.rows if row[0] == platform]
+
+    def test_grid_shape(self):
+        for platform in ("HPU1", "HPU2"):
+            assert [row[1] for row in self.rows_for(platform)] == SIZES
+
+    def test_measured_speedups_pinned(self):
+        for platform, golden in GOLDEN_MEASURED.items():
+            measured = [row[2] for row in self.rows_for(platform)]
+            assert measured == golden, f"{platform} measured column moved"
+
+    def test_predicted_speedups_pinned(self):
+        for platform, golden in GOLDEN_PREDICTED.items():
+            predicted = [row[3] for row in self.rows_for(platform)]
+            assert predicted == golden, f"{platform} predicted column moved"
+
+    def test_notes_pinned(self):
+        assert self.result.notes == GOLDEN_NOTES
+
+    def test_headline_bands_still_hold(self):
+        """The paper-facing sanity bands the golden values must sit in:
+        maxima near the paper's 4.54x/4.35x, below the predictions."""
+        for platform in ("HPU1", "HPU2"):
+            rows = self.rows_for(platform)
+            peak = max(row[2] for row in rows)
+            assert 4.1 < peak < 4.9
+            for row in rows:
+                assert row[2] < row[3]  # measured below predicted

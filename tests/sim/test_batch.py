@@ -1,0 +1,159 @@
+"""TeamBatch: the batch-completion primitive of the executor fast path."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Resource, Simulator, TeamBatch, Timeout
+from repro.sim.trace import BusyTrace
+
+
+def run_batch(durations, capacity=4, trace=None, tag="team"):
+    sim = Simulator()
+    pool = Resource(capacity, "cores")
+
+    def proc():
+        value = yield TeamBatch(sim, pool, durations, trace=trace, tag=tag)
+        return (value, sim.now)
+
+    return sim.run_process(proc()), pool
+
+
+class TestTeamBatchBasics:
+    def test_fires_with_worker_count_at_max_duration(self):
+        (value, t), _pool = run_batch([2.0, 5.0, 3.0])
+        assert value == 3
+        assert t == 5.0
+
+    def test_homogeneous_batch_single_completion_group(self):
+        trace = BusyTrace()
+        (value, t), _pool = run_batch([4.0] * 4, trace=trace)
+        assert value == 4
+        assert t == 4.0
+        assert trace.intervals == [(0.0, 4.0)] * 4
+
+    def test_zero_duration_worker_allowed(self):
+        (value, t), _pool = run_batch([0.0, 1.0])
+        assert value == 2
+        assert t == 1.0
+
+    def test_all_cores_released_afterwards(self):
+        _result, pool = run_batch([1.0, 2.0, 3.0], capacity=3)
+        assert pool.available == 3
+
+    def test_trace_records_tagged_intervals(self):
+        trace = BusyTrace()
+        run_batch([2.0, 3.0], trace=trace, tag="leaves")
+        assert sorted(trace.tagged("leaves")) == [(0.0, 2.0), (0.0, 3.0)]
+        assert trace.tagged("other") == []
+
+    def test_empty_team_rejected(self):
+        sim = Simulator()
+        pool = Resource(2, "cores")
+        with pytest.raises(SimulationError, match="at least one worker"):
+            TeamBatch(sim, pool, [])
+
+    def test_negative_duration_rejected(self):
+        sim = Simulator()
+        pool = Resource(2, "cores")
+        with pytest.raises(SimulationError, match=">= 0"):
+            TeamBatch(sim, pool, [1.0, -0.5])
+
+
+class TestTeamBatchContention:
+    def test_oversubscribed_pool_serializes_fifo(self):
+        """5 unit-duration workers over 2 cores: waves at t=1, 2, 3."""
+        trace = BusyTrace()
+        (value, t), pool = run_batch(
+            [1.0] * 5, capacity=2, trace=trace
+        )
+        assert value == 5
+        assert t == 3.0
+        assert sorted(trace.intervals) == [
+            (0.0, 1.0),
+            (0.0, 1.0),
+            (1.0, 2.0),
+            (1.0, 2.0),
+            (2.0, 3.0),
+        ]
+        assert pool.available == 2
+
+    def test_batch_queues_behind_existing_holder(self):
+        """A team starting while the pool is held waits for the release."""
+        sim = Simulator()
+        pool = Resource(1, "core")
+
+        def holder():
+            yield pool.request(1)
+            yield Timeout(10.0)
+            pool.release(1)
+            return None
+
+        def team():
+            yield TeamBatch(sim, pool, [2.0])
+            return sim.now
+
+        sim.spawn(holder())
+        proc = sim.spawn(team())
+        sim.run()
+        assert proc.value == 12.0
+
+    def test_two_teams_share_pool_fifo(self):
+        """Teams requesting at the same timestamp interleave FIFO."""
+        sim = Simulator()
+        pool = Resource(2, "cores")
+        done = {}
+
+        def team(name, durations):
+            yield TeamBatch(sim, pool, durations)
+            done[name] = sim.now
+            return None
+
+        sim.spawn(team("a", [3.0, 3.0]))
+        sim.spawn(team("b", [1.0, 1.0]))
+        sim.run()
+        # Team a's two requests were issued first and seize both cores;
+        # a's simultaneous release at t=3 grants both of b's waiters.
+        assert done == {"a": 3.0, "b": 4.0}
+
+
+class TestTeamBatchEquivalence:
+    def test_matches_process_per_worker_reference(self):
+        """TeamBatch reproduces the reference team's clocks and traces."""
+        durations = [2.0, 2.0, 5.0, 1.0, 2.0, 5.0, 3.0]
+
+        def reference():
+            sim = Simulator()
+            pool = Resource(3, "cores")
+            trace = BusyTrace()
+
+            def worker(duration):
+                yield pool.request(1)
+                start = sim.now
+                yield Timeout(duration)
+                trace.record(start, sim.now, "w")
+                pool.release(1)
+                return None
+
+            def team():
+                from repro.sim import AllOf
+
+                yield AllOf([sim.spawn(worker(d)) for d in durations])
+                return sim.now
+
+            return sim.run_process(team()), trace.tagged("w")
+
+        def batched():
+            sim = Simulator()
+            pool = Resource(3, "cores")
+            trace = BusyTrace()
+
+            def team():
+                yield TeamBatch(sim, pool, durations, trace=trace, tag="w")
+                return sim.now
+
+            return sim.run_process(team()), trace.tagged("w")
+
+        ref_end, ref_trace = reference()
+        fast_end, fast_trace = batched()
+        assert fast_end == ref_end
+        assert sorted(fast_trace) == sorted(ref_trace)

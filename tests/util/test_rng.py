@@ -1,6 +1,23 @@
 import pytest
 
-from repro.util.rng import NO_NOISE, NoiseModel, make_rng
+from repro.util.rng import NO_NOISE, NoiseModel, _stable_hash, make_rng
+
+
+class TestStableHash:
+    def test_pinned_values(self):
+        """These constants guard cross-process reproducibility: the salt
+        hash must not depend on PYTHONHASHSEED or the interpreter run.
+        If this fails, every golden test of a "measured" series is
+        invalidated — do not repin these lightly."""
+        assert _stable_hash("noise") == 2811796334
+        assert _stable_hash(0) == _stable_hash(0)
+        assert _stable_hash("a") != _stable_hash("b")
+
+    def test_noise_jitter_pinned(self):
+        nm = NoiseModel(amplitude=0.05)
+        assert nm.apply(100.0, "golden", 7) == pytest.approx(
+            104.50748180154233, abs=1e-12
+        )
 
 
 class TestMakeRng:
