@@ -17,7 +17,14 @@ repo root so successive PRs can track the perf trajectory:
 - ``autotune_full_runs`` / ``autotune_adaptive_runs``: executor runs
   spent by the exhaustive grid vs the coarse-to-fine search;
 - ``fig8_fast_s``: wall-clock of the full Fig. 8 ``--fast`` pipeline
-  (the acceptance metric; seed: ~4.9 s on the reference machine).
+  (the acceptance metric; seed: ~4.9 s on the reference machine);
+- ``fig8_fast_traced_s`` / ``trace_overhead_pct``: the same pipeline
+  with the :mod:`repro.obs` tracer active — the observability tax.
+
+``--guard-fig8-pct PCT`` additionally compares the untraced
+``fig8_fast_s`` against the recorded baseline (repo-root
+``BENCH_perf.json`` by default) and exits non-zero past the limit —
+CI's guard that instrumentation stays free when tracing is off.
 
 Numbers are wall-clock on whatever machine runs this, so compare
 trajectories on one machine, not absolute values across machines.
@@ -119,6 +126,47 @@ def bench_fig8_fast() -> float:
     return time.perf_counter() - start
 
 
+def bench_fig8_fast_traced() -> float:
+    """Same pipeline with the repro.obs tracer active.
+
+    The gap against :func:`bench_fig8_fast` is the observability tax;
+    it should stay modest (tracing is append-only recording), and the
+    untraced number must not move at all — hot paths only pay an
+    ``is not None`` check when tracing is off.
+    """
+    from repro.experiments import common, fig8_speedup_vs_n
+    from repro.obs import tracing
+
+    common._TUNERS.clear()
+    start = time.perf_counter()
+    with tracing():
+        fig8_speedup_vs_n.run(fast=True)
+    return time.perf_counter() - start
+
+
+def guard_fig8(measured_s: float, baseline: dict, pct: float) -> int:
+    """Fail (non-zero) if fig8 --fast regressed more than ``pct`` percent.
+
+    Compares against ``benchmarks.fig8_fast_s`` of a previously recorded
+    report — normally the committed repo-root ``BENCH_perf.json`` — so
+    CI catches accidental slowdowns on the acceptance metric.  Only
+    meaningful when baseline and measurement ran on comparable machines.
+    """
+    base_s = baseline.get("benchmarks", {}).get("fig8_fast_s")
+    if not base_s:
+        print("perf guard: baseline has no fig8_fast_s, skipping")
+        return 0
+    regression_pct = (measured_s - base_s) / base_s * 100.0
+    print(
+        f"perf guard: fig8 --fast {measured_s:.3f}s vs baseline "
+        f"{base_s:.3f}s ({regression_pct:+.1f}%, limit +{pct:.0f}%)"
+    )
+    if regression_pct > pct:
+        print("perf guard: FAIL — fig8 --fast regressed past the limit")
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -127,10 +175,29 @@ def main(argv=None) -> int:
         default=REPO_ROOT / "BENCH_perf.json",
         help="where to write the JSON report (default: repo root)",
     )
+    parser.add_argument(
+        "--guard-fig8-pct",
+        type=float,
+        metavar="PCT",
+        help="exit non-zero if fig8 --fast is more than PCT%% slower "
+        "than the recorded baseline (repo-root BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--guard-baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_perf.json",
+        help="baseline report for --guard-fig8-pct "
+        "(default: repo-root BENCH_perf.json)",
+    )
     args = parser.parse_args(argv)
     # Fail on an unwritable destination now, not after minutes of
     # benchmarking.
     args.out.parent.mkdir(parents=True, exist_ok=True)
+    # Snapshot the guard baseline before benchmarks run: --out may point
+    # at the same file the guard compares against.
+    guard_baseline = None
+    if args.guard_fig8_pct is not None and args.guard_baseline.exists():
+        guard_baseline = json.loads(args.guard_baseline.read_text())
 
     results = {"engine_events_per_s": round(bench_engine_events())}
     results.update(bench_executor())
@@ -138,6 +205,11 @@ def main(argv=None) -> int:
     fig8_s = bench_fig8_fast()
     results["fig8_fast_s"] = round(fig8_s, 3)
     results["fig8_fast_vs_seed_speedup"] = round(SEED_FIG8_FAST_S / fig8_s, 2)
+    fig8_traced_s = bench_fig8_fast_traced()
+    results["fig8_fast_traced_s"] = round(fig8_traced_s, 3)
+    results["trace_overhead_pct"] = round(
+        (fig8_traced_s - fig8_s) / fig8_s * 100.0, 1
+    )
 
     report = {
         "generated_unix": int(time.time()),
@@ -148,6 +220,13 @@ def main(argv=None) -> int:
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
+    if args.guard_fig8_pct is not None:
+        if guard_baseline is None:
+            print(
+                f"perf guard: no baseline at {args.guard_baseline}, skipping"
+            )
+            return 0
+        return guard_fig8(fig8_s, guard_baseline, args.guard_fig8_pct)
     return 0
 
 

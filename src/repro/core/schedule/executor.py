@@ -25,6 +25,7 @@ from repro.core.schedule.basic import BasicPlan
 from repro.core.schedule.workload import LEAVES, DCWorkload, KernelStep, LevelRef
 from repro.errors import ScheduleError
 from repro.hpu.hpu import HPU
+from repro.obs.tracer import active as _obs_active
 from repro.opencl.costmodel import kernel_launch_time
 from repro.opencl.kernel import Kernel, NDRange
 from repro.sim import AllOf, Resource, Simulator, TeamBatch, Timeout
@@ -438,6 +439,36 @@ class _Run:
         self.gpu_kernel_time = 0.0
         self.transfer_time = 0.0
         self._gpu_params = executor.hpu.gpu_spec.cost_parameters()
+        # -- observability (no-op unless a repro.obs tracer is active) --
+        # All hooks are pure observers keyed on simulated time; they
+        # never schedule events or draw randomness, so tracing on/off
+        # produces bit-identical results (tests/obs/test_equivalence.py).
+        self.tracer = _obs_active()
+        if self.tracer is not None:
+            self.tracer.begin_run(
+                f"{executor.hpu.name}:{self.w.name}",
+                platform=executor.hpu.name,
+                workload=self.w.name,
+                n=self.w.total_elements,
+                cores=self.cores,
+                fast=executor.fast,
+            )
+            sim = self.sim
+            wait_hist = self.tracer.metrics.histogram(
+                "cpu.core_wait",
+                help="simulated time worker requests wait for a core",
+            )
+
+            def _on_request(n, grant, _sim=sim, _hist=wait_hist):
+                if grant is None:  # synchronous acquire: zero wait
+                    _hist.observe(0.0, device="cpu")
+                    return
+                t0 = _sim.now
+                grant.on_fire(
+                    lambda _s: _hist.observe(_sim.now - t0, device="cpu")
+                )
+
+            self.cpu.cores.set_wait_hook(_on_request)
 
     # -- CPU ------------------------------------------------------------
     def cpu_batch(
@@ -471,14 +502,33 @@ class _Run:
         spawn_overhead = (
             self.x.hpu.cpu_spec.thread_spawn_overhead if workers > 1 else 0.0
         )
+        tracer = self.tracer
+        if tracer is not None:
+            metrics = tracer.metrics
+            metrics.counter("cpu.ops").inc(
+                count * cost, device="cpu", level=level
+            )
+            metrics.counter("cpu.batches").inc(device="cpu", level=level)
+            if contention > 1.0:
+                metrics.counter("cpu.llc_pressure_events").inc(
+                    device="cpu", level=level
+                )
+            batch_start = self.sim.now
 
         if not self.x.fast:
             # Reference path: one generator process per worker.
+            worker_lane = f"{self.cpu.trace.name or 'cpu'}.workers"
+
             def worker(tasks: int):
                 yield self.cpu.cores.request(1)
                 start = self.sim.now
                 yield Timeout(spawn_overhead + tasks * cost * contention)
                 self.cpu.trace.record(start, self.sim.now, tag)
+                if tracer is not None:
+                    tracer.span(
+                        tag, "cpu.worker", start, self.sim.now,
+                        device=worker_lane,
+                    )
                 self.cpu.cores.release(1)
                 return None
 
@@ -491,6 +541,12 @@ class _Run:
                 procs.append(self.sim.spawn(worker(take)))
                 remaining -= take
             yield AllOf(procs)
+            if tracer is not None:
+                tracer.span(
+                    tag, "cpu.batch", batch_start, self.sim.now,
+                    device="cpu", level=level, phase=phase, tasks=count,
+                    workers=workers,
+                )
             return
 
         if chunk * workers == count:
@@ -509,6 +565,12 @@ class _Run:
         yield TeamBatch(
             self.sim, self.cpu.cores, durations, trace=self.cpu.trace, tag=tag
         )
+        if tracer is not None:
+            tracer.span(
+                tag, "cpu.batch", batch_start, self.sim.now,
+                device="cpu", level=level, phase=phase, tasks=count,
+                workers=workers,
+            )
 
     # -- GPU ------------------------------------------------------------
     def gpu_level(
@@ -532,6 +594,7 @@ class _Run:
             if parallel
             else self.w.gpu_steps(level, count, offset)
         )
+        tracer = self.tracer
         for step in steps:
             kernel = _step_kernel(step)
             ndrange = NDRange(
@@ -543,6 +606,19 @@ class _Run:
             yield Timeout(duration)
             self.gpu.trace.record(start, self.sim.now, f"kernel:{step.name}")
             self.gpu_kernel_time += duration
+            if tracer is not None:
+                tracer.span(
+                    f"kernel:{step.name}", "gpu.kernel", start, self.sim.now,
+                    device="gpu", level=level, items=step.items,
+                    parallel=parallel,
+                )
+                metrics = tracer.metrics
+                metrics.counter("gpu.kernel_launches").inc(
+                    device="gpu", level=level
+                )
+                metrics.counter("gpu.ops").inc(
+                    step.items * step.ops_per_item, device="gpu", level=level
+                )
 
     def gpu_transfer(self, words: int, tag: str):
         """One CPU↔GPU transfer of ``words`` machine words."""
@@ -551,6 +627,8 @@ class _Run:
         yield Timeout(duration)
         self.gpu.trace.record(start, self.sim.now, tag)
         self.transfer_time += duration
+        if self.tracer is not None:
+            self._record_transfer(tag, start, words)
 
     # -- multi-GPU variants (explicit device + shared link) -------------
     def gpu_level_on(
@@ -561,6 +639,7 @@ class _Run:
             return
         self.w.run_hook(phase, level, offset, count)
         params = device.spec.cost_parameters()
+        tracer = self.tracer
         for step in self.w.gpu_steps(level, count, offset):
             kernel = _step_kernel(step)
             ndrange = NDRange(
@@ -571,6 +650,19 @@ class _Run:
             yield Timeout(duration)
             device.trace.record(start, self.sim.now, f"kernel:{step.name}")
             self.gpu_kernel_time += duration
+            if tracer is not None:
+                lane = device.trace.name or "gpu"
+                tracer.span(
+                    f"kernel:{step.name}", "gpu.kernel", start, self.sim.now,
+                    device=lane, level=level, items=step.items,
+                )
+                metrics = tracer.metrics
+                metrics.counter("gpu.kernel_launches").inc(
+                    device=lane, level=level
+                )
+                metrics.counter("gpu.ops").inc(
+                    step.items * step.ops_per_item, device=lane, level=level
+                )
 
     def linked_transfer(self, link, device, words: int, tag: str):
         """A transfer that serializes on the shared host link."""
@@ -581,6 +673,24 @@ class _Run:
         device.trace.record(start, self.sim.now, tag)
         self.transfer_time += duration
         link.release(1)
+        if self.tracer is not None:
+            self._record_transfer(
+                tag, start, words, lane=device.trace.name or "gpu"
+            )
+
+    def _record_transfer(
+        self, tag: str, start: float, words: int, lane: str = "gpu"
+    ) -> None:
+        """Span + byte/count metrics for one finished transfer."""
+        tracer = self.tracer
+        tracer.span(
+            tag, "gpu.xfer", start, self.sim.now, device=lane, words=words
+        )
+        metrics = tracer.metrics
+        metrics.counter("xfer.bytes").inc(
+            words * self.w.element_bytes, device=lane, dir=tag
+        )
+        metrics.counter("xfer.count").inc(device=lane, dir=tag)
 
     # -- wrap-up ----------------------------------------------------------
     def finish(
@@ -590,6 +700,23 @@ class _Run:
         makespan = self.x.noise.apply(
             self.sim.now, self.w.name, *tuple(noise_key)
         )
+        if self.tracer is not None:
+            metrics = self.tracer.metrics
+            metrics.counter("sim.events").inc(
+                self.sim.events_processed, device="sim"
+            )
+            metrics.counter("sim.processes").inc(
+                self.sim.processes_spawned, device="sim"
+            )
+            metrics.counter("runs").inc()
+            metrics.histogram(
+                "run.makespan", help="noised makespans per platform/workload"
+            ).observe(
+                makespan, platform=self.x.hpu.name, workload=self.w.name
+            )
+            # Close this run's segment on the trace timeline at the
+            # *unnoised* clock — span times are raw simulated time.
+            self.tracer.end_run(self.sim.now)
         cpu_intervals = self.cpu.trace.intervals
         side_spans = side_spans or {}
         return HybridRunResult(

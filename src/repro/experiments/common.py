@@ -11,6 +11,7 @@ from repro.algorithms.mergesort.hybrid import make_mergesort_workload
 from repro.core.schedule import AdvancedSchedule, ScheduleExecutor
 from repro.core.schedule.executor import HybridRunResult
 from repro.hpu.hpu import HPU
+from repro.obs.tracer import active as _obs_active
 from repro.util.rng import NO_NOISE, NoiseModel
 from repro.util.tables import format_table
 
@@ -110,6 +111,18 @@ def sweep_best_operating_point(
     tuner's coarse-to-fine search (used by the ``--fast`` sweeps).
     """
     tuner = _tuner_for(hpu, n, noise)
+    tracer = _obs_active()
+    if tracer is not None:
+        # Sweep boundary marker: everything until the next marker on the
+        # trace timeline belongs to this (platform, n) grid search.
+        tracer.instant(
+            f"sweep:{hpu.name}:n={n}",
+            "autotune.sweep",
+            device="runs",
+            platform=hpu.name,
+            n=n,
+            adaptive=adaptive,
+        )
     if levels is None:
         levels = range(max(2, tuner.workload.k - 18), tuner.workload.k + 1)
     search = tuner.tune_adaptive if adaptive else tuner.tune

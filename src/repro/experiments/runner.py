@@ -6,13 +6,25 @@ Usage::
     repro-experiments --fast        # coarse grids (CI-speed)
     repro-experiments fig8 fig9     # a selection
     repro-experiments --list        # what's available
+
+Observability (see ``docs/OBSERVABILITY.md``)::
+
+    repro-experiments fig8 --fast --trace-out t.json --metrics-out m.json
+
+activates the :mod:`repro.obs` tracer for the whole invocation, writes
+a Chrome/Perfetto-loadable trace and a metrics snapshot, and drops a
+run manifest under ``results/<run-id>/manifest.json`` so the outputs
+are diffable artifacts.  Tracing never changes results: simulated
+numbers are bit-identical with it on or off.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
     ext_future_work,
@@ -44,6 +56,45 @@ EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
     "ext1": ext_future_work.run,
     "ext2": ext_matmul.run,
 }
+
+
+def _build_manifest(
+    args,
+    argv: Optional[List[str]],
+    selected: List[str],
+    results: Dict[str, ExperimentResult],
+    tracer,
+    run_id: str,
+    outputs: Dict[str, Optional[str]],
+):
+    """Assemble the RunManifest for this invocation."""
+    import repro
+    from repro.experiments.common import MEASUREMENT_NOISE
+    from repro.hpu import PLATFORMS
+    from repro.obs.manifest import RunManifest, platform_manifest
+    from repro.util.rng import DEFAULT_SEED
+
+    return RunManifest(
+        run_id=run_id,
+        created_unix=int(time.time()),
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        experiments=selected,
+        fast=args.fast,
+        platforms={
+            name: platform_manifest(hpu) for name, hpu in PLATFORMS.items()
+        },
+        seed=DEFAULT_SEED,
+        noise_amplitude=MEASUREMENT_NOISE.amplitude,
+        repro_version=repro.__version__,
+        results={
+            key: {"title": res.title, "notes": list(res.notes)}
+            for key, res in results.items()
+        },
+        metrics_summary=(
+            tracer.metrics.summary() if tracer is not None else {}
+        ),
+        outputs=outputs,
+    )
 
 
 def main(argv=None) -> int:
@@ -79,6 +130,42 @@ def main(argv=None) -> int:
         "docs/PERFORMANCE.md)",
     )
     parser.add_argument(
+        "--trace-out",
+        type=Path,
+        metavar="PATH",
+        help="activate the repro.obs tracer and write a Chrome-trace "
+        "JSON (chrome://tracing / Perfetto) of every simulated run",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        metavar="PATH",
+        help="activate the repro.obs tracer and write the metrics "
+        "registry (per-device/per-level counters) as JSON",
+    )
+    parser.add_argument(
+        "--trace-ascii",
+        action="store_true",
+        help="with --trace-out/--metrics-out: also print the ASCII "
+        "per-device timeline after the experiment output",
+    )
+    parser.add_argument(
+        "--manifest",
+        action="store_true",
+        help="write a run manifest even without --trace-out/--metrics-out",
+    )
+    parser.add_argument(
+        "--run-id",
+        help="manifest directory name (default: <timestamp>-<experiments>)",
+    )
+    parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=Path("results"),
+        metavar="DIR",
+        help="where run manifests go (default: results/)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list available experiments"
     )
     args = parser.parse_args(argv)
@@ -96,6 +183,15 @@ def main(argv=None) -> int:
             f"available: {', '.join(EXPERIMENTS)}"
         )
 
+    # -- observability setup -------------------------------------------
+    tracing_on = args.trace_out is not None or args.metrics_out is not None
+    emit_manifest = tracing_on or args.manifest
+    tracer = None
+    if tracing_on:
+        from repro.obs import Tracer, activate
+
+        tracer = activate(Tracer(name="repro-experiments"))
+
     profiler = None
     if args.profile:
         import cProfile
@@ -103,22 +199,30 @@ def main(argv=None) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
 
-    for key in selected:
-        result = EXPERIMENTS[key](args.fast)
-        if args.json:
-            import json
+    results: Dict[str, ExperimentResult] = {}
+    try:
+        for key in selected:
+            result = EXPERIMENTS[key](args.fast)
+            results[key] = result
+            if args.json:
+                import json
 
-            print(json.dumps(result.to_dict()))
-            continue
-        print(result.render())
-        if args.plot:
-            from repro.experiments.plots import PLOTTERS
+                print(json.dumps(result.to_dict()))
+                continue
+            print(result.render())
+            if args.plot:
+                from repro.experiments.plots import PLOTTERS
 
-            plotter = PLOTTERS.get(key)
-            if plotter is not None:
-                print()
-                print(plotter(result))
-        print()
+                plotter = PLOTTERS.get(key)
+                if plotter is not None:
+                    print()
+                    print(plotter(result))
+            print()
+    finally:
+        if tracer is not None:
+            from repro.obs import deactivate
+
+            deactivate()
 
     if profiler is not None:
         import pstats
@@ -126,6 +230,36 @@ def main(argv=None) -> int:
         profiler.disable()
         stats = pstats.Stats(profiler, stream=sys.stdout)
         stats.sort_stats("cumulative").print_stats(20)
+
+    # -- observability artifacts ---------------------------------------
+    outputs: Dict[str, Optional[str]] = {}
+    if tracer is not None and args.trace_out is not None:
+        from repro.obs import write_chrome_trace
+
+        path = write_chrome_trace(args.trace_out, tracer)
+        outputs["trace"] = str(path)
+        print(f"trace: {path} ({len(tracer.spans)} spans, "
+              f"{len(tracer.runs)} runs)")
+    if tracer is not None and args.metrics_out is not None:
+        from repro.obs import write_metrics
+
+        path = write_metrics(args.metrics_out, tracer)
+        outputs["metrics"] = str(path)
+        print(f"metrics: {path} ({len(tracer.metrics)} metric families)")
+    if tracer is not None and args.trace_ascii:
+        from repro.obs import ascii_report
+
+        print()
+        print(ascii_report(tracer))
+    if emit_manifest:
+        run_id = args.run_id or (
+            time.strftime("%Y%m%d-%H%M%S") + "-" + "+".join(selected)
+        )
+        manifest = _build_manifest(
+            args, argv, selected, results, tracer, run_id, outputs
+        )
+        path = manifest.write(args.results_dir / run_id / "manifest.json")
+        print(f"manifest: {path}")
     return 0
 
 

@@ -1,0 +1,65 @@
+"""repro.obs — observability for the simulated HPU.
+
+Structured span tracing, a metrics registry, Chrome-trace / metrics /
+ASCII exporters, and run manifests.  The simulator, the OpenCL layer,
+the schedule executor and the auto-tuner carry cheap, no-op-by-default
+instrumentation hooks; activating a :class:`Tracer` (directly, via the
+:func:`tracing` context manager, or through the experiment runner's
+``--trace-out`` / ``--metrics-out`` flags) turns them on without
+changing a single simulated result.
+
+Quick tour::
+
+    from repro.obs import tracing, chrome_trace, write_chrome_trace
+
+    with tracing() as tr:
+        result = ScheduleExecutor(HPU1, workload).run_advanced(plan)
+
+    write_chrome_trace("trace.json", tr)       # chrome://tracing
+    tr.metrics.counter("gpu.kernel_launches").total()
+    print(ascii_report(tr))                    # terminal timeline
+
+See ``docs/OBSERVABILITY.md`` for the full walkthrough.
+"""
+
+from repro.obs.export import (
+    ascii_report,
+    chrome_trace,
+    metrics_json,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.manifest import RunManifest, platform_manifest
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    Instant,
+    RunRecord,
+    Span,
+    Tracer,
+    activate,
+    active,
+    deactivate,
+    tracing,
+)
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "Instant",
+    "RunRecord",
+    "active",
+    "activate",
+    "deactivate",
+    "tracing",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "chrome_trace",
+    "write_chrome_trace",
+    "metrics_json",
+    "write_metrics",
+    "ascii_report",
+    "RunManifest",
+    "platform_manifest",
+]

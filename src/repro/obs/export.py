@@ -1,0 +1,235 @@
+"""Exporters: Chrome trace-event JSON, metrics JSON, ASCII timelines.
+
+Three ways to look at a :class:`~repro.obs.tracer.Tracer`:
+
+- :func:`chrome_trace` / :func:`write_chrome_trace` — the Trace Event
+  Format consumed by ``chrome://tracing`` and https://ui.perfetto.dev.
+  One *process* per tracer, one *thread lane* per device; executor runs
+  appear as enclosing spans on a dedicated ``runs`` lane carrying their
+  annotations (platform, workload, auto-tune operating point).
+  Timestamps are **simulated ops**, not microseconds — load the file
+  and read the axis in ops.
+- :func:`metrics_json` / :func:`write_metrics` — a flat JSON snapshot
+  of the metrics registry (per-device / per-level counters, gauges,
+  histograms).
+- :func:`ascii_report` — per-device occupancy lanes (via
+  :func:`repro.sim.timeline.render_timeline`) plus a per-level busy-time
+  chart (via :func:`repro.util.asciiplot.ascii_plot`), for terminals.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+#: Lane name used for run-level spans in the Chrome export.
+RUNS_LANE = "runs"
+
+#: Schema-ish contract pinned by tests: keys every complete event has.
+COMPLETE_EVENT_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid", "args")
+
+
+def _jsonable(value):
+    """Coerce attribute values to JSON-safe primitives."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """Render the tracer as a Trace Event Format document (dict).
+
+    The result is directly ``json.dump``-able and loadable by
+    ``chrome://tracing`` / Perfetto.  Lane (``tid``) ids are assigned in
+    first-seen device order, with ``runs`` always lane 0.
+    """
+    pid = 1
+    tids: Dict[str, int] = {RUNS_LANE: 0}
+    events: List[dict] = []
+
+    def tid_for(device: str) -> int:
+        lane = device or "untagged"
+        tid = tids.get(lane)
+        if tid is None:
+            tids[lane] = tid = len(tids)
+        return tid
+
+    for run in tracer.runs:
+        duration = run.duration if run.duration is not None else 0.0
+        args = {k: _jsonable(v) for k, v in run.attrs.items()}
+        args["run"] = run.index
+        events.append(
+            {
+                "name": run.label,
+                "cat": "run",
+                "ph": "X",
+                "ts": run.offset,
+                "dur": duration,
+                "pid": pid,
+                "tid": tids[RUNS_LANE],
+                "args": args,
+            }
+        )
+    for span in tracer.spans:
+        args = {k: _jsonable(v) for k, v in span.attrs.items()}
+        if span.run is not None:
+            args["run"] = span.run
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start,
+                "dur": span.duration,
+                "pid": pid,
+                "tid": tid_for(span.device),
+                "args": args,
+            }
+        )
+    for event in tracer.instants:
+        args = {k: _jsonable(v) for k, v in event.attrs.items()}
+        events.append(
+            {
+                "name": event.name,
+                "cat": event.category,
+                "ph": "i",
+                "ts": event.start,
+                "s": "p",  # process-scoped marker
+                "pid": pid,
+                "tid": tid_for(event.device),
+                "args": args,
+            }
+        )
+
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": f"repro tracer {tracer.name!r} (ts in sim ops)"},
+        }
+    ]
+    for lane, tid in tids.items():
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": lane},
+            }
+        )
+        metadata.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "tracer": tracer.name,
+            "time_unit": "simulated ops (1.0 == one CPU-core scalar op)",
+            "runs": len(tracer.runs),
+            "spans": len(tracer.spans),
+        },
+    }
+
+
+def write_chrome_trace(path: Union[str, Path], tracer: Tracer) -> Path:
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(tracer)) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+def metrics_json(source: Union[Tracer, MetricsRegistry]) -> dict:
+    """Flat JSON document for a registry (or a tracer's registry)."""
+    registry = source.metrics if isinstance(source, Tracer) else source
+    return {
+        "format": "repro.obs.metrics/v1",
+        "summary": registry.summary(),
+        "metrics": registry.to_dict(),
+    }
+
+
+def write_metrics(
+    path: Union[str, Path], source: Union[Tracer, MetricsRegistry]
+) -> Path:
+    """Serialize :func:`metrics_json` to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(metrics_json(source), indent=2) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# ASCII
+# ----------------------------------------------------------------------
+def ascii_report(tracer: Tracer, width: int = 72) -> str:
+    """Terminal rendering: device occupancy lanes + per-level busy time.
+
+    The occupancy section reuses the Gantt renderer the executor's
+    ``HybridRunResult.timeline`` already uses; the per-level section is
+    an :func:`~repro.util.asciiplot.ascii_plot` of total span time per
+    recursion level for each device that tagged its spans with a
+    numeric ``level`` attribute.
+    """
+    from repro.sim.timeline import render_timeline  # lazy: avoid cycles
+    from repro.util.asciiplot import ascii_plot
+
+    if not tracer.spans:
+        return "(empty trace: no spans recorded)"
+
+    lanes = {
+        device: [(s.start, s.end) for s in tracer.spans_for(device)]
+        for device in tracer.devices()
+    }
+    lanes = {name: iv for name, iv in lanes.items() if iv}
+    parts = [
+        f"trace {tracer.name!r}: {len(tracer.spans)} spans over "
+        f"{len(tracer.runs)} run(s), times in simulated ops",
+        render_timeline(lanes, width=width),
+    ]
+
+    per_level: Dict[str, Dict[int, float]] = {}
+    for span in tracer.spans:
+        level = span.attrs.get("level")
+        if isinstance(level, str) and level.isdigit():
+            level = int(level)
+        if not isinstance(level, int):
+            continue
+        bucket = per_level.setdefault(span.device, {})
+        bucket[level] = bucket.get(level, 0.0) + span.duration
+    series = {
+        device: sorted(levels.items())
+        for device, levels in per_level.items()
+        if levels
+    }
+    if series:
+        parts.append("")
+        parts.append(
+            ascii_plot(
+                series,
+                width=width,
+                height=12,
+                title="busy time per recursion level (ops)",
+                xlabel="level",
+                ylabel="ops",
+            )
+        )
+    return "\n".join(parts)

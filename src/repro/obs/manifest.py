@@ -1,0 +1,138 @@
+"""Run manifests: every experiment invocation as a diffable artifact.
+
+A :class:`RunManifest` records everything needed to interpret (and
+re-run) one ``repro-experiments`` invocation: the CLI arguments, the
+experiments selected, the platform presets with their calibrated
+parameters (the paper's ``p``, ``g``, ``γ`` plus our ``λ``, ``δ`` and
+cache constants), the library seed and measurement-noise amplitude, the
+per-experiment result notes, and a compact metrics summary when tracing
+was enabled.  The runner writes it to
+``results/<run-id>/manifest.json`` so figure outputs become artifacts
+that can be diffed across commits and machines.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: Format marker checked on load (bump on incompatible changes).
+MANIFEST_FORMAT = "repro.obs.manifest/v1"
+
+
+def platform_manifest(hpu) -> dict:
+    """The calibrated parameter sheet of one HPU preset.
+
+    Accepts any object with the :class:`~repro.hpu.hpu.HPU` surface
+    (``name``, ``cpu_spec``, ``gpu_spec``); kept duck-typed so the
+    manifest layer has no dependency on the device stack.
+    """
+    cpu, gpu = hpu.cpu_spec, hpu.gpu_spec
+    return {
+        "name": hpu.name,
+        "cpu": {
+            "name": cpu.name,
+            "p": cpu.p,
+            "llc_bytes": cpu.llc_bytes,
+            "cache_kappa": cpu.cache_kappa,
+            "thread_spawn_overhead": cpu.thread_spawn_overhead,
+            "clock_ghz": cpu.clock_ghz,
+        },
+        "gpu": {
+            "name": gpu.name,
+            "g": gpu.g,
+            "gamma": gpu.gamma,
+            "lambda": gpu.transfer_latency,
+            "delta": gpu.transfer_per_word,
+            "launch_overhead": gpu.launch_overhead,
+            "lane_efficiency": gpu.lane_efficiency,
+            "preferred_workgroup": gpu.preferred_workgroup,
+        },
+    }
+
+
+@dataclass
+class RunManifest:
+    """One experiment invocation, serialized for the results directory."""
+
+    run_id: str
+    created_unix: int
+    argv: List[str]
+    experiments: List[str]
+    fast: bool
+    platforms: Dict[str, dict]
+    seed: int
+    noise_amplitude: float
+    repro_version: str
+    python_version: str = field(
+        default_factory=_platform.python_version
+    )
+    machine: str = field(default_factory=_platform.machine)
+    #: Per-experiment result digest: {id: {"title": ..., "notes": [...]}}.
+    results: Dict[str, dict] = field(default_factory=dict)
+    #: Compact metric totals (MetricsRegistry.summary()) when traced.
+    metrics_summary: Dict[str, object] = field(default_factory=dict)
+    #: Paths of sibling artifacts (trace/metrics JSON), when written.
+    outputs: Dict[str, Optional[str]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format": MANIFEST_FORMAT,
+            "run_id": self.run_id,
+            "created_unix": self.created_unix,
+            "argv": list(self.argv),
+            "experiments": list(self.experiments),
+            "fast": self.fast,
+            "platforms": self.platforms,
+            "seed": self.seed,
+            "noise_amplitude": self.noise_amplitude,
+            "repro_version": self.repro_version,
+            "python_version": self.python_version,
+            "machine": self.machine,
+            "results": self.results,
+            "metrics_summary": self.metrics_summary,
+            "outputs": self.outputs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        """Inverse of :meth:`to_dict`; validates the format marker."""
+        fmt = data.get("format")
+        if fmt != MANIFEST_FORMAT:
+            raise ValueError(
+                f"not a run manifest (format {fmt!r}, "
+                f"expected {MANIFEST_FORMAT!r})"
+            )
+        return cls(
+            run_id=data["run_id"],
+            created_unix=data["created_unix"],
+            argv=list(data["argv"]),
+            experiments=list(data["experiments"]),
+            fast=data["fast"],
+            platforms=data["platforms"],
+            seed=data["seed"],
+            noise_amplitude=data["noise_amplitude"],
+            repro_version=data["repro_version"],
+            python_version=data["python_version"],
+            machine=data["machine"],
+            results=data.get("results", {}),
+            metrics_summary=data.get("metrics_summary", {}),
+            outputs=data.get("outputs", {}),
+        )
+
+    # ------------------------------------------------------------------
+    def write(self, path: Union[str, Path]) -> Path:
+        """Serialize to ``path`` (parent directories created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunManifest":
+        """Read a manifest previously written with :meth:`write`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,268 @@
+"""Metrics registry: counters, gauges and histograms with labels.
+
+The observability layer accounts for *where simulated work goes* —
+operations executed, kernel launches, bytes transferred, core-pool
+queue wait, LLC-pressure events — keyed by free-form labels, of which
+``device`` and ``level`` are the conventional pair used throughout the
+instrumentation (the quantities Figs. 7–10 of the paper are built
+from).
+
+All metric types share the same labelled-point storage: a point is
+identified by the sorted tuple of its ``(key, value)`` label pairs, so
+``counter.inc(3, device="gpu", level="4")`` and a later
+``inc(device="gpu", level="4")`` accumulate into the same point.
+Everything serializes to plain JSON via :meth:`MetricsRegistry.to_dict`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds (simulated ops, decade-spaced).
+DEFAULT_BUCKETS = (
+    0.0,
+    1e1,
+    1e2,
+    1e3,
+    1e4,
+    1e5,
+    1e6,
+    1e7,
+    1e8,
+    1e9,
+)
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Shared base: a named family of labelled points."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+
+    def to_dict(self) -> dict:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    @staticmethod
+    def _labels_dict(key: LabelKey) -> Dict[str, str]:
+        return {k: v for k, v in key}
+
+
+class Counter(_Metric):
+    """A monotonically-increasing sum per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._points: Dict[LabelKey, float] = {}
+
+    def inc(self, value: float = 1.0, **labels: object) -> None:
+        """Add ``value`` (must be >= 0) to the labelled point."""
+        if value < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc by {value!r})"
+            )
+        key = _label_key(labels)
+        self._points[key] = self._points.get(key, 0.0) + value
+
+    def value(self, **labels: object) -> float:
+        """Current value of one labelled point (0.0 if never touched)."""
+        return self._points.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every labelled point."""
+        return sum(self._points.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "points": [
+                {"labels": self._labels_dict(key), "value": value}
+                for key, value in sorted(self._points.items())
+            ],
+        }
+
+
+class Gauge(_Metric):
+    """A last-write-wins value per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._points: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._points[_label_key(labels)] = float(value)
+
+    def add(self, value: float, **labels: object) -> None:
+        """Adjust the gauge by ``value`` (may be negative)."""
+        key = _label_key(labels)
+        self._points[key] = self._points.get(key, 0.0) + value
+
+    def value(self, **labels: object) -> float:
+        return self._points.get(_label_key(labels), 0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "points": [
+                {"labels": self._labels_dict(key), "value": value}
+                for key, value in sorted(self._points.items())
+            ],
+        }
+
+
+class _HistogramPoint:
+    __slots__ = ("count", "sum", "min", "max", "bucket_counts")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.bucket_counts = [0] * (n_buckets + 1)  # +1 for +inf overflow
+
+
+class Histogram(_Metric):
+    """Count/sum/min/max plus cumulative bucket counts per label set."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        if list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram buckets must be sorted: {buckets!r}")
+        self.buckets = tuple(buckets)
+        self._points: Dict[LabelKey, _HistogramPoint] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        point = self._points.get(key)
+        if point is None:
+            self._points[key] = point = _HistogramPoint(len(self.buckets))
+        point.count += 1
+        point.sum += value
+        if value < point.min:
+            point.min = value
+        if value > point.max:
+            point.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                point.bucket_counts[i] += 1
+                return
+        point.bucket_counts[-1] += 1
+
+    def point(self, **labels: object) -> Optional[_HistogramPoint]:
+        """The raw accumulator for one labelled point, if it exists."""
+        return self._points.get(_label_key(labels))
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "buckets": list(self.buckets),
+            "points": [
+                {
+                    "labels": self._labels_dict(key),
+                    "count": p.count,
+                    "sum": p.sum,
+                    "min": p.min if p.count else None,
+                    "max": p.max if p.count else None,
+                    "bucket_counts": list(p.bucket_counts),
+                }
+                for key, p in sorted(self._points.items())
+            ],
+        }
+
+
+class MetricsRegistry:
+    """A named collection of metrics, created lazily on first use.
+
+    ``registry.counter("gpu.kernel_launches").inc(device="gpu")`` —
+    repeat calls with the same name return the same instance; asking for
+    an existing name with a different metric type is an error.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def _get(self, cls, name: str, help: str, **kwargs) -> _Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            self._metrics[name] = metric = cls(name, help, **kwargs)
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the named counter."""
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the named gauge."""
+        return self._get(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create the named histogram."""
+        return self._get(Histogram, name, help, buckets=buckets)
+
+    def names(self) -> List[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of every metric."""
+        return {
+            name: metric.to_dict()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def summary(self) -> dict:
+        """Compact totals for manifests: one number per metric family.
+
+        Counters report their total over all label sets; gauges the sum
+        of current values; histograms ``{count, sum}``.
+        """
+        out: Dict[str, object] = {}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Counter):
+                out[name] = metric.total()
+            elif isinstance(metric, Gauge):
+                out[name] = sum(metric._points.values())
+            elif isinstance(metric, Histogram):
+                out[name] = {
+                    "count": sum(p.count for p in metric._points.values()),
+                    "sum": sum(p.sum for p in metric._points.values()),
+                }
+        return out

@@ -1,0 +1,305 @@
+"""Structured span tracing for the simulated HPU.
+
+A :class:`Span` is one closed interval of *simulated* time with a name,
+a category, a device lane and free-form attributes; a :class:`Tracer`
+collects spans, instant events and a :class:`~repro.obs.metrics.
+MetricsRegistry` across any number of executor runs.
+
+Tracing is **off by default and free when off**: instrumentation sites
+throughout the simulator call :func:`active` (a module-global read) and
+skip all recording when it returns ``None``.  Recording itself is pure
+observation — it never schedules events, touches resources, or draws
+randomness — so enabling a tracer cannot change any simulated result;
+``tests/obs/test_equivalence.py`` pins that bit-identity contract.
+
+Runs and the timeline
+---------------------
+Every :class:`~repro.core.schedule.executor.ScheduleExecutor` run owns a
+fresh :class:`~repro.sim.engine.Simulator` whose clock starts at 0, so
+spans from different runs would overlap if drawn on one timeline.  The
+tracer therefore keeps a cursor: :meth:`begin_run` opens a
+:class:`RunRecord` at the current offset, spans recorded during the run
+are shifted by that offset, and :meth:`end_run` advances the cursor past
+the run's end.  A sweep of hundreds of auto-tuner evaluations lays out
+as consecutive segments, each wrapped in a run-level span carrying the
+operating point that produced it (see
+:meth:`~repro.core.autotune.AutoTuner.evaluate`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class Span:
+    """One named interval of simulated time on a device lane."""
+
+    __slots__ = ("name", "category", "start", "end", "device", "run", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        start: float,
+        end: float,
+        device: str = "",
+        run: Optional[int] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if end < start:
+            raise ValueError(
+                f"span {name!r} ends ({end}) before it starts ({start})"
+            )
+        self.name = name
+        self.category = category
+        self.start = start
+        self.end = end
+        self.device = device
+        self.run = run
+        self.attrs = attrs or {}
+
+    @property
+    def duration(self) -> float:
+        """Length of the span in simulated ops."""
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Span {self.name!r} [{self.start:g}, {self.end:g}] "
+            f"on {self.device!r}>"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "start": self.start,
+            "end": self.end,
+            "device": self.device,
+            "run": self.run,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Instant(Span):
+    """A zero-duration marker event."""
+
+    __slots__ = ()
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        ts: float,
+        device: str = "",
+        run: Optional[int] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(name, category, ts, ts, device, run, attrs)
+
+
+class RunRecord:
+    """One executor run on the tracer's timeline."""
+
+    __slots__ = ("index", "label", "offset", "duration", "attrs")
+
+    def __init__(
+        self, index: int, label: str, offset: float, attrs: Dict[str, Any]
+    ) -> None:
+        self.index = index
+        self.label = label
+        self.offset = offset  # absolute timeline position of run t=0
+        self.duration: Optional[float] = None  # set by Tracer.end_run
+        self.attrs = attrs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RunRecord #{self.index} {self.label!r} @{self.offset:g}>"
+
+
+class Tracer:
+    """Collects spans, instants, runs and metrics for one session."""
+
+    def __init__(self, name: str = "repro") -> None:
+        self.name = name
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        self.runs: List[RunRecord] = []
+        self.metrics = MetricsRegistry()
+        self._cursor = 0.0  # where the next run starts on the timeline
+        self._run: Optional[RunRecord] = None
+        self._pending_attrs: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # runs
+    # ------------------------------------------------------------------
+    @property
+    def current_run(self) -> Optional[RunRecord]:
+        """The open run, if any."""
+        return self._run
+
+    @property
+    def offset(self) -> float:
+        """Absolute timeline position mapping to the current run's t=0."""
+        return self._run.offset if self._run is not None else self._cursor
+
+    def annotate_next_run(self, **attrs: Any) -> None:
+        """Attach attributes to the *next* :meth:`begin_run`.
+
+        This is how layers above the executor (the auto-tuner, the
+        experiment sweeps) tag runs they trigger but do not start
+        themselves — e.g. the (α, y) operating point of an evaluation.
+        """
+        self._pending_attrs.update(attrs)
+
+    def begin_run(self, label: str, **attrs: Any) -> RunRecord:
+        """Open a run at the timeline cursor; merges pending annotations."""
+        if self._run is not None:
+            # An abandoned run (e.g. an executor error mid-run): close it
+            # at whatever its spans reached so the timeline stays sane.
+            self.end_run()
+        merged = dict(self._pending_attrs)
+        self._pending_attrs.clear()
+        merged.update(attrs)
+        self._run = RunRecord(len(self.runs), label, self._cursor, merged)
+        self.runs.append(self._run)
+        return self._run
+
+    def end_run(self, duration: Optional[float] = None) -> None:
+        """Close the open run and advance the cursor past its end.
+
+        ``duration`` is the run's simulated makespan; if omitted it is
+        inferred from the latest span end recorded during the run.
+        """
+        run = self._run
+        if run is None:
+            return
+        if duration is None:
+            duration = max(
+                (s.end - run.offset for s in self.spans if s.run == run.index),
+                default=0.0,
+            )
+        run.duration = duration
+        self._cursor = run.offset + duration
+        self._run = None
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        category: str,
+        start: float,
+        end: float,
+        device: str = "",
+        **attrs: Any,
+    ) -> Span:
+        """Record one span; ``start``/``end`` are run-local sim times."""
+        offset = self.offset
+        span = Span(
+            name,
+            category,
+            offset + start,
+            offset + end,
+            device=device,
+            run=self._run.index if self._run is not None else None,
+            attrs=attrs,
+        )
+        self.spans.append(span)
+        return span
+
+    def instant(
+        self,
+        name: str,
+        category: str,
+        ts: Optional[float] = None,
+        device: str = "",
+        **attrs: Any,
+    ) -> Instant:
+        """Record a marker event (``ts=None``: the current cursor)."""
+        offset = self.offset
+        absolute = offset if ts is None else offset + ts
+        event = Instant(
+            name,
+            category,
+            absolute,
+            device=device,
+            run=self._run.index if self._run is not None else None,
+            attrs=attrs,
+        )
+        self.instants.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def devices(self) -> List[str]:
+        """Device lane names in first-seen order."""
+        seen: Dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.device)
+        for event in self.instants:
+            seen.setdefault(event.device)
+        return list(seen)
+
+    def spans_for(self, device: str) -> List[Span]:
+        """All spans on one device lane."""
+        return [s for s in self.spans if s.device == device]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Tracer {self.name!r} {len(self.spans)} spans, "
+            f"{len(self.runs)} runs>"
+        )
+
+
+# ----------------------------------------------------------------------
+# active-tracer management: the no-op-by-default switch
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[Tracer] = None
+
+
+def active() -> Optional[Tracer]:
+    """The currently-active tracer, or ``None`` (tracing off).
+
+    This is the only call instrumentation sites pay when tracing is
+    disabled; everything else is behind an ``is not None`` check.
+    """
+    return _ACTIVE
+
+
+def activate(tracer: Tracer) -> Tracer:
+    """Make ``tracer`` the active tracer (replacing any previous one)."""
+    global _ACTIVE
+    _ACTIVE = tracer
+    return tracer
+
+
+def deactivate() -> Optional[Tracer]:
+    """Turn tracing off; returns the tracer that was active."""
+    global _ACTIVE
+    tracer, _ACTIVE = _ACTIVE, None
+    return tracer
+
+
+@contextlib.contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Context manager: activate a tracer, restore the previous on exit.
+
+    >>> with tracing() as tr:
+    ...     executor.run_advanced(plan)
+    >>> len(tr.spans) > 0
+    """
+    previous = _ACTIVE
+    current = activate(tracer if tracer is not None else Tracer())
+    try:
+        yield current
+    finally:
+        if previous is None:
+            deactivate()
+        else:
+            activate(previous)

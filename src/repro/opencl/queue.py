@@ -15,6 +15,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import DeviceError
+from repro.obs.tracer import active as _obs_active
 from repro.opencl.device import GPUDevice
 from repro.opencl.kernel import Kernel, NDRange
 from repro.opencl.memory import Buffer
@@ -76,6 +77,25 @@ class CommandQueue:
                     tag=tag, queued=queued_at, start=start, end=self.sim.now
                 )
             )
+            tracer = _obs_active()
+            if tracer is not None:
+                device = self.device.spec.name
+                tracer.span(
+                    tag,
+                    "queue.cmd",
+                    start,
+                    self.sim.now,
+                    device=device,
+                    queue=self.name,
+                    queued=queued_at,
+                )
+                metrics = tracer.metrics
+                metrics.counter("queue.commands").inc(
+                    device=device, queue=self.name
+                )
+                metrics.histogram("queue.wait").observe(
+                    start - queued_at, device=device, queue=self.name
+                )
             self._order.release(1)
             done.fire(self.sim.now)
             return None
@@ -88,6 +108,11 @@ class CommandQueue:
         self, kernel: Kernel, ndrange: NDRange, args, tag: Optional[str] = None
     ) -> Signal:
         """Enqueue a kernel launch; returns a completion signal."""
+        tracer = _obs_active()
+        if tracer is not None:
+            tracer.metrics.counter("gpu.kernel_launches").inc(
+                device=self.device.spec.name, kernel=kernel.name
+            )
         return self._submit(
             lambda: self.device.launch(kernel, ndrange, args),
             tag or f"kernel:{kernel.name}",
@@ -106,6 +131,11 @@ class CommandQueue:
             buf.data[: host.size] = host
             return self.device.transfer_time(int(host.size))
 
+        tracer = _obs_active()
+        if tracer is not None:
+            tracer.metrics.counter("xfer.bytes").inc(
+                int(host.nbytes), device=self.device.spec.name, dir="h2d"
+            )
         return self._submit(run, f"write:{buf.name}")
 
     def enqueue_read(self, buf: Buffer, host: np.ndarray) -> Signal:
@@ -121,6 +151,11 @@ class CommandQueue:
             host[:] = buf.data[: host.size]
             return self.device.transfer_time(int(host.size))
 
+        tracer = _obs_active()
+        if tracer is not None:
+            tracer.metrics.counter("xfer.bytes").inc(
+                int(host.nbytes), device=self.device.spec.name, dir="d2h"
+            )
         return self._submit(run, f"read:{buf.name}")
 
     def barrier(self) -> Signal:

@@ -19,7 +19,12 @@ from repro.sim.events import EventQueue
 from repro.sim.process import AllOf, Process, Timeout
 from repro.sim.resources import Resource
 from repro.sim.signals import Signal
-from repro.sim.trace import BusyTrace, merge_intervals, overlap_length
+from repro.sim.trace import (
+    BusyTrace,
+    merge_intervals,
+    overlap_length,
+    time_at_concurrency,
+)
 
 __all__ = [
     "Simulator",
@@ -33,4 +38,5 @@ __all__ = [
     "BusyTrace",
     "merge_intervals",
     "overlap_length",
+    "time_at_concurrency",
 ]

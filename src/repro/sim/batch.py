@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.errors import SimulationError
+from repro.obs.tracer import active as _obs_active
 from repro.sim.signals import Signal
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -106,6 +107,15 @@ class TeamBatch(Signal):
         if self._trace is not None:
             for start in starts:
                 self._trace.record(start, end, self._tag)
+        tracer = _obs_active()
+        if tracer is not None:
+            # Worker-granularity spans on a per-device "... workers"
+            # lane; the executor records the enclosing batch span.
+            base = self._trace.name if self._trace is not None else ""
+            device = f"{base or self._pool.name}.workers"
+            name = self._tag or "worker"
+            for start in starts:
+                tracer.span(name, "cpu.worker", start, end, device=device)
         self._pool.release(len(starts))
         self._remaining -= len(starts)
         if self._remaining == 0:

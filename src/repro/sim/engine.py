@@ -18,13 +18,25 @@ from repro.sim.signals import Signal
 class Simulator:
     """A simulated clock plus the machinery to run processes against it."""
 
-    __slots__ = ("_queue", "now", "_live_processes", "_running")
+    __slots__ = (
+        "_queue",
+        "now",
+        "_live_processes",
+        "_running",
+        "events_processed",
+        "processes_spawned",
+    )
 
     def __init__(self) -> None:
         self._queue = EventQueue()
         self.now: float = 0.0
         self._live_processes = 0
         self._running = False
+        #: Observability counters, maintained unconditionally (two int
+        #: increments per event/spawn); the schedule executor folds them
+        #: into the metrics registry when a tracer is active.
+        self.events_processed = 0
+        self.processes_spawned = 0
 
     # ------------------------------------------------------------------
     # low-level scheduling
@@ -51,6 +63,7 @@ class Simulator:
         process = Process(generator, name)
         process._sim = self
         self._live_processes += 1
+        self.processes_spawned += 1
         # Bound-method dispatch: scheduling the process's own resume
         # methods avoids allocating a closure (lambda + cell) per step —
         # this is the engine's hottest allocation site.
@@ -103,6 +116,7 @@ class Simulator:
                         f"event time {time} precedes current time {self.now}"
                     )
                 self.now = time
+                self.events_processed += 1
                 callback()
             if self._live_processes > 0 and until is None:
                 raise DeadlockError(

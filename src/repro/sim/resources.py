@@ -12,16 +12,23 @@ behaviour deterministic.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Tuple
+from typing import Callable, Deque, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.signals import Signal
+
+#: Observability hook: called with ``(n, grant_signal_or_None)`` at
+#: request time.  ``None`` marks a synchronous :meth:`Resource.acquire`
+#: (granted with zero wait).  Hooks must be pure observers — they may
+#: register ``on_fire`` callbacks on the grant to measure queue wait,
+#: but must never schedule events or touch the pool.
+WaitHook = Callable[[int, Optional[Signal]], None]
 
 
 class Resource:
     """A FIFO pool of ``capacity`` identical units."""
 
-    __slots__ = ("capacity", "name", "_in_use", "_waiters")
+    __slots__ = ("capacity", "name", "_in_use", "_waiters", "_wait_hook")
 
     def __init__(self, capacity: int, name: str = "resource") -> None:
         if capacity < 1:
@@ -30,12 +37,22 @@ class Resource:
         self.name = name
         self._in_use = 0
         self._waiters: Deque[Tuple[int, Signal]] = deque()
+        self._wait_hook: Optional[WaitHook] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<Resource {self.name!r} {self._in_use}/{self.capacity} in use, "
             f"{len(self._waiters)} waiting>"
         )
+
+    def set_wait_hook(self, hook: Optional[WaitHook]) -> None:
+        """Install (or clear) the observability :data:`WaitHook`.
+
+        The executor uses this to feed the ``cpu.core_wait`` histogram
+        of :mod:`repro.obs` when tracing is active; with no hook set the
+        pool pays a single ``is not None`` check per request.
+        """
+        self._wait_hook = hook
 
     @property
     def in_use(self) -> int:
@@ -74,6 +91,8 @@ class Resource:
                 f"({self.available} free, {len(self._waiters)} waiting)"
             )
         self._in_use += n
+        if self._wait_hook is not None:
+            self._wait_hook(n, None)
 
     def request(self, n: int = 1) -> Signal:
         """Request ``n`` units; returns a signal that fires when granted."""
@@ -84,6 +103,10 @@ class Resource:
             )
         grant = Signal(f"{self.name}.grant({n})")
         self._waiters.append((n, grant))
+        # The hook sees the grant before _drain may fire it, so it can
+        # register an on_fire observer that measures zero-wait grants too.
+        if self._wait_hook is not None:
+            self._wait_hook(n, grant)
         self._drain()
         return grant
 

@@ -118,9 +118,14 @@ class BusyTrace:
         )
 
     def utilization(self, horizon: float) -> float:
-        """Fraction of ``[0, horizon]`` covered by busy intervals."""
+        """Fraction of ``[0, horizon]`` covered by busy intervals.
+
+        A zero or negative horizon yields 0.0: a device observed over an
+        empty window has no measurable utilization.  (Degenerate windows
+        occur legitimately, e.g. a schedule whose makespan rounds to 0.)
+        """
         if horizon <= 0:
-            raise ValueError(f"horizon must be positive, got {horizon!r}")
+            return 0.0
         return self.busy_time() / horizon
 
     def overlap_with(self, other: "BusyTrace") -> float:

@@ -1,0 +1,74 @@
+"""The bit-identity contract: tracing must never change results.
+
+Instrumentation sites are pure observers — they never schedule events,
+touch resources, or draw randomness — so every simulated number must be
+*exactly* equal (not approximately) with a tracer active and without.
+"""
+
+import pytest
+
+from repro.algorithms.mergesort.hybrid import make_mergesort_workload
+from repro.core.schedule import AdvancedSchedule, ScheduleExecutor
+from repro.experiments import common
+from repro.hpu import PLATFORMS
+from repro.obs.tracer import Tracer, deactivate, tracing
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer_state():
+    deactivate()
+    yield
+    deactivate()
+
+
+def run_advanced(hpu_name: str, n: int, alpha: float, fast: bool):
+    hpu = PLATFORMS[hpu_name]
+    workload = make_mergesort_workload(n)
+    executor = ScheduleExecutor(hpu, workload, fast=fast)
+    plan = AdvancedSchedule().plan(
+        workload, hpu.parameters, alpha=alpha, transfer_level=workload.k - 2
+    )
+    return executor.run_advanced(plan)
+
+
+@pytest.mark.parametrize("hpu_name", sorted(PLATFORMS))
+@pytest.mark.parametrize("fast", [True, False])
+def test_advanced_run_identical_traced(hpu_name, fast):
+    baseline = run_advanced(hpu_name, 1 << 12, 0.2, fast)
+    with tracing() as tr:
+        traced = run_advanced(hpu_name, 1 << 12, 0.2, fast)
+    assert traced == baseline  # dataclass equality: every field, exactly
+    assert tr.spans, "tracer active but nothing recorded"
+    assert tr.runs and tr.runs[0].duration == baseline.makespan
+
+
+def test_cpu_only_run_identical_traced():
+    hpu = PLATFORMS["HPU1"]
+    executor = ScheduleExecutor(hpu, make_mergesort_workload(1 << 12))
+    baseline = executor.run_cpu_only()
+    with tracing():
+        traced = executor.run_cpu_only()
+    assert traced == baseline
+
+
+def test_fig8_fast_rows_identical_traced():
+    """The acceptance criterion at experiment granularity.
+
+    The shared tuner cache would make the second run vacuous (memoized
+    results bypass the executor entirely), so it is cleared between the
+    two runs to force real re-execution.
+    """
+    from repro.experiments import fig8_speedup_vs_n
+
+    common._TUNERS.clear()
+    baseline = fig8_speedup_vs_n.run(fast=True)
+    common._TUNERS.clear()
+    with tracing(Tracer(name="fig8-equivalence")) as tr:
+        traced = fig8_speedup_vs_n.run(fast=True)
+    common._TUNERS.clear()
+    assert traced.rows == baseline.rows
+    assert traced.notes == baseline.notes
+    assert len(tr.runs) > 0
+    # Auto-tuner evaluations carry their operating point.
+    annotated = [r for r in tr.runs if r.attrs.get("autotune") == "evaluate"]
+    assert annotated and all("alpha" in r.attrs for r in annotated)

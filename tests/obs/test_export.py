@@ -1,0 +1,112 @@
+"""Exporter tests: Chrome-trace schema, metrics JSON, ASCII report."""
+
+import json
+
+from repro.obs.export import (
+    COMPLETE_EVENT_KEYS,
+    RUNS_LANE,
+    ascii_report,
+    chrome_trace,
+    metrics_json,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def make_tracer() -> Tracer:
+    tr = Tracer(name="test")
+    tr.begin_run("HPU1:mergesort", platform="HPU1", n=1024)
+    tr.span("sort", "cpu.batch", 0.0, 10.0, device="cpu", level=2)
+    tr.span("merge", "gpu.kernel", 10.0, 30.0, device="gpu", level=1)
+    tr.instant("sweep:start", "autotune.sweep", 0.0, device="runs")
+    tr.end_run(30.0)
+    tr.begin_run("HPU1:mergesort", autotune="evaluate", alpha=0.2)
+    tr.span("sort", "cpu.batch", 0.0, 5.0, device="cpu", level=2)
+    tr.end_run(5.0)
+    tr.metrics.counter("cpu.ops").inc(100, device="cpu", level=2)
+    tr.metrics.histogram("queue.wait").observe(3.0, device="gpu")
+    return tr
+
+
+class TestChromeTrace:
+    def test_schema_of_complete_events(self):
+        doc = chrome_trace(make_tracer())
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert xs, "expected complete events"
+        for event in xs:
+            assert tuple(sorted(event)) == tuple(sorted(COMPLETE_EVENT_KEYS))
+            assert event["dur"] >= 0
+            assert isinstance(event["ts"], (int, float))
+
+    def test_runs_lane_and_offsets(self):
+        doc = chrome_trace(make_tracer())
+        runs = [e for e in doc["traceEvents"] if e.get("cat") == "run"]
+        assert len(runs) == 2
+        assert all(e["tid"] == 0 for e in runs)
+        # Second run starts where the first ended on the global timeline.
+        assert runs[0]["ts"] == 0.0 and runs[0]["dur"] == 30.0
+        assert runs[1]["ts"] == 30.0
+        assert runs[1]["args"]["autotune"] == "evaluate"
+
+    def test_metadata_names_every_lane(self):
+        doc = chrome_trace(make_tracer())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        named = {
+            e["args"]["name"]
+            for e in meta
+            if e["name"] == "thread_name"
+        }
+        assert {RUNS_LANE, "cpu", "gpu"} <= named
+        # Metadata precedes data events so viewers name lanes up front.
+        first_data = next(
+            i for i, e in enumerate(doc["traceEvents"]) if e["ph"] != "M"
+        )
+        assert all(e["ph"] == "M" for e in doc["traceEvents"][:first_data])
+
+    def test_instants_are_marker_events(self):
+        doc = chrome_trace(make_tracer())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["s"] == "p"
+
+    def test_json_round_trip(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", make_tracer())
+        back = json.loads(path.read_text())
+        assert back["otherData"]["runs"] == 2
+        assert "simulated ops" in back["otherData"]["time_unit"]
+
+    def test_non_jsonable_attrs_coerced(self, tmp_path):
+        tr = Tracer()
+        tr.begin_run("r")
+        tr.span("a", "c", 0.0, 1.0, device="cpu", obj=object())
+        tr.end_run(1.0)
+        path = write_chrome_trace(tmp_path / "t.json", tr)
+        json.loads(path.read_text())  # must not raise
+
+
+class TestMetricsJson:
+    def test_structure(self):
+        doc = metrics_json(make_tracer())
+        assert doc["format"] == "repro.obs.metrics/v1"
+        assert doc["summary"]["cpu.ops"] == 100
+        assert doc["metrics"]["queue.wait"]["type"] == "histogram"
+
+    def test_accepts_bare_registry(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("x").inc(1)
+        path = write_metrics(tmp_path / "m.json", reg)
+        back = json.loads(path.read_text())
+        assert back["summary"]["x"] == 1
+
+
+class TestAsciiReport:
+    def test_renders_lanes_and_levels(self):
+        report = ascii_report(make_tracer())
+        assert "cpu" in report
+        assert "gpu" in report
+        assert "busy time per recursion level" in report
+
+    def test_empty_tracer(self):
+        assert "empty trace" in ascii_report(Tracer())

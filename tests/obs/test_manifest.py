@@ -1,0 +1,135 @@
+"""Run-manifest round-trip and runner CLI integration."""
+
+import json
+
+import pytest
+
+from repro.hpu import PLATFORMS
+from repro.obs.manifest import MANIFEST_FORMAT, RunManifest, platform_manifest
+
+
+def make_manifest() -> RunManifest:
+    return RunManifest(
+        run_id="test-run",
+        created_unix=1754400000,
+        argv=["fig8", "--fast"],
+        experiments=["fig8"],
+        fast=True,
+        platforms={
+            name: platform_manifest(hpu) for name, hpu in PLATFORMS.items()
+        },
+        seed=20140131,
+        noise_amplitude=0.015,
+        repro_version="1.0.0",
+        results={"fig8": {"title": "Speedup vs n", "notes": ["ok"]}},
+        metrics_summary={"cpu.ops": 100.0},
+        outputs={"trace": "t.json"},
+    )
+
+
+class TestPlatformManifest:
+    def test_carries_calibrated_parameters(self):
+        sheet = platform_manifest(PLATFORMS["HPU1"])
+        assert sheet["name"] == "HPU1"
+        assert sheet["cpu"]["p"] == PLATFORMS["HPU1"].cpu_spec.p
+        assert sheet["gpu"]["g"] == PLATFORMS["HPU1"].gpu_spec.g
+        assert sheet["gpu"]["gamma"] == PLATFORMS["HPU1"].gpu_spec.gamma
+        # The paper's transfer model: T(x) = λ + δx.
+        assert "lambda" in sheet["gpu"] and "delta" in sheet["gpu"]
+
+    def test_json_serializable(self):
+        for hpu in PLATFORMS.values():
+            json.dumps(platform_manifest(hpu))
+
+
+class TestRunManifest:
+    def test_round_trip(self, tmp_path):
+        manifest = make_manifest()
+        path = manifest.write(tmp_path / "results" / "r" / "manifest.json")
+        back = RunManifest.load(path)
+        assert back.to_dict() == manifest.to_dict()
+
+    def test_format_marker(self):
+        assert make_manifest().to_dict()["format"] == MANIFEST_FORMAT
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "not_manifest.json"
+        path.write_text(json.dumps({"format": "something/else"}))
+        with pytest.raises(ValueError):
+            RunManifest.load(path)
+
+
+class TestRunnerIntegration:
+    def test_trace_metrics_manifest_flow(self, tmp_path, capsys):
+        # table1 is the cheapest experiment that still builds platforms.
+        from repro.experiments import runner
+
+        rc = runner.main(
+            [
+                "table1",
+                "--fast",
+                "--trace-out",
+                str(tmp_path / "t.json"),
+                "--metrics-out",
+                str(tmp_path / "m.json"),
+                "--results-dir",
+                str(tmp_path / "results"),
+                "--run-id",
+                "itest",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "manifest:" in out
+
+        trace = json.loads((tmp_path / "t.json").read_text())
+        assert "traceEvents" in trace
+        metrics = json.loads((tmp_path / "m.json").read_text())
+        assert metrics["format"] == "repro.obs.metrics/v1"
+
+        manifest = RunManifest.load(
+            tmp_path / "results" / "itest" / "manifest.json"
+        )
+        assert manifest.run_id == "itest"
+        assert manifest.experiments == ["table1"]
+        assert manifest.fast is True
+        assert set(manifest.platforms) == set(PLATFORMS)
+        assert "table1" in manifest.results
+        assert manifest.outputs["trace"] == str(tmp_path / "t.json")
+
+    def test_tracer_deactivated_after_run(self, tmp_path):
+        from repro.experiments import runner
+        from repro.obs.tracer import active
+
+        runner.main(
+            [
+                "table1",
+                "--metrics-out",
+                str(tmp_path / "m.json"),
+                "--results-dir",
+                str(tmp_path / "results"),
+                "--run-id",
+                "x",
+            ]
+        )
+        assert active() is None
+
+    def test_manifest_flag_without_tracing(self, tmp_path, capsys):
+        from repro.experiments import runner
+
+        rc = runner.main(
+            [
+                "table1",
+                "--manifest",
+                "--results-dir",
+                str(tmp_path / "results"),
+                "--run-id",
+                "plain",
+            ]
+        )
+        assert rc == 0
+        manifest = RunManifest.load(
+            tmp_path / "results" / "plain" / "manifest.json"
+        )
+        assert manifest.metrics_summary == {}
+        assert manifest.outputs == {}

@@ -1,0 +1,107 @@
+"""Unit tests for the labelled metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    _label_key,
+)
+
+
+class TestLabelKey:
+    def test_order_insensitive(self):
+        assert _label_key({"a": 1, "b": 2}) == _label_key({"b": 2, "a": 1})
+
+    def test_values_stringified(self):
+        assert _label_key({"level": 3}) == _label_key({"level": "3"})
+
+    def test_empty(self):
+        assert _label_key({}) == ()
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("ops")
+        c.inc(5, device="cpu", level=1)
+        c.inc(3, device="cpu", level=1)
+        c.inc(2, device="gpu", level=1)
+        assert c.value(device="cpu", level=1) == 8
+        assert c.total() == 10
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("ops").inc(-1)
+
+    def test_unseen_labels_read_zero(self):
+        assert Counter("ops").value(device="gpu") == 0.0
+
+
+class TestGauge:
+    def test_set_add(self):
+        g = Gauge("depth")
+        g.set(4, device="cpu")
+        g.add(2, device="cpu")
+        g.add(-1, device="cpu")
+        assert g.value(device="cpu") == 5
+
+
+class TestHistogram:
+    def test_point_stats(self):
+        h = Histogram("wait")
+        for v in (0.0, 5.0, 50.0, 5e9):
+            h.observe(v, device="gpu")
+        p = h.point(device="gpu")
+        assert p.count == 4
+        assert p.sum == pytest.approx(5e9 + 55.0)
+        assert p.min == 0.0
+        assert p.max == 5e9
+        # 5e9 exceeds the largest finite bucket -> overflow slot.
+        assert p.bucket_counts[-1] == 1
+
+    def test_unseen_point_is_none(self):
+        assert Histogram("wait").point(device="gpu") is None
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("wait", buckets=(1.0, 0.5))
+
+
+class TestRegistry:
+    def test_lazy_and_idempotent(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("ops", "operations")
+        c2 = reg.counter("ops")
+        assert c1 is c2
+
+    def test_type_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_to_dict_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(7, device="cpu", level=2)
+        reg.gauge("depth").set(3, device="cpu")
+        reg.histogram("wait").observe(1.5, device="gpu")
+        blob = json.dumps(reg.to_dict())
+        back = json.loads(blob)
+        assert set(back) == {"ops", "depth", "wait"}
+        assert back["ops"]["type"] == "counter"
+        (point,) = back["ops"]["points"]
+        assert point["labels"] == {"device": "cpu", "level": "2"}
+        assert point["value"] == 7
+
+    def test_summary_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(7, device="cpu")
+        reg.counter("ops").inc(3, device="gpu")
+        reg.histogram("wait").observe(2.0)
+        s = reg.summary()
+        assert s["ops"] == 10
+        assert s["wait"] == {"count": 1, "sum": 2.0}

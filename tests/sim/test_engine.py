@@ -161,3 +161,24 @@ class TestSignals:
         seen = []
         sig.on_fire(lambda s: seen.append(s.value))
         assert seen == ["v"]
+
+
+class TestEngineCounters:
+    def test_events_and_processes_counted(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1)
+            yield Timeout(2)
+
+        sim.spawn(proc())
+        sim.spawn(proc())
+        sim.run()
+        assert sim.processes_spawned == 2
+        # Each process: two timeouts -> at least four processed events.
+        assert sim.events_processed >= 4
+
+    def test_counters_start_at_zero(self):
+        sim = Simulator()
+        assert sim.events_processed == 0
+        assert sim.processes_spawned == 0

@@ -2,7 +2,12 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.sim.trace import BusyTrace, merge_intervals, overlap_length
+from repro.sim.trace import (
+    BusyTrace,
+    merge_intervals,
+    overlap_length,
+    time_at_concurrency,
+)
 
 intervals_strategy = st.lists(
     st.tuples(
@@ -14,6 +19,9 @@ intervals_strategy = st.lists(
 
 
 class TestMergeIntervals:
+    def test_empty_input(self):
+        assert merge_intervals([]) == []
+
     def test_disjoint_preserved(self):
         assert merge_intervals([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
 
@@ -42,12 +50,58 @@ class TestMergeIntervals:
         assert merged_len <= raw_len + 1e-9
 
 
+class TestTimeAtConcurrency:
+    def test_empty_is_zero(self):
+        assert time_at_concurrency([], 1) == 0.0
+
+    def test_threshold_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            time_at_concurrency([(0, 1)], 0)
+        with pytest.raises(ValueError):
+            time_at_concurrency([], -3)
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ValueError):
+            time_at_concurrency([(2, 1)], 1)
+
+    def test_zero_length_intervals_dropped(self):
+        assert time_at_concurrency([(1, 1), (5, 5)], 1) == 0.0
+
+    def test_k1_is_union_length(self):
+        intervals = [(0, 2), (1, 3), (6, 8)]
+        union = sum(e - s for s, e in merge_intervals(intervals))
+        assert time_at_concurrency(intervals, 1) == pytest.approx(union)
+
+    def test_k2_counts_only_overlap(self):
+        # Two intervals overlap on [1, 3]; the third is disjoint.
+        assert time_at_concurrency([(0, 3), (1, 4), (10, 11)], 2) == 2.0
+
+    def test_threshold_above_population_is_zero(self):
+        assert time_at_concurrency([(0, 3), (1, 4)], 3) == 0.0
+
+    @given(intervals_strategy, st.integers(min_value=1, max_value=5))
+    def test_monotone_in_k(self, intervals, k):
+        assert time_at_concurrency(intervals, k + 1) <= time_at_concurrency(
+            intervals, k
+        ) + 1e-9
+
+    @given(intervals_strategy)
+    def test_k1_matches_merge(self, intervals):
+        union = sum(e - s for s, e in merge_intervals(intervals))
+        assert time_at_concurrency(intervals, 1) == pytest.approx(union)
+
+
 class TestOverlapLength:
     def test_simple(self):
         assert overlap_length([(0, 10)], [(5, 15)]) == 5
 
     def test_no_overlap(self):
         assert overlap_length([(0, 1)], [(2, 3)]) == 0
+
+    def test_empty_inputs(self):
+        assert overlap_length([], []) == 0.0
+        assert overlap_length([(0, 5)], []) == 0.0
+        assert overlap_length([], [(0, 5)]) == 0.0
 
     def test_multiple_pieces(self):
         assert overlap_length([(0, 10)], [(1, 2), (4, 6)]) == 3
@@ -87,8 +141,15 @@ class TestBusyTrace:
         tr = BusyTrace()
         tr.record(0, 5)
         assert tr.utilization(10) == pytest.approx(0.5)
-        with pytest.raises(ValueError):
-            tr.utilization(0)
+
+    def test_utilization_degenerate_horizon_is_zero(self):
+        # A zero/negative observation window has no measurable
+        # utilization; it must not raise (empty schedules hit this).
+        tr = BusyTrace()
+        tr.record(0, 5)
+        assert tr.utilization(0) == 0.0
+        assert tr.utilization(-1.5) == 0.0
+        assert BusyTrace().utilization(0) == 0.0
 
     def test_overlap_with(self):
         a = BusyTrace("gpu")
