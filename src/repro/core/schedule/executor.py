@@ -23,11 +23,14 @@ from typing import Iterable, List, Optional
 from repro.core.schedule.advanced import AdvancedPlan
 from repro.core.schedule.basic import BasicPlan
 from repro.core.schedule.workload import LEAVES, DCWorkload, KernelStep, LevelRef
-from repro.errors import ScheduleError
+from repro.errors import DeviceError, ScheduleError
 from repro.hpu.hpu import HPU
 from repro.obs.tracer import active as _obs_active
 from repro.opencl.costmodel import kernel_launch_time
 from repro.opencl.kernel import Kernel, NDRange
+from repro.resilience.guard import ResilienceGuard
+from repro.resilience.policies import ResilienceConfig
+from repro.resilience.runtime import active as _resilience_active
 from repro.sim import AllOf, Resource, Simulator, TeamBatch, Timeout
 from repro.sim.trace import time_at_concurrency
 from repro.util.intmath import ceil_div
@@ -51,6 +54,9 @@ class HybridRunResult:
     #: Raw busy intervals, for timeline rendering / post-hoc analysis.
     cpu_intervals: tuple = ()
     gpu_intervals: tuple = ()
+    #: Recovery actions (:class:`~repro.resilience.guard.RecoveryAction`)
+    #: taken under a resilience config; empty for clean runs.
+    recovery: tuple = ()
 
     def timeline(self, width: int = 72) -> str:
         """ASCII Gantt of this run (see :mod:`repro.sim.timeline`)."""
@@ -99,6 +105,12 @@ class ScheduleExecutor:
     process-per-worker reference path (``fast=False``).  The reference
     path is kept for the equivalence suite in
     ``tests/core/schedule/test_fast_path_equivalence.py``.
+
+    ``resilience`` attaches a :class:`~repro.resilience.policies.
+    ResilienceConfig` (fault plan + retry/timeout/degrade policies);
+    when ``None``, the executor picks up the ambient session installed
+    via :func:`repro.resilience.install`, if any.  Each run gets a
+    fresh injector, so a failed run never poisons the next.
     """
 
     def __init__(
@@ -107,11 +119,13 @@ class ScheduleExecutor:
         workload: DCWorkload,
         noise: NoiseModel = NO_NOISE,
         fast: bool = True,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         self.hpu = hpu
         self.workload = workload
         self.noise = noise
         self.fast = fast
+        self.resilience = resilience
 
     # ------------------------------------------------------------------
     # baselines
@@ -147,18 +161,47 @@ class ScheduleExecutor:
     # basic strategy (§5.1)
     # ------------------------------------------------------------------
     def run_basic(self, plan: BasicPlan) -> HybridRunResult:
-        """One device at a time, single transfer each way."""
+        """One device at a time, single transfer each way.
+
+        Under a resilience config whose :class:`~repro.resilience.
+        policies.DegradePolicy` allows it, a GPU phase that fails for
+        good (retries exhausted, device lost) falls back to the CPU:
+        the remaining GPU levels re-plan as core-team batches — the
+        basic planner's CPU-only degenerate schedule — and the run
+        completes correctly.
+        """
         run = _Run(self)
         w = self.workload
 
+        def gpu_phase():
+            """The GPU's compute steps, resumable for the fallback."""
+            total_words = w.words_for_tasks(LEAVES, w.leaf_tasks)
+            compute = [(LEAVES, "base", 0, w.leaf_tasks)] + [
+                (level, "combine", 0, w.tasks_at(level))
+                for level in plan.gpu_levels(w.k)
+            ]
+            done = 0
+            try:
+                yield from run.gpu_transfer(total_words, "h2d")
+                for index, (level, phase, offset, count) in enumerate(compute):
+                    yield from run.gpu_level(level, phase, offset, count)
+                    done = index + 1
+                yield from run.gpu_transfer(total_words, "d2h")
+            except DeviceError as exc:
+                if not run.can_degrade(exc):
+                    raise
+                run.note_fallback("basic.gpu-phase", exc)
+                for level, phase, offset, count in compute[done:]:
+                    tag = (
+                        "fallback:leaves"
+                        if level == LEAVES
+                        else f"fallback:{level}"
+                    )
+                    yield from run.cpu_batch(level, phase, offset, count, tag)
+
         def driver():
             if plan.use_gpu:
-                total_words = w.words_for_tasks(LEAVES, w.leaf_tasks)
-                yield from run.gpu_transfer(total_words, "h2d")
-                yield from run.gpu_level(LEAVES, "base", 0, w.leaf_tasks)
-                for level in plan.gpu_levels(w.k):
-                    yield from run.gpu_level(level, "combine", 0, w.tasks_at(level))
-                yield from run.gpu_transfer(total_words, "d2h")
+                yield from gpu_phase()
             else:
                 yield from run.cpu_batch(
                     LEAVES, "base", 0, w.leaf_tasks, "leaves"
@@ -175,7 +218,14 @@ class ScheduleExecutor:
     # advanced strategy (§5.2 / Algorithm 8)
     # ------------------------------------------------------------------
     def run_advanced(self, plan: AdvancedPlan) -> HybridRunResult:
-        """Two concurrent sides below the split level, then the top."""
+        """Two concurrent sides below the split level, then the top.
+
+        Under a resilience config with CPU fallback enabled, a GPU side
+        that fails permanently re-plans its remaining level sets onto
+        the shared core pool (competing FIFO-fairly with the CPU side,
+        like the gpu-tail always has) and the run still produces a
+        correct result — the degraded mode of ``docs/RESILIENCE.md``.
+        """
         run = _Run(self)
         w = self.workload
         t, y = plan.split_level, plan.transfer_level
@@ -201,13 +251,33 @@ class ScheduleExecutor:
             if gpu_leaves == 0:
                 return None
             words = w.words_for_tasks(LEAVES, gpu_leaves)
-            yield from run.gpu_transfer(words, "h2d")
-            yield from run.gpu_level(LEAVES, "base", cpu_leaves, gpu_leaves)
-            for level in range(w.k - 1, y - 1, -1):
-                offset = plan.cpu_tasks_at(level, w)
-                count = plan.gpu_tasks_at(level, w)
-                yield from run.gpu_level(level, "combine", offset, count)
-            yield from run.gpu_transfer(words, "d2h")
+            compute = [(LEAVES, "base", cpu_leaves, gpu_leaves)] + [
+                (
+                    level,
+                    "combine",
+                    plan.cpu_tasks_at(level, w),
+                    plan.gpu_tasks_at(level, w),
+                )
+                for level in range(w.k - 1, y - 1, -1)
+            ]
+            done = 0
+            try:
+                yield from run.gpu_transfer(words, "h2d")
+                for index, (level, phase, offset, count) in enumerate(compute):
+                    yield from run.gpu_level(level, phase, offset, count)
+                    done = index + 1
+                yield from run.gpu_transfer(words, "d2h")
+            except DeviceError as exc:
+                if not run.can_degrade(exc):
+                    raise
+                run.note_fallback("advanced.gpu-side", exc)
+                for level, phase, offset, count in compute[done:]:
+                    tag = (
+                        "fallback:leaves"
+                        if level == LEAVES
+                        else f"fallback:{level}"
+                    )
+                    yield from run.cpu_batch(level, phase, offset, count, tag)
             side_spans["gpu"] = run.sim.now
             # CPU tail of the GPU side: levels y-1 .. t, competing for
             # cores with a possibly still-running CPU side.
@@ -418,6 +488,7 @@ class ScheduleExecutor:
             gpu_intervals=tuple(
                 iv for card in cards for iv in card.trace.intervals
             ),
+            recovery=result.recovery,
         )
 
 
@@ -439,6 +510,16 @@ class _Run:
         self.gpu_kernel_time = 0.0
         self.transfer_time = 0.0
         self._gpu_params = executor.hpu.gpu_spec.cost_parameters()
+        # -- resilience (no-op unless a config is attached/installed) --
+        # The guard probes each operation *before* it executes; with an
+        # empty fault plan and no deadlines it admits everything
+        # without scheduling a single event, so zero-fault runs are
+        # bit-identical to guardless ones
+        # (tests/resilience/test_differential.py).
+        self._session = _resilience_active()
+        config = executor.resilience
+        if config is None and self._session is not None:
+            config = self._session.config
         # -- observability (no-op unless a repro.obs tracer is active) --
         # All hooks are pure observers keyed on simulated time; they
         # never schedule events or draw randomness, so tracing on/off
@@ -469,6 +550,29 @@ class _Run:
                 )
 
             self.cpu.cores.set_wait_hook(_on_request)
+        self.guard = (
+            ResilienceGuard(config, self.sim, tracer=self.tracer)
+            if config is not None
+            else None
+        )
+        # Core-pool acquisitions only pay the fault check when the plan
+        # actually targets the "resource" site (the hook is per-run
+        # state: make_devices() built a fresh pool above).
+        if self.guard is not None and any(
+            spec.site == "resource" for spec in config.plan.faults
+        ):
+            self.cpu.cores.set_fault_hook(
+                self.guard.injector.resource_fault_hook(self.sim)
+            )
+
+    # -- resilience ------------------------------------------------------
+    def can_degrade(self, error: BaseException) -> bool:
+        """Whether a failed GPU phase may fall back to the CPU."""
+        return self.guard is not None and self.guard.should_degrade(error)
+
+    def note_fallback(self, label: str, error: BaseException) -> None:
+        """Record that the remaining GPU work re-plans onto the CPU."""
+        self.guard.note_fallback(label, error)
 
     # -- CPU ------------------------------------------------------------
     def cpu_batch(
@@ -494,6 +598,10 @@ class _Run:
         """
         if count == 0:
             return
+        if self.guard is not None:
+            yield from self.guard.attempt(
+                "cpu", "cpu", [0.0], label=tag, trace=self.cpu.trace
+            )
         self.w.run_hook(phase, level, offset, count)
         cost = self.w.cost_at(level)
         workers = min(count, self.cores)
@@ -588,20 +696,37 @@ class _Run:
         """
         if count == 0:
             return
-        self.w.run_hook(phase, level, offset, count)
         steps = (
             self.w.gpu_parallel_steps(level, count, offset)
             if parallel
             else self.w.gpu_steps(level, count, offset)
         )
-        tracer = self.tracer
-        for step in steps:
-            kernel = _step_kernel(step)
-            ndrange = NDRange(
-                step.items,
-                min(self.x.hpu.gpu_spec.preferred_workgroup, step.items),
+        durations = [
+            kernel_launch_time(
+                self._gpu_params,
+                _step_kernel(step),
+                NDRange(
+                    step.items,
+                    min(self.x.hpu.gpu_spec.preferred_workgroup, step.items),
+                ),
+                {},
             )
-            duration = kernel_launch_time(self._gpu_params, kernel, ndrange, {})
+            for step in steps
+        ]
+        # The guard admits (or fails) the whole level before the hook
+        # touches host data, so failed attempts never corrupt state and
+        # the successful attempt replays the steps exactly as planned.
+        if self.guard is not None:
+            yield from self.guard.attempt(
+                "kernel",
+                "gpu",
+                durations,
+                label=f"level:{level}",
+                trace=self.gpu.trace,
+            )
+        self.w.run_hook(phase, level, offset, count)
+        tracer = self.tracer
+        for step, duration in zip(steps, durations):
             start = self.sim.now
             yield Timeout(duration)
             self.gpu.trace.record(start, self.sim.now, f"kernel:{step.name}")
@@ -623,6 +748,10 @@ class _Run:
     def gpu_transfer(self, words: int, tag: str):
         """One CPU↔GPU transfer of ``words`` machine words."""
         duration = self.x.hpu.transfer_time(words)
+        if self.guard is not None:
+            yield from self.guard.attempt(
+                "transfer", "gpu", [duration], label=tag, trace=self.gpu.trace
+            )
         start = self.sim.now
         yield Timeout(duration)
         self.gpu.trace.record(start, self.sim.now, tag)
@@ -637,15 +766,32 @@ class _Run:
         """Like :meth:`gpu_level`, but on a specific card."""
         if count == 0:
             return
-        self.w.run_hook(phase, level, offset, count)
         params = device.spec.cost_parameters()
-        tracer = self.tracer
-        for step in self.w.gpu_steps(level, count, offset):
-            kernel = _step_kernel(step)
-            ndrange = NDRange(
-                step.items, min(device.spec.preferred_workgroup, step.items)
+        steps = self.w.gpu_steps(level, count, offset)
+        durations = [
+            kernel_launch_time(
+                params,
+                _step_kernel(step),
+                NDRange(
+                    step.items, min(device.spec.preferred_workgroup, step.items)
+                ),
+                {},
             )
-            duration = kernel_launch_time(params, kernel, ndrange, {})
+            for step in steps
+        ]
+        if self.guard is not None:
+            # All cards share the "gpu" fault lane: a device fault downs
+            # the whole multi-GPU side at once.
+            yield from self.guard.attempt(
+                "kernel",
+                "gpu",
+                durations,
+                label=f"level:{level}",
+                trace=device.trace,
+            )
+        self.w.run_hook(phase, level, offset, count)
+        tracer = self.tracer
+        for step, duration in zip(steps, durations):
             start = self.sim.now
             yield Timeout(duration)
             device.trace.record(start, self.sim.now, f"kernel:{step.name}")
@@ -668,6 +814,10 @@ class _Run:
         """A transfer that serializes on the shared host link."""
         yield link.request(1)
         duration = self.x.hpu.transfer_time(words)
+        if self.guard is not None:
+            yield from self.guard.attempt(
+                "transfer", "gpu", [duration], label=tag, trace=device.trace
+            )
         start = self.sim.now
         yield Timeout(duration)
         device.trace.record(start, self.sim.now, tag)
@@ -717,6 +867,13 @@ class _Run:
             # Close this run's segment on the trace timeline at the
             # *unnoised* clock — span times are raw simulated time.
             self.tracer.end_run(self.sim.now)
+        recovery = ()
+        if self.guard is not None and self.guard.recovery:
+            recovery = tuple(self.guard.recovery)
+            if self._session is not None:
+                self._session.note_recovery(
+                    f"{self.x.hpu.name}:{self.w.name}", recovery
+                )
         cpu_intervals = self.cpu.trace.intervals
         side_spans = side_spans or {}
         return HybridRunResult(
@@ -732,4 +889,5 @@ class _Run:
             gpu_side_time=side_spans.get("gpu", 0.0),
             cpu_intervals=tuple(self.cpu.trace.intervals),
             gpu_intervals=tuple(self.gpu.trace.intervals),
+            recovery=recovery,
         )

@@ -3,9 +3,18 @@
 Every error raised by the library derives from :class:`ReproError` so
 callers can catch library failures with a single ``except`` clause while
 still being able to discriminate by subsystem.
+
+Two historical names carried a trailing underscore to dodge the
+builtins (``MemoryError_``, ``TimeoutError_``).  The clean spellings
+:class:`DeviceMemoryError` and :class:`DeviceTimeoutError` are now the
+canonical classes; the underscored names remain importable as
+deprecated aliases (module ``__getattr__``) and will be removed in a
+future major release.
 """
 
 from __future__ import annotations
+
+import warnings
 
 
 class ReproError(Exception):
@@ -32,8 +41,24 @@ class KernelError(DeviceError):
     """A simulated OpenCL kernel launch or execution failed."""
 
 
-class MemoryError_(DeviceError):
+class TransferError(DeviceError):
+    """A simulated CPU↔GPU transfer failed."""
+
+
+class DeviceMemoryError(DeviceError):
     """A simulated device-memory operation failed (allocation, OOB copy)."""
+
+
+class DeviceTimeoutError(DeviceError):
+    """A simulated device operation exceeded its policy deadline."""
+
+
+class DeviceLostError(DeviceError):
+    """A simulated device failed permanently and is no longer usable."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan or resilience policy was configured incorrectly."""
 
 
 class ScheduleError(ReproError):
@@ -46,3 +71,24 @@ class ModelError(ReproError):
 
 class CalibrationError(ReproError):
     """A device-parameter calibration procedure failed to converge."""
+
+
+#: Deprecated aliases, resolved lazily so each use warns exactly where
+#: it happens (PEP 562).
+_DEPRECATED_ALIASES = {
+    "MemoryError_": DeviceMemoryError,
+    "TimeoutError_": DeviceTimeoutError,
+}
+
+
+def __getattr__(name: str):
+    replacement = _DEPRECATED_ALIASES.get(name)
+    if replacement is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"repro.errors.{name} is deprecated; use "
+        f"repro.errors.{replacement.__name__} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return replacement

@@ -16,6 +16,17 @@ a Chrome/Perfetto-loadable trace and a metrics snapshot, and drops a
 run manifest under ``results/<run-id>/manifest.json`` so the outputs
 are diffable artifacts.  Tracing never changes results: simulated
 numbers are bit-identical with it on or off.
+
+Resilience (see ``docs/RESILIENCE.md``)::
+
+    repro-experiments fig8 --fast --fault-plan chaos.json \
+        --retry 2 --backoff 500 --deadline 1e6,5e5
+
+installs a :mod:`repro.resilience` session for the whole invocation:
+every schedule-executor run checks the JSON fault plan, retries flaky
+device work with exponential backoff, enforces kernel/transfer
+deadlines, and falls back to the CPU when the GPU is lost.  The fault
+plan and every recovery action are recorded in the run manifest.
 """
 
 from __future__ import annotations
@@ -66,6 +77,7 @@ def _build_manifest(
     tracer,
     run_id: str,
     outputs: Dict[str, Optional[str]],
+    session=None,
 ):
     """Assemble the RunManifest for this invocation."""
     import repro
@@ -94,7 +106,72 @@ def _build_manifest(
             tracer.metrics.summary() if tracer is not None else {}
         ),
         outputs=outputs,
+        fault_plan=(
+            session.config.plan.to_dict() if session is not None else {}
+        ),
+        recovery=(
+            [dict(action) for action in session.recovery]
+            if session is not None
+            else []
+        ),
     )
+
+
+def _resilience_config(args, parser):
+    """Build the ResilienceConfig requested on the CLI, or ``None``.
+
+    Any resilience flag activates the session; ``--fault-plan`` alone
+    gives fault injection with default policies, and policy flags alone
+    give retries/deadlines/fallback with no injected faults.
+    """
+    wants = (
+        args.fault_plan is not None
+        or args.retry
+        or args.backoff
+        or args.deadline is not None
+        or args.no_cpu_fallback
+    )
+    if not wants:
+        return None
+    from repro.errors import FaultInjectionError
+    from repro.resilience import (
+        NO_FAULTS,
+        DegradePolicy,
+        FaultPlan,
+        ResilienceConfig,
+        RetryPolicy,
+        TimeoutPolicy,
+    )
+
+    plan = NO_FAULTS
+    if args.fault_plan is not None:
+        try:
+            plan = FaultPlan.load(args.fault_plan)
+        except (OSError, ValueError, FaultInjectionError) as exc:
+            parser.error(f"--fault-plan: {exc}")
+    kernel_deadline = transfer_deadline = None
+    if args.deadline is not None:
+        parts = args.deadline.split(",")
+        if len(parts) > 2:
+            parser.error("--deadline takes KERNEL or KERNEL,TRANSFER")
+        try:
+            kernel_deadline = float(parts[0])
+            if len(parts) == 2:
+                transfer_deadline = float(parts[1])
+        except ValueError:
+            parser.error(f"--deadline: not a number: {args.deadline!r}")
+    try:
+        return ResilienceConfig(
+            plan=plan,
+            retry=RetryPolicy(max_retries=args.retry, backoff=args.backoff),
+            timeout=TimeoutPolicy(
+                kernel_deadline=kernel_deadline,
+                transfer_deadline=transfer_deadline,
+            ),
+            degrade=DegradePolicy(cpu_fallback=not args.no_cpu_fallback),
+        )
+    except FaultInjectionError as exc:
+        parser.error(f"invalid resilience flags: {exc}")
 
 
 def main(argv=None) -> int:
@@ -166,6 +243,42 @@ def main(argv=None) -> int:
         help="where run manifests go (default: results/)",
     )
     parser.add_argument(
+        "--fault-plan",
+        type=Path,
+        metavar="PATH",
+        help="install a repro.resilience session injecting the faults "
+        "described by this JSON plan (see docs/RESILIENCE.md) into "
+        "every simulated run",
+    )
+    parser.add_argument(
+        "--retry",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry failed device work up to N times (default 0)",
+    )
+    parser.add_argument(
+        "--backoff",
+        type=float,
+        default=0.0,
+        metavar="OPS",
+        help="base exponential-backoff delay between retries, charged "
+        "as simulated time (default 0)",
+    )
+    parser.add_argument(
+        "--deadline",
+        metavar="KERNEL[,TRANSFER]",
+        help="per-kernel (and optionally per-transfer) deadlines in "
+        "simulated ops; work exceeding a deadline raises "
+        "DeviceTimeoutError and triggers recovery",
+    )
+    parser.add_argument(
+        "--no-cpu-fallback",
+        action="store_true",
+        help="raise device errors instead of re-planning a lost GPU's "
+        "remaining work onto the CPU",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list available experiments"
     )
     args = parser.parse_args(argv)
@@ -191,6 +304,15 @@ def main(argv=None) -> int:
         from repro.obs import Tracer, activate
 
         tracer = activate(Tracer(name="repro-experiments"))
+
+    # -- resilience setup ----------------------------------------------
+    resilience_config = _resilience_config(args, parser)
+    session = None
+    if resilience_config is not None:
+        from repro.resilience import install
+
+        session = install(resilience_config)
+        emit_manifest = True
 
     profiler = None
     if args.profile:
@@ -219,6 +341,10 @@ def main(argv=None) -> int:
                     print(plotter(result))
             print()
     finally:
+        if session is not None:
+            from repro.resilience import uninstall
+
+            uninstall()
         if tracer is not None:
             from repro.obs import deactivate
 
@@ -256,7 +382,8 @@ def main(argv=None) -> int:
             time.strftime("%Y%m%d-%H%M%S") + "-" + "+".join(selected)
         )
         manifest = _build_manifest(
-            args, argv, selected, results, tracer, run_id, outputs
+            args, argv, selected, results, tracer, run_id, outputs,
+            session=session,
         )
         path = manifest.write(args.results_dir / run_id / "manifest.json")
         print(f"manifest: {path}")

@@ -77,6 +77,12 @@ class RunManifest:
     metrics_summary: Dict[str, object] = field(default_factory=dict)
     #: Paths of sibling artifacts (trace/metrics JSON), when written.
     outputs: Dict[str, Optional[str]] = field(default_factory=dict)
+    #: The fault plan in effect (``FaultPlan.to_dict()``); empty when
+    #: the run injected no faults.
+    fault_plan: Dict[str, object] = field(default_factory=dict)
+    #: Recovery actions taken across the run (retries, timeouts, CPU
+    #: fallbacks), as ``RecoveryAction.to_dict()`` entries in order.
+    recovery: List[dict] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -96,6 +102,8 @@ class RunManifest:
             "results": self.results,
             "metrics_summary": self.metrics_summary,
             "outputs": self.outputs,
+            "fault_plan": self.fault_plan,
+            "recovery": self.recovery,
         }
 
     @classmethod
@@ -122,6 +130,8 @@ class RunManifest:
             results=data.get("results", {}),
             metrics_summary=data.get("metrics_summary", {}),
             outputs=data.get("outputs", {}),
+            fault_plan=data.get("fault_plan", {}),
+            recovery=data.get("recovery", []),
         )
 
     # ------------------------------------------------------------------

@@ -94,7 +94,24 @@ class GPUDevice:
         return kernel_launch_time(self._params, kernel, ndrange, args)
 
     def launch(self, kernel: Kernel, ndrange: NDRange, args) -> float:
-        """Execute ``kernel`` functionally; return the simulated duration."""
+        """Execute ``kernel`` functionally; return the simulated duration.
+
+        When a :mod:`repro.resilience` session has lost the GPU, the
+        launch raises :class:`~repro.errors.DeviceLostError` before
+        touching any data — a dead device runs nothing.
+        """
+        from repro.resilience.runtime import active as _resilience_active
+
+        session = _resilience_active()
+        if session is not None and not session.ambient_injector.device_alive(
+            "gpu"
+        ):
+            from repro.errors import DeviceLostError
+
+            raise DeviceLostError(
+                f"cannot launch {kernel.name!r}: device {self.spec.name!r} "
+                f"was lost"
+            )
         duration = self.time_for(kernel, ndrange, args)
         kernel.execute(ndrange, args)
         self.kernels_launched += 1

@@ -14,7 +14,7 @@ from typing import Dict
 
 import numpy as np
 
-from repro.errors import MemoryError_
+from repro.errors import DeviceMemoryError
 
 
 class MemoryRegion(enum.Enum):
@@ -44,9 +44,9 @@ class Buffer:
         name: str = "",
     ) -> None:
         if nbytes <= 0:
-            raise MemoryError_(f"buffer size must be positive, got {nbytes!r}")
+            raise DeviceMemoryError(f"buffer size must be positive, got {nbytes!r}")
         if nbytes % dtype.itemsize != 0:
-            raise MemoryError_(
+            raise DeviceMemoryError(
                 f"buffer size {nbytes} is not a multiple of itemsize "
                 f"{dtype.itemsize}"
             )
@@ -73,7 +73,7 @@ class Buffer:
     def check_live(self) -> None:
         """Raise if this buffer has been freed."""
         if self.freed:
-            raise MemoryError_(f"use of freed buffer {self.name!r}")
+            raise DeviceMemoryError(f"use of freed buffer {self.name!r}")
 
 
 class DeviceMemory:
@@ -81,7 +81,7 @@ class DeviceMemory:
 
     def __init__(self, capacity_bytes: int, device_name: str = "device") -> None:
         if capacity_bytes <= 0:
-            raise MemoryError_(
+            raise DeviceMemoryError(
                 f"device memory capacity must be positive, got {capacity_bytes!r}"
             )
         self.capacity_bytes = capacity_bytes
@@ -102,7 +102,7 @@ class DeviceMemory:
     ) -> Buffer:
         """Allocate a buffer, enforcing the device's capacity."""
         if nbytes > self.free_bytes:
-            raise MemoryError_(
+            raise DeviceMemoryError(
                 f"{self.device_name}: cannot allocate {nbytes} B "
                 f"({self.free_bytes} B free of {self.capacity_bytes} B)"
             )
@@ -115,7 +115,7 @@ class DeviceMemory:
         """Release a buffer back to the device."""
         buf.check_live()
         if buf.name not in self._live:
-            raise MemoryError_(
+            raise DeviceMemoryError(
                 f"{self.device_name}: buffer {buf.name!r} was not allocated here"
             )
         del self._live[buf.name]

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import DeviceError
 from repro.obs.tracer import active as _obs_active
+from repro.resilience.runtime import active as _resilience_active
 from repro.opencl.device import GPUDevice
 from repro.opencl.kernel import Kernel, NDRange
 from repro.opencl.memory import Buffer
@@ -61,13 +62,26 @@ class CommandQueue:
         self.profile: List[CommandProfile] = []
 
     # ------------------------------------------------------------------
-    def _submit(self, run, tag: str) -> Signal:
-        """Serialize ``run`` (a zero-arg callable returning a duration)."""
+    def _submit(self, run, tag: str, site: Optional[str] = None) -> Signal:
+        """Serialize ``run`` (a zero-arg callable returning a duration).
+
+        ``site`` names the fault-injection site of the command
+        (``"kernel"`` / ``"transfer"``; ``None`` for barriers): when a
+        :mod:`repro.resilience` session is installed, the command is
+        checked against its fault plan as the device picks it up, and
+        an injected failure raises the plan's typed error out of the
+        simulation — the queue itself performs no retries; policies
+        live in the schedule executor.
+        """
         done = Signal(f"{self.name}.{tag}")
         queued_at = self.sim.now
 
         def command():
             yield self._order.request(1)
+            if site is not None:
+                session = _resilience_active()
+                if session is not None:
+                    session.ambient_injector.check(site, "gpu", self.sim.now)
             start = self.sim.now
             duration = run()
             yield Timeout(duration)
@@ -116,6 +130,7 @@ class CommandQueue:
         return self._submit(
             lambda: self.device.launch(kernel, ndrange, args),
             tag or f"kernel:{kernel.name}",
+            site="kernel",
         )
 
     def enqueue_write(self, buf: Buffer, host: np.ndarray) -> Signal:
@@ -136,7 +151,7 @@ class CommandQueue:
             tracer.metrics.counter("xfer.bytes").inc(
                 int(host.nbytes), device=self.device.spec.name, dir="h2d"
             )
-        return self._submit(run, f"write:{buf.name}")
+        return self._submit(run, f"write:{buf.name}", site="transfer")
 
     def enqueue_read(self, buf: Buffer, host: np.ndarray) -> Signal:
         """Copy the device buffer into ``host`` (device→host transfer)."""
@@ -156,7 +171,7 @@ class CommandQueue:
             tracer.metrics.counter("xfer.bytes").inc(
                 int(host.nbytes), device=self.device.spec.name, dir="d2h"
             )
-        return self._submit(run, f"read:{buf.name}")
+        return self._submit(run, f"read:{buf.name}", site="transfer")
 
     def barrier(self) -> Signal:
         """A zero-duration command: fires when all prior commands finished."""

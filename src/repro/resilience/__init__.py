@@ -1,0 +1,85 @@
+"""repro.resilience — chaos-ready fault injection and recovery.
+
+The paper's schedules (§5, Algorithm 8) assume both devices always
+complete their level sets; a production HPU service must instead
+survive flaky kernels, stalled transfers and a lost GPU mid-run.  This
+package adds that behaviour without touching determinism:
+
+- :class:`FaultPlan` / :class:`FaultInjector` — a seeded, declarative
+  fault model that fails simulated kernel launches, CPU↔GPU transfers,
+  CPU batches, core-pool requests, or whole devices at chosen
+  sim-times, op counts, or probabilities.
+- :class:`RetryPolicy` / :class:`TimeoutPolicy` / :class:`DegradePolicy`
+  — bounded exponential-backoff retries charged as simulated time,
+  per-kernel/per-transfer deadlines raising
+  :class:`~repro.errors.DeviceTimeoutError`, and a CPU fallback that
+  re-plans a dead GPU's remaining levels onto the cores and finishes
+  the run correctly.
+- :func:`install` / :func:`resilient` — ambient sessions (mirroring
+  :mod:`repro.obs` tracing) picked up by every schedule executor and
+  by the experiment runner's ``--fault-plan`` / ``--retry`` /
+  ``--deadline`` flags; recovery actions land on the run result, in
+  ``resilience.*`` metrics, and in the run manifest.
+
+Quick tour::
+
+    from repro.resilience import (
+        FaultPlan, FaultSpec, ResilienceConfig, RetryPolicy, resilient,
+    )
+
+    plan = FaultPlan(name="gpu-dies", faults=(
+        FaultSpec(site="device", device="gpu", at_time=2.0e5),
+    ))
+    config = ResilienceConfig(plan=plan, retry=RetryPolicy(max_retries=2))
+    executor = ScheduleExecutor(HPU1, workload, resilience=config)
+    result = executor.run_advanced(schedule)   # completes on the CPU
+    result.recovery                            # what happened, when
+
+See ``docs/RESILIENCE.md`` for the fault model, the determinism
+contract, and the CLI walkthrough.
+"""
+
+from repro.resilience.faults import (
+    DEVICE_LANES,
+    FAULT_SITES,
+    NO_FAULTS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.resilience.guard import RecoveryAction, ResilienceGuard
+from repro.resilience.policies import (
+    DegradePolicy,
+    ResilienceConfig,
+    RetryPolicy,
+    TimeoutPolicy,
+)
+from repro.resilience.runtime import (
+    ResilienceSession,
+    active,
+    install,
+    resilient,
+    uninstall,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "DEVICE_LANES",
+    "NO_FAULTS",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultEvent",
+    "FaultInjector",
+    "RetryPolicy",
+    "TimeoutPolicy",
+    "DegradePolicy",
+    "ResilienceConfig",
+    "ResilienceGuard",
+    "RecoveryAction",
+    "ResilienceSession",
+    "active",
+    "install",
+    "uninstall",
+    "resilient",
+]

@@ -1,0 +1,366 @@
+"""Deterministic fault injection for the simulated HPU.
+
+A :class:`FaultPlan` is a named, seeded list of :class:`FaultSpec`
+declarations; a :class:`FaultInjector` evaluates one plan against the
+stream of simulated operations (kernel launches, CPU↔GPU transfers,
+CPU batches, core-pool requests) and raises a typed
+:class:`~repro.errors.ReproError` exactly where the plan says an
+operation fails.
+
+Everything is deterministic: probabilistic specs draw from a stream
+seeded via :func:`repro.util.rng.make_rng` on ``(plan.seed,
+plan.name)``, and op counters advance in the single-threaded DES order,
+so the same plan against the same schedule injects the same faults on
+every run — which is what lets the golden recovery tests pin exact
+makespans.
+
+Fault sites
+-----------
+``"kernel"``
+    A GPU kernel launch (one :class:`~repro.core.schedule.workload.
+    KernelStep`, or a :class:`~repro.opencl.queue.CommandQueue` kernel
+    command).  Raises :class:`~repro.errors.KernelError`.
+``"transfer"``
+    A CPU↔GPU transfer.  Raises :class:`~repro.errors.TransferError`.
+``"cpu"``
+    A CPU worker-team batch.  Raises :class:`~repro.errors.KernelError`
+    on the ``cpu`` device lane.
+``"resource"``
+    A core-pool request (:meth:`FaultInjector.resource_fault_hook`
+    plugs into :meth:`repro.sim.resources.Resource.set_fault_hook`).
+``"device"``
+    Whole-device loss: the *first* matching operation at/after the
+    trigger raises :class:`~repro.errors.DeviceLostError` and every
+    later operation on that device fails the same way, permanently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import (
+    DeviceLostError,
+    FaultInjectionError,
+    KernelError,
+    ReproError,
+    TransferError,
+)
+from repro.util.rng import DEFAULT_SEED, make_rng
+
+#: Operation sites a fault can target.
+FAULT_SITES = ("kernel", "transfer", "cpu", "resource", "device")
+
+#: Device lanes the executor reports operations on.
+DEVICE_LANES = ("gpu", "cpu")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault: where it strikes and when it triggers.
+
+    Trigger semantics, evaluated per matching operation:
+
+    - ``at_time`` arms the spec once the simulated clock reaches it
+      (``None``: armed from t=0).
+    - ``after_ops`` requires at least that many matching operations to
+      have been attempted (1-based, so ``after_ops=3`` spares the first
+      two).
+    - ``probability`` injects with that chance per armed operation,
+      drawn from the plan's deterministic stream.  ``0.0`` (the
+      default) means the spec fires *deterministically* whenever armed.
+    - ``times`` bounds how many failures the spec injects in one run
+      (``None``: unlimited).  ``"device"`` faults are always permanent
+      regardless of ``times``.
+    """
+
+    site: str
+    device: str = "gpu"
+    at_time: Optional[float] = None
+    after_ops: Optional[int] = None
+    probability: float = 0.0
+    times: Optional[int] = 1
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise FaultInjectionError(
+                f"unknown fault site {self.site!r}; expected one of "
+                f"{', '.join(FAULT_SITES)}"
+            )
+        if self.device not in DEVICE_LANES:
+            raise FaultInjectionError(
+                f"unknown device lane {self.device!r}; expected one of "
+                f"{', '.join(DEVICE_LANES)}"
+            )
+        if self.at_time is not None and not self.at_time >= 0.0:
+            raise FaultInjectionError(
+                f"at_time must be >= 0, got {self.at_time!r}"
+            )
+        if self.after_ops is not None and self.after_ops < 1:
+            raise FaultInjectionError(
+                f"after_ops must be >= 1, got {self.after_ops!r}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultInjectionError(
+                f"probability must be in [0, 1], got {self.probability!r}"
+            )
+        if self.times is not None and self.times < 1:
+            raise FaultInjectionError(
+                f"times must be >= 1 (or None), got {self.times!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable form (manifest / ``--fault-plan`` files)."""
+        return {
+            "site": self.site,
+            "device": self.device,
+            "at_time": self.at_time,
+            "after_ops": self.after_ops,
+            "probability": self.probability,
+            "times": self.times,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        unknown = set(data) - {
+            "site", "device", "at_time", "after_ops", "probability", "times"
+        }
+        if unknown:
+            raise FaultInjectionError(
+                f"unknown fault spec key(s): {', '.join(sorted(unknown))}"
+            )
+        if "site" not in data:
+            raise FaultInjectionError("fault spec needs a 'site'")
+        return cls(
+            site=data["site"],
+            device=data.get("device", "gpu"),
+            at_time=data.get("at_time"),
+            after_ops=data.get("after_ops"),
+            probability=data.get("probability", 0.0),
+            times=data.get("times", 1),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded collection of fault specs."""
+
+    name: str = "fault-plan"
+    seed: int = DEFAULT_SEED
+    faults: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing (the differential baseline)."""
+        return not self.faults
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(
+            name=data.get("name", "fault-plan"),
+            seed=data.get("seed", DEFAULT_SEED),
+            faults=tuple(
+                FaultSpec.from_dict(spec) for spec in data.get("faults", ())
+            ),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        """Read a plan from a JSON file (the ``--fault-plan`` format)."""
+        import json
+
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, ValueError) as exc:
+            raise FaultInjectionError(
+                f"cannot read fault plan {str(path)!r}: {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise FaultInjectionError(
+                f"fault plan {str(path)!r} must be a JSON object"
+            )
+        return cls.from_dict(data)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the plan as JSON (parent directories created)."""
+        import json
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+
+#: The do-nothing plan: an injector over it never raises.
+NO_FAULTS = FaultPlan(name="no-faults", faults=())
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected failure, as recorded by the injector."""
+
+    site: str
+    device: str
+    time: float
+    op_index: int
+    error: str  # exception class name
+    spec_index: int
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "device": self.device,
+            "time": self.time,
+            "op_index": self.op_index,
+            "error": self.error,
+            "spec_index": self.spec_index,
+        }
+
+
+class FaultInjector:
+    """Evaluates one :class:`FaultPlan` against a stream of operations.
+
+    One injector carries the mutable per-run state (op counters, dead
+    devices, remaining fault budgets, the probabilistic stream); the
+    schedule executor builds a fresh one per run so a failed run never
+    poisons the next — the executor-reusability contract of
+    ``tests/core/schedule/test_failure_injection.py``.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.events: List[FaultEvent] = []
+        self._ops: Dict[Tuple[str, str], int] = {}
+        self._device_ops: Dict[str, int] = {}
+        self._dead: Dict[str, float] = {}
+        self._remaining = [spec.times for spec in plan.faults]
+        # The stream exists only when some spec needs it, so empty and
+        # fully-deterministic plans never touch the RNG machinery.
+        self._rng = (
+            make_rng(plan.seed, "fault-plan", plan.name)
+            if any(spec.probability > 0.0 for spec in plan.faults)
+            else None
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FaultInjector {self.plan.name!r} {len(self.events)} injected, "
+            f"dead={sorted(self._dead)}>"
+        )
+
+    # ------------------------------------------------------------------
+    def device_alive(self, device: str) -> bool:
+        """Whether ``device`` has been lost by a ``"device"`` fault."""
+        return device not in self._dead
+
+    def ops_at(self, site: str, device: str) -> int:
+        """How many operations have been checked at ``(site, device)``."""
+        return self._ops.get((site, device), 0)
+
+    # ------------------------------------------------------------------
+    def check(self, site: str, device: str, now: float) -> None:
+        """Account one operation; raise if the plan fails it.
+
+        Raises :class:`~repro.errors.DeviceLostError` for operations on
+        an already-lost device, otherwise the typed error of the first
+        matching spec that triggers.  Returns normally when the
+        operation succeeds.
+        """
+        op_index = self._ops.get((site, device), 0) + 1
+        self._ops[(site, device)] = op_index
+        self._device_ops[device] = self._device_ops.get(device, 0) + 1
+        if device in self._dead:
+            raise DeviceLostError(
+                f"device {device!r} was lost at t={self._dead[device]:g} "
+                f"(operation {site!r} at t={now:g})"
+            )
+        for index, spec in enumerate(self.plan.faults):
+            if not self._matches(spec, site, device):
+                continue
+            if self._remaining[index] == 0:
+                continue
+            if spec.at_time is not None and now < spec.at_time:
+                continue
+            if spec.after_ops is not None:
+                seen = (
+                    self._device_ops[device]
+                    if spec.site == "device"
+                    else op_index
+                )
+                if seen < spec.after_ops:
+                    continue
+            if spec.probability > 0.0:
+                if not self._rng.random() < spec.probability:
+                    continue
+            if self._remaining[index] is not None:
+                self._remaining[index] -= 1
+            raise self._inject(spec, index, site, device, now, op_index)
+
+    def _matches(self, spec: FaultSpec, site: str, device: str) -> bool:
+        if spec.device != device:
+            return False
+        return spec.site == "device" or spec.site == site
+
+    def _inject(
+        self,
+        spec: FaultSpec,
+        spec_index: int,
+        site: str,
+        device: str,
+        now: float,
+        op_index: int,
+    ) -> ReproError:
+        if spec.site == "device":
+            self._dead[device] = now
+            error: ReproError = DeviceLostError(
+                f"injected device loss: {device!r} at t={now:g} "
+                f"({site!r} operation {op_index})"
+            )
+        elif spec.site == "transfer":
+            error = TransferError(
+                f"injected transfer fault on {device!r} at t={now:g} "
+                f"(operation {op_index})"
+            )
+        else:  # kernel, cpu, resource: a failed execution attempt
+            error = KernelError(
+                f"injected {spec.site} fault on {device!r} at t={now:g} "
+                f"(operation {op_index})"
+            )
+        self.events.append(
+            FaultEvent(
+                site=site,
+                device=device,
+                time=now,
+                op_index=op_index,
+                error=type(error).__name__,
+                spec_index=spec_index,
+            )
+        )
+        return error
+
+    # ------------------------------------------------------------------
+    def resource_fault_hook(self, sim, device: str = "cpu"):
+        """A hook for :meth:`repro.sim.resources.Resource.set_fault_hook`.
+
+        Routes every pool request through :meth:`check` at site
+        ``"resource"``, stamped with the simulator's current clock.
+        """
+
+        def hook(n: int) -> None:
+            self.check("resource", device, sim.now)
+
+        return hook

@@ -1,0 +1,229 @@
+"""The per-run recovery engine driven by the schedule executor.
+
+A :class:`ResilienceGuard` owns one run's :class:`~repro.resilience.
+faults.FaultInjector` and applies the configured policies *before* each
+simulated operation executes: it probes whether the upcoming launch
+would fail (injected fault, policy deadline, lost device), simulates
+the failed attempts — charging their partial work, deadline burn and
+retry backoff as simulated time on the device trace — and returns
+control to the executor only for the attempt that will succeed.  The
+executor then runs the operation exactly as it would without a guard,
+which is what keeps the zero-fault path bit-identical.
+
+Because the probe happens before the workload's functional hook runs,
+a failed attempt never touches host data: retries re-execute nothing,
+and a fallback re-plan starts from the last *completed* operation.
+Every decision lands in the guard's recovery log as a
+:class:`RecoveryAction` (surfaced on :class:`~repro.core.schedule.
+executor.HybridRunResult` and in the run manifest) and — when a tracer
+is active — as ``resilience.*`` metrics and instant events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import DeviceError, DeviceLostError, DeviceTimeoutError, ReproError
+from repro.resilience.faults import FaultInjector
+from repro.resilience.policies import ResilienceConfig
+from repro.sim import Timeout
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """One recovery decision taken during a run."""
+
+    kind: str  # "fault" | "timeout" | "device-lost" | "retry" | "cpu-fallback"
+    site: str
+    label: str
+    time: float
+    attempt: int = 0
+    error: str = ""
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "site": self.site,
+            "label": self.label,
+            "time": self.time,
+            "attempt": self.attempt,
+            "error": self.error,
+            "detail": self.detail,
+        }
+
+
+class ResilienceGuard:
+    """Applies one :class:`ResilienceConfig` to one executor run."""
+
+    def __init__(self, config: ResilienceConfig, sim, tracer=None) -> None:
+        self.config = config
+        self.sim = sim
+        self.tracer = tracer
+        self.injector = FaultInjector(config.plan)
+        self.recovery: List[RecoveryAction] = []
+
+    # ------------------------------------------------------------------
+    def device_alive(self, device: str) -> bool:
+        """Whether ``device`` is still usable."""
+        return self.injector.device_alive(device)
+
+    def should_degrade(self, error: BaseException) -> bool:
+        """Whether a GPU-side failure should fall back to the CPU."""
+        return self.config.degrade.cpu_fallback and isinstance(
+            error, DeviceError
+        )
+
+    # ------------------------------------------------------------------
+    def attempt(
+        self,
+        site: str,
+        device: str,
+        durations: Sequence[float],
+        label: str,
+        trace=None,
+    ):
+        """Admit one operation (a sequence of sub-steps) for execution.
+
+        A generator the executor drives with ``yield from`` immediately
+        before running the operation.  It simulates failed attempts —
+        yielding :class:`~repro.sim.Timeout` events for partial work,
+        deadline burn and retry backoff, recorded on ``trace`` — until
+        either an attempt passes every check (returns: caller proceeds)
+        or recovery is exhausted (raises the typed error).  With no
+        matching faults and no exceeded deadline it yields nothing and
+        the simulated schedule is untouched.
+        """
+        attempt_no = 0
+        retry = self.config.retry
+        while True:
+            failure = self._probe(site, device, durations)
+            if failure is None:
+                return
+            charge, error = failure
+            attempt_no += 1
+            self._observe_failure(site, label, error, attempt_no)
+            if charge > 0.0:
+                start = self.sim.now
+                yield Timeout(charge)
+                if trace is not None:
+                    trace.record(start, self.sim.now, f"fault:{label}")
+            lost = isinstance(error, DeviceLostError) or not (
+                self.injector.device_alive(device)
+            )
+            if lost or attempt_no > retry.max_retries:
+                self.recovery.append(
+                    RecoveryAction(
+                        kind="device-lost" if lost else "fault",
+                        site=site,
+                        label=label,
+                        time=self.sim.now,
+                        attempt=attempt_no,
+                        error=type(error).__name__,
+                        detail=f"giving up after {attempt_no} attempt(s)",
+                    )
+                )
+                raise error
+            delay = retry.delay(attempt_no)
+            self.recovery.append(
+                RecoveryAction(
+                    kind="retry",
+                    site=site,
+                    label=label,
+                    time=self.sim.now,
+                    attempt=attempt_no,
+                    error=type(error).__name__,
+                    detail=f"backoff {delay:g}",
+                )
+            )
+            if self.tracer is not None:
+                self.tracer.metrics.counter("resilience.retries").inc(
+                    device=device, site=site
+                )
+            if delay > 0.0:
+                yield Timeout(delay)
+
+    def _probe(
+        self, site: str, device: str, durations: Sequence[float]
+    ) -> Optional[Tuple[float, ReproError]]:
+        """Dry-run one attempt; ``None`` means it will succeed.
+
+        On failure, returns the simulated time the attempt burns before
+        erroring (completed sub-steps plus any deadline) and the typed
+        error.  Injected faults fail at launch, so only *earlier*
+        sub-steps contribute to the charge.
+        """
+        deadline = self.config.timeout.deadline_for(site)
+        charge = 0.0
+        for duration in durations:
+            try:
+                self.injector.check(site, device, self.sim.now + charge)
+            except ReproError as error:
+                return charge, error
+            if deadline is not None and duration > deadline:
+                return (
+                    charge + deadline,
+                    DeviceTimeoutError(
+                        f"{site} operation {duration:g} ops exceeds the "
+                        f"{deadline:g}-op deadline on {device!r}"
+                    ),
+                )
+            charge += duration
+        return None
+
+    def _observe_failure(
+        self, site: str, label: str, error: ReproError, attempt_no: int
+    ) -> None:
+        """Recovery-log + obs bookkeeping for one failed attempt."""
+        kind = (
+            "timeout"
+            if isinstance(error, DeviceTimeoutError)
+            else "device-lost"
+            if isinstance(error, DeviceLostError)
+            else "fault"
+        )
+        self.recovery.append(
+            RecoveryAction(
+                kind=kind,
+                site=site,
+                label=label,
+                time=self.sim.now,
+                attempt=attempt_no,
+                error=type(error).__name__,
+                detail=str(error),
+            )
+        )
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"{kind}:{label}",
+                "resilience",
+                ts=self.sim.now,
+                device=site,
+                attempt=attempt_no,
+                error=type(error).__name__,
+            )
+            self.tracer.metrics.counter(f"resilience.{kind}s").inc(site=site)
+
+    # ------------------------------------------------------------------
+    def note_fallback(self, label: str, error: BaseException) -> None:
+        """Record a CPU fallback re-plan triggered by ``error``."""
+        self.recovery.append(
+            RecoveryAction(
+                kind="cpu-fallback",
+                site="device",
+                label=label,
+                time=self.sim.now,
+                error=type(error).__name__,
+                detail=f"re-planning remaining GPU levels onto the CPU: {error}",
+            )
+        )
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"cpu-fallback:{label}",
+                "resilience",
+                ts=self.sim.now,
+                device="cpu",
+                error=type(error).__name__,
+            )
+            self.tracer.metrics.counter("resilience.fallbacks").inc()

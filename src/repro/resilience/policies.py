@@ -1,0 +1,145 @@
+"""Recovery policies: what the executor does when an operation fails.
+
+Three orthogonal knobs, bundled into a :class:`ResilienceConfig`:
+
+- :class:`RetryPolicy` — bounded retries with exponential backoff.
+  Backoff is *charged as simulated time* (the device sits idle while
+  the runtime waits to relaunch), so recovery shows up in makespans and
+  busy traces exactly like any other cost.
+- :class:`TimeoutPolicy` — per-kernel / per-transfer deadlines.  An
+  operation whose simulated duration exceeds its deadline burns the
+  deadline, then raises :class:`~repro.errors.DeviceTimeoutError`.
+- :class:`DegradePolicy` — on persistent GPU failure (retries
+  exhausted, or the device lost outright), the executor re-plans the
+  GPU side's remaining levels onto the CPU cores and finishes the run
+  there instead of crashing.
+
+All three default to "off" (no retries, no deadlines, fallback
+enabled), and a config over an empty :class:`~repro.resilience.faults.
+FaultPlan` is bit-identical to running with no resilience layer at all
+— pinned by ``tests/resilience/test_differential.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import FaultInjectionError
+from repro.resilience.faults import NO_FAULTS, FaultPlan
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff, in simulated time.
+
+    Retry ``i`` (1-based) waits ``backoff * backoff_factor**(i-1)``
+    before relaunching; ``max_retries=0`` (the default) fails on the
+    first error.
+    """
+
+    max_retries: int = 0
+    backoff: float = 0.0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise FaultInjectionError(
+                f"max_retries must be >= 0, got {self.max_retries!r}"
+            )
+        if self.backoff < 0.0:
+            raise FaultInjectionError(
+                f"backoff must be >= 0, got {self.backoff!r}"
+            )
+        if self.backoff_factor < 1.0:
+            raise FaultInjectionError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor!r}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise FaultInjectionError(
+                f"retry attempts are 1-based, got {attempt!r}"
+            )
+        return self.backoff * self.backoff_factor ** (attempt - 1)
+
+    def to_dict(self) -> dict:
+        return {
+            "max_retries": self.max_retries,
+            "backoff": self.backoff,
+            "backoff_factor": self.backoff_factor,
+        }
+
+
+@dataclass(frozen=True)
+class TimeoutPolicy:
+    """Per-operation deadlines, in simulated time units (ops).
+
+    ``None`` disables the check for that operation class.  Deadlines
+    are evaluated against the cost model's *predicted* duration at
+    launch: an over-deadline operation burns exactly the deadline, then
+    raises :class:`~repro.errors.DeviceTimeoutError`.
+    """
+
+    kernel_deadline: Optional[float] = None
+    transfer_deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("kernel_deadline", self.kernel_deadline),
+            ("transfer_deadline", self.transfer_deadline),
+        ):
+            if value is not None and not value > 0.0:
+                raise FaultInjectionError(
+                    f"{label} must be > 0 (or None), got {value!r}"
+                )
+
+    def deadline_for(self, site: str) -> Optional[float]:
+        """The deadline applying to one fault site (None: unchecked)."""
+        if site == "kernel":
+            return self.kernel_deadline
+        if site == "transfer":
+            return self.transfer_deadline
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel_deadline": self.kernel_deadline,
+            "transfer_deadline": self.transfer_deadline,
+        }
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """What to do when the GPU side fails for good.
+
+    With ``cpu_fallback`` (the default) the executor reroutes the GPU
+    partition's remaining level sets onto the CPU worker team — the
+    same batches the basic planner's CPU-only degenerate schedule would
+    issue — and the run completes with a correct result.  Without it,
+    the typed error propagates (today's crash-loudly contract).
+    """
+
+    cpu_fallback: bool = True
+
+    def to_dict(self) -> dict:
+        return {"cpu_fallback": self.cpu_fallback}
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """A fault plan plus the policies that respond to it."""
+
+    plan: FaultPlan = NO_FAULTS
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    timeout: TimeoutPolicy = field(default_factory=TimeoutPolicy)
+    degrade: DegradePolicy = field(default_factory=DegradePolicy)
+
+    def to_dict(self) -> dict:
+        return {
+            "plan": self.plan.to_dict(),
+            "retry": self.retry.to_dict(),
+            "timeout": self.timeout.to_dict(),
+            "degrade": self.degrade.to_dict(),
+        }

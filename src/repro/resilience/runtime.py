@@ -1,0 +1,111 @@
+"""Ambient resilience sessions, mirroring the tracer's on/off switch.
+
+A :class:`ResilienceSession` wraps one :class:`~repro.resilience.
+policies.ResilienceConfig` plus the recovery ledger accumulated while
+it is installed.  Installing a session (directly, via the
+:func:`resilient` context manager, or through the experiment runner's
+``--fault-plan`` / ``--retry`` / ``--deadline`` flags) makes every
+:class:`~repro.core.schedule.executor.ScheduleExecutor` created without
+an explicit ``resilience=`` argument pick the session's config up, and
+lets the low-level OpenCL queue consult the session's long-lived
+injector for commands issued outside executor runs.
+
+Like tracing, the switch is free when off: instrumentation sites call
+:func:`active` (a module-global read) and skip everything on ``None``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional, Union
+
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.resilience.policies import ResilienceConfig
+
+
+class ResilienceSession:
+    """One installed resilience configuration plus its recovery ledger."""
+
+    def __init__(self, config: ResilienceConfig) -> None:
+        self.config = config
+        #: Recovery actions from every run executed under this session,
+        #: as dicts tagged with the run label (manifest-ready).
+        self.recovery: List[dict] = []
+        self._ambient: Optional[FaultInjector] = None
+
+    @property
+    def ambient_injector(self) -> FaultInjector:
+        """The session-lifetime injector for non-executor operations.
+
+        Executor runs build a fresh per-run injector from the plan; the
+        OpenCL command queue (whose commands outlive any single run)
+        shares this one instead.
+        """
+        if self._ambient is None:
+            self._ambient = FaultInjector(self.config.plan)
+        return self._ambient
+
+    def note_recovery(self, run_label: str, actions) -> None:
+        """Append one run's recovery actions to the session ledger."""
+        for action in actions:
+            entry = dict(action.to_dict())
+            entry["run"] = run_label
+            self.recovery.append(entry)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ResilienceSession plan={self.config.plan.name!r} "
+            f"{len(self.recovery)} recovery action(s)>"
+        )
+
+
+_ACTIVE: Optional[ResilienceSession] = None
+
+
+def active() -> Optional[ResilienceSession]:
+    """The installed session, or ``None`` (resilience layer off)."""
+    return _ACTIVE
+
+
+def install(
+    config: Union[ResilienceConfig, FaultPlan, None] = None,
+) -> ResilienceSession:
+    """Install a session (replacing any previous one) and return it.
+
+    Accepts a full config, a bare :class:`FaultPlan` (default
+    policies), or ``None`` (an empty plan — useful for differential
+    baselines).
+    """
+    global _ACTIVE
+    if config is None:
+        config = ResilienceConfig()
+    elif isinstance(config, FaultPlan):
+        config = ResilienceConfig(plan=config)
+    _ACTIVE = ResilienceSession(config)
+    return _ACTIVE
+
+
+def uninstall() -> Optional[ResilienceSession]:
+    """Remove the installed session; returns it for inspection."""
+    global _ACTIVE
+    session, _ACTIVE = _ACTIVE, None
+    return session
+
+
+@contextlib.contextmanager
+def resilient(
+    config: Union[ResilienceConfig, FaultPlan, None] = None,
+) -> Iterator[ResilienceSession]:
+    """Context manager: install a session, restore the previous on exit.
+
+    >>> with resilient(ResilienceConfig(plan=plan)) as session:
+    ...     executor.run_advanced(schedule)
+    >>> session.recovery
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    session = install(config)
+    try:
+        yield session
+    finally:
+        _ACTIVE = previous

@@ -24,11 +24,26 @@ from repro.sim.signals import Signal
 #: but must never schedule events or touch the pool.
 WaitHook = Callable[[int, Optional[Signal]], None]
 
+#: Fault-injection hook: called with ``(n,)`` at the top of every
+#: :meth:`Resource.request` / :meth:`Resource.acquire`, before any pool
+#: state changes.  May raise a typed :class:`~repro.errors.ReproError`
+#: to fail the acquisition (see :meth:`repro.resilience.faults.
+#: FaultInjector.resource_fault_hook`); must never grant, release, or
+#: schedule anything.
+FaultHook = Callable[[int], None]
+
 
 class Resource:
     """A FIFO pool of ``capacity`` identical units."""
 
-    __slots__ = ("capacity", "name", "_in_use", "_waiters", "_wait_hook")
+    __slots__ = (
+        "capacity",
+        "name",
+        "_in_use",
+        "_waiters",
+        "_wait_hook",
+        "_fault_hook",
+    )
 
     def __init__(self, capacity: int, name: str = "resource") -> None:
         if capacity < 1:
@@ -38,6 +53,7 @@ class Resource:
         self._in_use = 0
         self._waiters: Deque[Tuple[int, Signal]] = deque()
         self._wait_hook: Optional[WaitHook] = None
+        self._fault_hook: Optional[FaultHook] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -53,6 +69,15 @@ class Resource:
         pool pays a single ``is not None`` check per request.
         """
         self._wait_hook = hook
+
+    def set_fault_hook(self, hook: Optional["FaultHook"]) -> None:
+        """Install (or clear) the :data:`FaultHook`.
+
+        The resilience layer uses this to make core-pool acquisitions
+        fail under an injected fault plan; with no hook set the pool
+        pays a single ``is not None`` check per request.
+        """
+        self._fault_hook = hook
 
     @property
     def in_use(self) -> int:
@@ -80,6 +105,8 @@ class Resource:
         whole worker team's cores in one call when the pool is
         uncontended, skipping the request/grant signal round-trip.
         """
+        if self._fault_hook is not None:
+            self._fault_hook(n)
         if not 1 <= n <= self.capacity:
             raise SimulationError(
                 f"acquire of {n} unit(s) can never be granted by "
@@ -96,6 +123,8 @@ class Resource:
 
     def request(self, n: int = 1) -> Signal:
         """Request ``n`` units; returns a signal that fires when granted."""
+        if self._fault_hook is not None:
+            self._fault_hook(n)
         if not 1 <= n <= self.capacity:
             raise SimulationError(
                 f"request of {n} unit(s) can never be granted by "

@@ -42,6 +42,20 @@ def test_advanced_run_identical_traced(hpu_name, fast):
     assert tr.runs and tr.runs[0].duration == baseline.makespan
 
 
+def test_advanced_run_identical_with_zero_fault_injector():
+    """The resilience twin of the tracing contract: an installed
+    session over an empty fault plan changes nothing, traced or not."""
+    from repro.resilience import resilient
+
+    baseline = run_advanced("HPU1", 1 << 12, 0.2, fast=True)
+    with resilient():
+        with tracing() as tr:
+            guarded = run_advanced("HPU1", 1 << 12, 0.2, fast=True)
+    assert guarded == baseline
+    assert guarded.recovery == ()
+    assert tr.runs and tr.runs[0].duration == baseline.makespan
+
+
 def test_cpu_only_run_identical_traced():
     hpu = PLATFORMS["HPU1"]
     executor = ScheduleExecutor(hpu, make_mergesort_workload(1 << 12))

@@ -24,6 +24,8 @@ def make_manifest() -> RunManifest:
         results={"fig8": {"title": "Speedup vs n", "notes": ["ok"]}},
         metrics_summary={"cpu.ops": 100.0},
         outputs={"trace": "t.json"},
+        fault_plan={"name": "no-faults", "seed": 20140131, "faults": []},
+        recovery=[{"kind": "retry", "site": "kernel", "run": "HPU1:ms"}],
     )
 
 
@@ -57,6 +59,20 @@ class TestRunManifest:
         path.write_text(json.dumps({"format": "something/else"}))
         with pytest.raises(ValueError):
             RunManifest.load(path)
+
+    def test_resilience_fields_round_trip(self, tmp_path):
+        manifest = make_manifest()
+        path = manifest.write(tmp_path / "manifest.json")
+        back = RunManifest.load(path)
+        assert back.fault_plan["name"] == "no-faults"
+        assert back.recovery[0]["kind"] == "retry"
+
+    def test_resilience_fields_default_empty(self):
+        """Pre-resilience manifests (no fault_plan/recovery keys) load."""
+        data = make_manifest().to_dict()
+        del data["fault_plan"], data["recovery"]
+        back = RunManifest.from_dict(data)
+        assert back.fault_plan == {} and back.recovery == []
 
 
 class TestRunnerIntegration:

@@ -1,7 +1,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import MemoryError_
+from repro.errors import DeviceMemoryError
 from repro.opencl.memory import Buffer, DeviceMemory, MemoryRegion
 
 
@@ -14,11 +14,11 @@ class TestBuffer:
         assert (buf.data == 0).all()
 
     def test_rejects_nonpositive_size(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(DeviceMemoryError):
             Buffer(0)
 
     def test_rejects_misaligned_size(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(DeviceMemoryError):
             Buffer(13, dtype=np.dtype(np.int64))
 
     def test_names_unique_by_default(self):
@@ -29,7 +29,7 @@ class TestBuffer:
         mem = DeviceMemory(1024)
         buf = mem.alloc(64)
         mem.free(buf)
-        with pytest.raises(MemoryError_):
+        with pytest.raises(DeviceMemoryError):
             buf.check_live()
 
 
@@ -37,7 +37,7 @@ class TestDeviceMemory:
     def test_capacity_enforced(self):
         mem = DeviceMemory(100 * 8)
         mem.alloc(60 * 8)
-        with pytest.raises(MemoryError_, match="cannot allocate"):
+        with pytest.raises(DeviceMemoryError, match="cannot allocate"):
             mem.alloc(60 * 8)
 
     def test_free_returns_capacity(self):
@@ -50,14 +50,14 @@ class TestDeviceMemory:
         mem = DeviceMemory(1024)
         buf = mem.alloc(64)
         mem.free(buf)
-        with pytest.raises(MemoryError_):
+        with pytest.raises(DeviceMemoryError):
             mem.free(buf)
 
     def test_foreign_buffer_rejected(self):
         mem1 = DeviceMemory(1024)
         mem2 = DeviceMemory(1024)
         buf = mem1.alloc(64)
-        with pytest.raises(MemoryError_, match="not allocated here"):
+        with pytest.raises(DeviceMemoryError, match="not allocated here"):
             mem2.free(buf)
 
     def test_live_buffers_snapshot(self):
@@ -68,5 +68,5 @@ class TestDeviceMemory:
         assert mem.live_buffers() == {}
 
     def test_rejects_bad_capacity(self):
-        with pytest.raises(MemoryError_):
+        with pytest.raises(DeviceMemoryError):
             DeviceMemory(0)

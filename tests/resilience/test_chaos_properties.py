@@ -1,0 +1,179 @@
+"""Chaos properties: random seeded fault plans can never corrupt a sort.
+
+For any generated :class:`FaultPlan` and any retry policy, a mergesort
+run either completes with a correctly sorted array and a well-formed
+result, or raises a typed :class:`~repro.errors.ReproError` — never a
+bare exception, never a silently wrong answer, and never a poisoned
+workload (a clean executor afterwards still sorts the same array).
+
+The suite runs derandomized (``derandomize=True``) so CI and local runs
+explore the same example corpus; ``--hypothesis-seed`` in the chaos CI
+job pins it a second time.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.mergesort.hybrid import (
+    MergesortHost,
+    make_mergesort_workload,
+)
+from repro.core.schedule import AdvancedSchedule, ScheduleExecutor
+from repro.errors import ReproError
+from repro.hpu import HPU1
+from repro.resilience import (
+    DegradePolicy,
+    FaultPlan,
+    FaultSpec,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.util.rng import make_rng
+
+pytestmark = pytest.mark.chaos
+
+CHAOS_SETTINGS = settings(
+    derandomize=True,
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: (site, device) pairs as the executor reports them: kernels and
+#: transfers run on the GPU lane, batches and pool requests on the CPU
+#: lane, whole-device loss on either.
+SITE_DEVICE = st.sampled_from(
+    [
+        ("kernel", "gpu"),
+        ("transfer", "gpu"),
+        ("cpu", "cpu"),
+        ("resource", "cpu"),
+        ("device", "gpu"),
+        ("device", "cpu"),
+    ]
+)
+
+
+@st.composite
+def fault_specs(draw):
+    site, device = draw(SITE_DEVICE)
+    trigger = draw(st.sampled_from(["always", "time", "ops", "prob"]))
+    kwargs = {}
+    if trigger == "time":
+        kwargs["at_time"] = draw(
+            st.floats(0.0, 3e5, allow_nan=False, allow_infinity=False)
+        )
+    elif trigger == "ops":
+        kwargs["after_ops"] = draw(st.integers(1, 20))
+    elif trigger == "prob":
+        kwargs["probability"] = draw(
+            st.floats(0.05, 0.9, allow_nan=False, allow_infinity=False)
+        )
+    times = draw(st.one_of(st.none(), st.integers(1, 3)))
+    return FaultSpec(site=site, device=device, times=times, **kwargs)
+
+
+fault_plans = st.builds(
+    FaultPlan,
+    name=st.just("chaos"),
+    seed=st.integers(0, 2**31 - 1),
+    faults=st.lists(fault_specs(), min_size=1, max_size=3).map(tuple),
+)
+
+retry_policies = st.builds(
+    RetryPolicy,
+    max_retries=st.integers(0, 2),
+    backoff=st.sampled_from([0.0, 100.0, 1000.0]),
+)
+
+
+def fresh_workload(n, seed):
+    rng = make_rng(seed, "chaos-property")
+    host = MergesortHost(rng.integers(0, 1 << 30, size=n))
+    return host, make_mergesort_workload(n, host=host)
+
+
+@CHAOS_SETTINGS
+@given(
+    plan=fault_plans,
+    retry=retry_policies,
+    cpu_fallback=st.booleans(),
+    log2n=st.sampled_from([8, 10, 12, 14]),
+    data_seed=st.integers(0, 1000),
+)
+def test_sorts_correctly_or_raises_typed_error(
+    plan, retry, cpu_fallback, log2n, data_seed
+):
+    host, workload = fresh_workload(1 << log2n, data_seed)
+    reference = np.sort(host.array.copy())
+    config = ResilienceConfig(
+        plan=plan,
+        retry=retry,
+        degrade=DegradePolicy(cpu_fallback=cpu_fallback),
+    )
+    executor = ScheduleExecutor(HPU1, workload, resilience=config)
+    schedule = AdvancedSchedule().plan(workload, HPU1.parameters)
+    try:
+        result = executor.run_advanced(schedule)
+    except ReproError:
+        # A typed failure may leave the array half-merged, but never
+        # poisoned: a clean executor still sorts the same data.
+        clean = ScheduleExecutor(HPU1, workload)
+        clean.run_advanced(schedule)
+        assert np.array_equal(host.array, reference)
+        return
+    # Completed: the answer must be exactly the sorted input.
+    assert np.array_equal(host.array, reference)
+    assert result.makespan >= 0.0
+    for action in result.recovery:
+        assert action.kind in (
+            "fault",
+            "timeout",
+            "device-lost",
+            "retry",
+            "cpu-fallback",
+        )
+
+
+@CHAOS_SETTINGS
+@given(plan=fault_plans, retry=retry_policies, data_seed=st.integers(0, 1000))
+def test_sim_clock_monotone_under_faults(plan, retry, data_seed):
+    """Busy intervals and recovery times stay inside [0, makespan] and
+    recovery actions land in non-decreasing sim-time order."""
+    host, workload = fresh_workload(1 << 10, data_seed)
+    config = ResilienceConfig(plan=plan, retry=retry)
+    executor = ScheduleExecutor(HPU1, workload, resilience=config)
+    schedule = AdvancedSchedule().plan(workload, HPU1.parameters)
+    try:
+        result = executor.run_advanced(schedule)
+    except ReproError:
+        return
+    eps = 1e-9 * max(1.0, result.makespan)
+    for intervals in (result.cpu_intervals, result.gpu_intervals):
+        for start, end in intervals:
+            assert 0.0 <= start <= end <= result.makespan + eps
+    times = [action.time for action in result.recovery]
+    assert times == sorted(times)
+    assert all(0.0 <= t <= result.makespan + eps for t in times)
+
+
+@CHAOS_SETTINGS
+@given(plan=fault_plans, data_seed=st.integers(0, 1000))
+def test_same_plan_same_outcome(plan, data_seed):
+    """Determinism: re-running an identical (plan, workload) pair gives
+    the identical result or the identical typed error."""
+
+    def one_run():
+        host, workload = fresh_workload(1 << 10, data_seed)
+        executor = ScheduleExecutor(
+            HPU1, workload, resilience=ResilienceConfig(plan=plan)
+        )
+        schedule = AdvancedSchedule().plan(workload, HPU1.parameters)
+        try:
+            return executor.run_advanced(schedule)
+        except ReproError as error:
+            return (type(error).__name__, str(error))
+
+    assert one_run() == one_run()

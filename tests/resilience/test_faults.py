@@ -1,0 +1,254 @@
+"""Unit tests for the declarative fault model and its injector."""
+
+import pytest
+
+from repro.errors import (
+    DeviceLostError,
+    FaultInjectionError,
+    KernelError,
+    TransferError,
+)
+from repro.resilience import (
+    DEVICE_LANES,
+    FAULT_SITES,
+    NO_FAULTS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+class TestFaultSpecValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultInjectionError, match="unknown fault site"):
+            FaultSpec(site="disk")
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(FaultInjectionError, match="unknown device lane"):
+            FaultSpec(site="kernel", device="tpu")
+
+    def test_negative_at_time_rejected(self):
+        with pytest.raises(FaultInjectionError, match="at_time"):
+            FaultSpec(site="kernel", at_time=-1.0)
+
+    def test_zero_after_ops_rejected(self):
+        with pytest.raises(FaultInjectionError, match="after_ops"):
+            FaultSpec(site="kernel", after_ops=0)
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(FaultInjectionError, match="probability"):
+            FaultSpec(site="kernel", probability=1.5)
+
+    def test_zero_times_rejected(self):
+        with pytest.raises(FaultInjectionError, match="times"):
+            FaultSpec(site="kernel", times=0)
+
+    def test_all_sites_and_lanes_constructible(self):
+        for site in FAULT_SITES:
+            for device in DEVICE_LANES:
+                FaultSpec(site=site, device=device)
+
+
+class TestSerialization:
+    def test_spec_roundtrip(self):
+        spec = FaultSpec(
+            site="transfer",
+            device="gpu",
+            at_time=1.5e5,
+            after_ops=3,
+            probability=0.25,
+            times=None,
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_spec_rejects_unknown_keys(self):
+        with pytest.raises(FaultInjectionError, match="unknown fault spec"):
+            FaultSpec.from_dict({"site": "kernel", "when": 3})
+
+    def test_spec_requires_site(self):
+        with pytest.raises(FaultInjectionError, match="needs a 'site'"):
+            FaultSpec.from_dict({"device": "gpu"})
+
+    def test_plan_roundtrip(self):
+        plan = FaultPlan(
+            name="mixed",
+            seed=99,
+            faults=(
+                FaultSpec(site="kernel", times=2),
+                FaultSpec(site="device", at_time=100.0),
+            ),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_plan_file_roundtrip(self, tmp_path):
+        plan = FaultPlan(
+            name="disk", faults=(FaultSpec(site="cpu", device="cpu"),)
+        )
+        path = plan.save(tmp_path / "sub" / "plan.json")
+        assert FaultPlan.load(path) == plan
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(FaultInjectionError, match="JSON object"):
+            FaultPlan.load(path)
+        path.write_text("{not json")
+        with pytest.raises(FaultInjectionError, match="cannot read"):
+            FaultPlan.load(path)
+
+    def test_empty_plan(self):
+        assert NO_FAULTS.empty
+        assert not FaultPlan(faults=(FaultSpec(site="kernel"),)).empty
+
+
+class TestInjector:
+    def test_empty_plan_never_raises(self):
+        injector = FaultInjector(NO_FAULTS)
+        for i in range(100):
+            injector.check("kernel", "gpu", float(i))
+        assert injector.events == []
+        assert injector.ops_at("kernel", "gpu") == 100
+
+    def test_empty_plan_creates_no_rng(self):
+        assert FaultInjector(NO_FAULTS)._rng is None
+
+    def test_at_time_arms_the_spec(self):
+        plan = FaultPlan(faults=(FaultSpec(site="kernel", at_time=10.0),))
+        injector = FaultInjector(plan)
+        injector.check("kernel", "gpu", 5.0)  # disarmed: passes
+        with pytest.raises(KernelError, match="injected kernel fault"):
+            injector.check("kernel", "gpu", 10.0)
+
+    def test_after_ops_is_one_based(self):
+        plan = FaultPlan(faults=(FaultSpec(site="kernel", after_ops=3),))
+        injector = FaultInjector(plan)
+        injector.check("kernel", "gpu", 0.0)
+        injector.check("kernel", "gpu", 1.0)
+        with pytest.raises(KernelError):
+            injector.check("kernel", "gpu", 2.0)
+
+    def test_times_bounds_injections(self):
+        plan = FaultPlan(faults=(FaultSpec(site="kernel", times=2),))
+        injector = FaultInjector(plan)
+        for _ in range(2):
+            with pytest.raises(KernelError):
+                injector.check("kernel", "gpu", 0.0)
+        injector.check("kernel", "gpu", 0.0)  # budget exhausted: passes
+        assert len(injector.events) == 2
+
+    def test_sites_map_to_typed_errors(self):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(site="transfer"),
+                FaultSpec(site="cpu", device="cpu"),
+            )
+        )
+        injector = FaultInjector(plan)
+        with pytest.raises(TransferError):
+            injector.check("transfer", "gpu", 0.0)
+        with pytest.raises(KernelError):
+            injector.check("cpu", "cpu", 0.0)
+
+    def test_site_and_device_must_match(self):
+        plan = FaultPlan(faults=(FaultSpec(site="kernel", device="gpu"),))
+        injector = FaultInjector(plan)
+        injector.check("transfer", "gpu", 0.0)  # different site
+        injector.check("cpu", "cpu", 0.0)  # different device
+        with pytest.raises(KernelError):
+            injector.check("kernel", "gpu", 0.0)
+
+    def test_device_loss_is_permanent(self):
+        plan = FaultPlan(faults=(FaultSpec(site="device", at_time=5.0),))
+        injector = FaultInjector(plan)
+        injector.check("kernel", "gpu", 0.0)
+        assert injector.device_alive("gpu")
+        with pytest.raises(DeviceLostError, match="injected device loss"):
+            injector.check("transfer", "gpu", 6.0)
+        assert not injector.device_alive("gpu")
+        # Every later op on the dead lane fails, any site, forever.
+        with pytest.raises(DeviceLostError, match="was lost"):
+            injector.check("kernel", "gpu", 7.0)
+        # The other lane is untouched.
+        injector.check("cpu", "cpu", 8.0)
+
+    def test_probabilistic_spec_is_deterministic(self):
+        plan = FaultPlan(
+            name="coin",
+            seed=7,
+            faults=(FaultSpec(site="kernel", probability=0.5, times=None),),
+        )
+
+        def outcomes():
+            injector = FaultInjector(plan)
+            hits = []
+            for i in range(50):
+                try:
+                    injector.check("kernel", "gpu", float(i))
+                except KernelError:
+                    hits.append(i)
+            return hits
+
+        first, second = outcomes(), outcomes()
+        assert first == second
+        assert 0 < len(first) < 50  # actually probabilistic
+
+    def test_seed_changes_the_stream(self):
+        def hits(seed):
+            plan = FaultPlan(
+                name="coin",
+                seed=seed,
+                faults=(
+                    FaultSpec(site="kernel", probability=0.5, times=None),
+                ),
+            )
+            injector = FaultInjector(plan)
+            out = []
+            for i in range(50):
+                try:
+                    injector.check("kernel", "gpu", float(i))
+                except KernelError:
+                    out.append(i)
+            return out
+
+        assert hits(1) != hits(2)
+
+    def test_fresh_injector_forgets_dead_devices(self):
+        plan = FaultPlan(faults=(FaultSpec(site="device", at_time=0.0),))
+        first = FaultInjector(plan)
+        with pytest.raises(DeviceLostError):
+            first.check("kernel", "gpu", 1.0)
+        second = FaultInjector(plan)
+        assert second.device_alive("gpu")
+
+
+class TestResourceFaultHook:
+    def test_hook_fails_pool_requests(self):
+        from repro.sim import Resource, Simulator
+
+        sim = Simulator()
+        pool = Resource(4, "cores")
+        plan = FaultPlan(
+            faults=(FaultSpec(site="resource", device="cpu", after_ops=2),)
+        )
+        injector = FaultInjector(plan)
+        pool.set_fault_hook(injector.resource_fault_hook(sim))
+        pool.request(1)  # first op spared
+        with pytest.raises(KernelError, match="injected resource fault"):
+            pool.request(1)
+        pool.set_fault_hook(None)
+        pool.request(1)  # hook cleared: back to normal
+
+    def test_hook_fails_synchronous_acquire(self):
+        from repro.sim import Resource, Simulator
+
+        sim = Simulator()
+        pool = Resource(4, "cores")
+        injector = FaultInjector(
+            FaultPlan(faults=(FaultSpec(site="resource", device="cpu"),))
+        )
+        pool.set_fault_hook(injector.resource_fault_hook(sim))
+        with pytest.raises(KernelError):
+            pool.acquire(2)
+        assert pool.in_use == 0  # failed before any pool state changed

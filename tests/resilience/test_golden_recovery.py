@@ -1,0 +1,110 @@
+"""Golden tests: recovery timing pinned to exact makespans.
+
+Recovery is charged entirely in simulated time — failed-attempt work,
+deadline burn, retry backoff, fallback batches — over exact arithmetic
+in a deterministic DES, so fallback makespans can be pinned exactly,
+like the Fig. 8 goldens in ``tests/experiments/test_golden_fig8.py``.
+
+Two canonical fault plans:
+
+- **gpu-dies-at-transfer**: the GPU is lost permanently at 40% of the
+  clean makespan (mid device chain); the run must finish on the CPU.
+- **flaky-kernel**: the first two kernel launches fail; with two
+  retries at backoff 500 (factor 2) the run completes at exactly
+  ``baseline + 500 + 1000``.
+
+If a change *intentionally* moves these numbers (e.g. different
+fallback batching), repin from a fresh run and say so in the commit;
+an unintentional diff means deterministic recovery broke.
+"""
+
+import pytest
+
+from repro.algorithms.mergesort.hybrid import make_mergesort_workload
+from repro.core.schedule import AdvancedSchedule, ScheduleExecutor
+from repro.hpu import PLATFORMS
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    ResilienceConfig,
+    RetryPolicy,
+)
+
+pytestmark = pytest.mark.chaos
+
+N = 1 << 12
+
+#: Clean run_advanced makespans at n = 2^12 (the differential anchor).
+GOLDEN_BASELINE = {
+    "HPU1": 271134.5337443913,
+    "HPU2": 248510.40000000005,
+}
+
+#: Plan A: device loss at 40% of the clean makespan → CPU fallback.
+GOLDEN_FALLBACK = {
+    "HPU1": {"at_time": 108453.8, "makespan": 130286.72220938126},
+    "HPU2": {"at_time": 99404.2, "makespan": 128471.20000000001},
+}
+
+#: Plan B: two injected kernel faults, retries at 500 then 1000.
+GOLDEN_FLAKY = {
+    "HPU1": 272634.5337443913,
+    "HPU2": 250010.40000000005,
+}
+
+
+def run_advanced(hpu, resilience=None):
+    workload = make_mergesort_workload(N)
+    executor = ScheduleExecutor(hpu, workload, resilience=resilience)
+    plan = AdvancedSchedule().plan(workload, hpu.parameters)
+    return executor.run_advanced(plan)
+
+
+@pytest.mark.parametrize("hpu_name", sorted(GOLDEN_BASELINE))
+class TestGoldenRecovery:
+    def test_clean_baseline(self, hpu_name):
+        result = run_advanced(PLATFORMS[hpu_name])
+        assert result.makespan == GOLDEN_BASELINE[hpu_name]
+        assert result.recovery == ()
+
+    def test_gpu_dies_at_transfer_level(self, hpu_name):
+        golden = GOLDEN_FALLBACK[hpu_name]
+        config = ResilienceConfig(
+            plan=FaultPlan(
+                name="gpu-dies-at-transfer",
+                faults=(
+                    FaultSpec(
+                        site="device", device="gpu", at_time=golden["at_time"]
+                    ),
+                ),
+            )
+        )
+        result = run_advanced(PLATFORMS[hpu_name], config)
+        assert result.makespan == golden["makespan"]
+        kinds = [action.kind for action in result.recovery]
+        assert kinds == ["device-lost", "device-lost", "cpu-fallback"]
+        # The device died mid-run and the CPU finished later than the
+        # loss, but recovery never extends past the pinned makespan.
+        assert all(
+            0.0 <= action.time <= result.makespan
+            for action in result.recovery
+        )
+
+    def test_flaky_kernel_with_two_retries(self, hpu_name):
+        config = ResilienceConfig(
+            plan=FaultPlan(
+                name="flaky-kernel",
+                faults=(FaultSpec(site="kernel", times=2),),
+            ),
+            retry=RetryPolicy(
+                max_retries=2, backoff=500.0, backoff_factor=2.0
+            ),
+        )
+        result = run_advanced(PLATFORMS[hpu_name], config)
+        # Injected faults fail at launch (zero charge); the only cost
+        # is the backoff chain: 500 + 500*2 = 1500 exactly.
+        assert result.makespan == GOLDEN_FLAKY[hpu_name]
+        assert result.makespan == GOLDEN_BASELINE[hpu_name] + 1500.0
+        assert [
+            (action.kind, action.attempt) for action in result.recovery
+        ] == [("fault", 1), ("retry", 1), ("fault", 2), ("retry", 2)]

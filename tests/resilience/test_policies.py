@@ -1,0 +1,146 @@
+"""Unit tests for the recovery policies and the ambient session."""
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.resilience import (
+    NO_FAULTS,
+    DegradePolicy,
+    FaultPlan,
+    FaultSpec,
+    ResilienceConfig,
+    ResilienceSession,
+    RetryPolicy,
+    TimeoutPolicy,
+    active,
+    install,
+    resilient,
+    uninstall,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(autouse=True)
+def _clean_session_state():
+    uninstall()
+    yield
+    uninstall()
+
+
+class TestRetryPolicy:
+    def test_defaults_mean_no_retries(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == 0
+        assert policy.delay(1) == 0.0
+
+    def test_exponential_backoff(self):
+        policy = RetryPolicy(max_retries=3, backoff=500.0, backoff_factor=2.0)
+        assert policy.delay(1) == 500.0
+        assert policy.delay(2) == 1000.0
+        assert policy.delay(3) == 2000.0
+
+    def test_custom_factor(self):
+        policy = RetryPolicy(backoff=10.0, backoff_factor=3.0)
+        assert policy.delay(3) == 90.0
+
+    def test_validation(self):
+        with pytest.raises(FaultInjectionError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(FaultInjectionError, match="backoff must"):
+            RetryPolicy(backoff=-1.0)
+        with pytest.raises(FaultInjectionError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(FaultInjectionError, match="1-based"):
+            RetryPolicy().delay(0)
+
+
+class TestTimeoutPolicy:
+    def test_defaults_disable_all_deadlines(self):
+        policy = TimeoutPolicy()
+        for site in ("kernel", "transfer", "cpu", "resource", "device"):
+            assert policy.deadline_for(site) is None
+
+    def test_deadlines_route_by_site(self):
+        policy = TimeoutPolicy(kernel_deadline=100.0, transfer_deadline=50.0)
+        assert policy.deadline_for("kernel") == 100.0
+        assert policy.deadline_for("transfer") == 50.0
+        assert policy.deadline_for("cpu") is None
+
+    def test_validation(self):
+        with pytest.raises(FaultInjectionError, match="kernel_deadline"):
+            TimeoutPolicy(kernel_deadline=0.0)
+        with pytest.raises(FaultInjectionError, match="transfer_deadline"):
+            TimeoutPolicy(transfer_deadline=-5.0)
+
+
+class TestResilienceConfig:
+    def test_defaults(self):
+        config = ResilienceConfig()
+        assert config.plan is NO_FAULTS
+        assert config.retry.max_retries == 0
+        assert config.degrade.cpu_fallback
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        config = ResilienceConfig(
+            plan=FaultPlan(faults=(FaultSpec(site="kernel"),)),
+            retry=RetryPolicy(max_retries=2, backoff=500.0),
+            timeout=TimeoutPolicy(kernel_deadline=1e6),
+            degrade=DegradePolicy(cpu_fallback=False),
+        )
+        data = json.loads(json.dumps(config.to_dict()))
+        assert data["retry"]["max_retries"] == 2
+        assert data["timeout"]["kernel_deadline"] == 1e6
+        assert data["degrade"]["cpu_fallback"] is False
+        assert data["plan"]["faults"][0]["site"] == "kernel"
+
+
+class TestSessionRuntime:
+    def test_no_session_by_default(self):
+        assert active() is None
+
+    def test_install_and_uninstall(self):
+        session = install(ResilienceConfig())
+        assert active() is session
+        assert uninstall() is session
+        assert active() is None
+
+    def test_install_accepts_bare_plan(self):
+        plan = FaultPlan(name="bare", faults=(FaultSpec(site="kernel"),))
+        session = install(plan)
+        assert session.config.plan is plan
+        assert session.config.retry.max_retries == 0
+
+    def test_install_none_gives_empty_config(self):
+        session = install()
+        assert session.config.plan.empty
+
+    def test_resilient_restores_previous_session(self):
+        outer = install(ResilienceConfig())
+        with resilient(FaultPlan(name="inner")) as inner:
+            assert active() is inner
+            assert inner is not outer
+        assert active() is outer
+
+    def test_resilient_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with resilient():
+                raise RuntimeError("boom")
+        assert active() is None
+
+    def test_ambient_injector_is_cached(self):
+        session = ResilienceSession(ResilienceConfig())
+        assert session.ambient_injector is session.ambient_injector
+
+    def test_note_recovery_tags_entries_with_run(self):
+        from repro.resilience import RecoveryAction
+
+        session = ResilienceSession(ResilienceConfig())
+        session.note_recovery(
+            "HPU1:mergesort",
+            [RecoveryAction(kind="retry", site="kernel", label="l", time=1.0)],
+        )
+        assert session.recovery[0]["run"] == "HPU1:mergesort"
+        assert session.recovery[0]["kind"] == "retry"

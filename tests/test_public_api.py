@@ -60,6 +60,37 @@ PUBLIC_IMPORTS = [
     ("repro.cpu", ["CPUDevice", "CPUDeviceSpec", "contention_factor"]),
     ("repro.sim", ["Simulator", "Resource", "Timeout", "AllOf", "BusyTrace"]),
     (
+        "repro.resilience",
+        [
+            "FaultSpec",
+            "FaultPlan",
+            "FaultInjector",
+            "RetryPolicy",
+            "TimeoutPolicy",
+            "DegradePolicy",
+            "ResilienceConfig",
+            "ResilienceGuard",
+            "RecoveryAction",
+            "ResilienceSession",
+            "install",
+            "uninstall",
+            "resilient",
+        ],
+    ),
+    (
+        "repro.errors",
+        [
+            "ReproError",
+            "DeviceError",
+            "KernelError",
+            "TransferError",
+            "DeviceMemoryError",
+            "DeviceTimeoutError",
+            "DeviceLostError",
+            "FaultInjectionError",
+        ],
+    ),
+    (
         "repro.algorithms.mergesort",
         [
             "hybrid_mergesort",
@@ -111,3 +142,55 @@ class TestPublicSurface:
         import repro
 
         assert repro.__version__ == "1.0.0"
+
+
+class TestErrorHierarchy:
+    """The full typed-error tree, including the resilience additions."""
+
+    def test_device_errors_subclass_device_error(self):
+        from repro import errors
+
+        for name in (
+            "KernelError",
+            "TransferError",
+            "DeviceMemoryError",
+            "DeviceTimeoutError",
+            "DeviceLostError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.DeviceError), name
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_top_level_errors_subclass_repro_error(self):
+        from repro import errors
+
+        for name in (
+            "SpecError",
+            "SimulationError",
+            "DeviceError",
+            "FaultInjectionError",
+            "ScheduleError",
+            "ModelError",
+            "CalibrationError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError), name
+
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("MemoryError_", "DeviceMemoryError"),
+            ("TimeoutError_", "DeviceTimeoutError"),
+        ],
+    )
+    def test_deprecated_aliases_warn_and_resolve(self, alias, canonical):
+        from repro import errors
+
+        with pytest.warns(DeprecationWarning, match=alias):
+            resolved = getattr(errors, alias)
+        assert resolved is getattr(errors, canonical)
+
+    def test_unknown_error_attribute_raises(self):
+        from repro import errors
+
+        with pytest.raises(AttributeError):
+            errors.NoSuchError_
