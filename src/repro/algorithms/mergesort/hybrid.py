@@ -79,20 +79,36 @@ class MergesortHost:
         merge_pairs_level(self.array[lo:hi], size, strict=self.strict)
 
 
-def _mergesort_gpu_steps(
-    coalesce: bool,
-) -> "callable":
-    """Build the §6-shaped GPU step expansion for one level.
+class _MergesortGpuSteps:
+    """The §6-shaped GPU step expansion for one level.
 
     With the §6.3 optimization each GPU level costs a forward
     permutation (regular, coalesced), the divergent per-pair merges on
     the permuted (hence coalesced) layout, and an inverse permutation.
     Without it, the merges pay strided global accesses instead.
+
+    A module-level class (rather than a closure over ``coalesce``) so
+    workloads pickle for process-parallel sweeps (:mod:`repro.parallel`).
     """
 
-    def steps(
-        workload: DCWorkload, level: LevelRef, tasks: int, offset: int
+    __slots__ = ("coalesce",)
+
+    def __init__(self, coalesce: bool) -> None:
+        self.coalesce = coalesce
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(other) is _MergesortGpuSteps
+            and other.coalesce == self.coalesce
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.coalesce))
+
+    def __call__(
+        self, workload: DCWorkload, level: LevelRef, tasks: int, offset: int
     ) -> List[KernelStep]:
+        coalesce = self.coalesce
         if level == LEAVES:
             # unit leaves are a no-op pass; block leaves (§7 extension)
             # are per-thread sequential sorts, hence divergent
@@ -132,7 +148,10 @@ def _mergesort_gpu_steps(
         )
         return [permute, merge, unpermute]
 
-    return steps
+
+def _mergesort_gpu_steps(coalesce: bool) -> _MergesortGpuSteps:
+    """Kept for callers of the old factory name."""
+    return _MergesortGpuSteps(coalesce)
 
 
 def _mergesort_parallel_steps(

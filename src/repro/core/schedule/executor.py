@@ -18,13 +18,14 @@ of Fig. 8.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.schedule.advanced import AdvancedPlan
 from repro.core.schedule.basic import BasicPlan
 from repro.core.schedule.workload import LEAVES, DCWorkload, KernelStep, LevelRef
 from repro.errors import DeviceError, ScheduleError
 from repro.hpu.hpu import HPU
+from repro.obs.metrics import label_key as _metric_label_key
 from repro.obs.tracer import active as _obs_active
 from repro.opencl.costmodel import kernel_launch_time
 from repro.opencl.kernel import Kernel, NDRange
@@ -535,18 +536,80 @@ class _Run:
                 fast=executor.fast,
             )
             sim = self.sim
-            wait_hist = self.tracer.metrics.histogram(
-                "cpu.core_wait",
-                help="simulated time worker requests wait for a core",
-            )
+            # Hoist the hot counter families out of the per-batch /
+            # per-kernel paths: one registry lookup per run instead of
+            # one per instrumentation call.
+            metrics = self.tracer.metrics
+            self._c_cpu_ops = metrics.counter("cpu.ops")
+            self._c_cpu_batches = metrics.counter("cpu.batches")
+            self._c_llc = metrics.counter("cpu.llc_pressure_events")
+            self._c_kernel_launches = metrics.counter("gpu.kernel_launches")
+            self._c_gpu_ops = metrics.counter("gpu.ops")
+            # Executor-lifetime caches (a tuner sweep replays the same
+            # batches across hundreds of runs): per-level label keys so
+            # the inc fast path is a single dict update per counter,
+            # and span attribute dicts shared across spans with
+            # identical attributes.  Consumers treat span attrs as
+            # immutable, so sharing is safe.
+            caches = getattr(executor, "_obs_caches", None)
+            if caches is None:
+                caches = executor._obs_caches = ({}, {}, {})
+            self._lk_cpu, self._lk_gpu, self._attr_cache = caches
+            # Hot-path recording shortcuts: rows recorded during a run
+            # are run-relative (see repro.obs.tracer.SpanRow), which sim
+            # times already are — so batch/kernel spans append straight
+            # onto the tracer's row buffer with the run index cached,
+            # skipping a Python call per span.  CPU batch counters
+            # accumulate per level in a plain dict and flush once in
+            # finish() (counters are commutative aggregates).
+            self._span_rows = self.tracer.span_rows
+            self._ri = self.tracer.current_run.index
+            self._cpu_agg: Dict[object, list] = {}
+            # Finish-path metric objects, cached per (executor, tracer):
+            # a tuner sweep runs hundreds of runs against one registry,
+            # so the registry/label lookups happen once, not per run.
+            fin = getattr(executor, "_obs_finish", None)
+            if fin is None or fin[0] is not metrics:
+                fin = executor._obs_finish = (
+                    metrics,
+                    metrics.counter("sim.events"),
+                    metrics.counter("sim.processes"),
+                    metrics.counter("runs"),
+                    metrics.histogram(
+                        "run.makespan",
+                        help="noised makespans per platform/workload",
+                    ),
+                    metrics.histogram(
+                        "cpu.core_wait",
+                        help="simulated time worker requests wait for a core",
+                    ),
+                    _metric_label_key(device="sim"),
+                    _metric_label_key(),
+                    _metric_label_key(
+                        platform=executor.hpu.name,
+                        workload=executor.workload.name,
+                    ),
+                )
+            self._fin = fin
+            wait_hist = fin[5]
+            wait_key = _metric_label_key(device="cpu")
+            # Synchronous acquires are all zero-wait observations of the
+            # same point: count them in a cell and batch-flush in
+            # finish() — histograms are commutative, so the point state
+            # is identical to per-acquire observe calls.
+            zero_waits = [0]
+            self._wait_hist = wait_hist
+            self._wait_key = wait_key
+            self._zero_waits = zero_waits
 
-            def _on_request(n, grant, _sim=sim, _hist=wait_hist):
+            def _on_request(n, grant, _sim=sim, _hist=wait_hist,
+                            _key=wait_key, _zero=zero_waits):
                 if grant is None:  # synchronous acquire: zero wait
-                    _hist.observe(0.0, device="cpu")
+                    _zero[0] += 1
                     return
                 t0 = _sim.now
                 grant.on_fire(
-                    lambda _s: _hist.observe(_sim.now - t0, device="cpu")
+                    lambda _s: _hist.observe_at(_key, _sim.now - t0)
                 )
 
             self.cpu.cores.set_wait_hook(_on_request)
@@ -612,15 +675,13 @@ class _Run:
         )
         tracer = self.tracer
         if tracer is not None:
-            metrics = tracer.metrics
-            metrics.counter("cpu.ops").inc(
-                count * cost, device="cpu", level=level
-            )
-            metrics.counter("cpu.batches").inc(device="cpu", level=level)
+            agg = self._cpu_agg.get(level)
+            if agg is None:
+                agg = self._cpu_agg[level] = [0.0, 0, 0]
+            agg[0] += count * cost
+            agg[1] += 1
             if contention > 1.0:
-                metrics.counter("cpu.llc_pressure_events").inc(
-                    device="cpu", level=level
-                )
+                agg[2] += 1
             batch_start = self.sim.now
 
         if not self.x.fast:
@@ -674,10 +735,16 @@ class _Run:
             self.sim, self.cpu.cores, durations, trace=self.cpu.trace, tag=tag
         )
         if tracer is not None:
-            tracer.span(
-                tag, "cpu.batch", batch_start, self.sim.now,
-                device="cpu", level=level, phase=phase, tasks=count,
-                workers=workers,
+            ck = (tag, count, workers)
+            attrs = self._attr_cache.get(ck)
+            if attrs is None:
+                attrs = self._attr_cache[ck] = {
+                    "level": level, "phase": phase, "tasks": count,
+                    "workers": workers,
+                }
+            self._span_rows.append(
+                (tag, "cpu.batch", batch_start, self.sim.now, "cpu",
+                 self._ri, attrs)
             )
 
     # -- GPU ------------------------------------------------------------
@@ -725,25 +792,51 @@ class _Run:
                 trace=self.gpu.trace,
             )
         self.w.run_hook(phase, level, offset, count)
-        tracer = self.tracer
+        sim = self.sim
+        record = self.gpu.trace.record
+        if self.tracer is None:
+            for step, duration in zip(steps, durations):
+                start = sim.now
+                yield Timeout(duration)
+                record(start, sim.now, f"kernel:{step.name}")
+                self.gpu_kernel_time += duration
+            return
+        # Traced variant of the same loop: identical sim behavior, plus
+        # a span row per kernel and per-level counter aggregation
+        # (counters are commutative, so one flush after the loop matches
+        # per-step increments while skipping two dict updates a kernel).
+        attr_cache = self._attr_cache
+        rows_append = self._span_rows.append
+        ri = self._ri
+        launches = 0
+        gpu_ops = 0.0
         for step, duration in zip(steps, durations):
-            start = self.sim.now
-            yield Timeout(duration)
-            self.gpu.trace.record(start, self.sim.now, f"kernel:{step.name}")
-            self.gpu_kernel_time += duration
-            if tracer is not None:
-                tracer.span(
-                    f"kernel:{step.name}", "gpu.kernel", start, self.sim.now,
-                    device="gpu", level=level, items=step.items,
-                    parallel=parallel,
+            ck = (step.name, level, step.items, parallel)
+            ent = attr_cache.get(ck)
+            if ent is None:
+                ent = attr_cache[ck] = (
+                    f"kernel:{step.name}",
+                    {"level": level, "items": step.items,
+                     "parallel": parallel},
                 )
-                metrics = tracer.metrics
-                metrics.counter("gpu.kernel_launches").inc(
+            start = sim.now
+            yield Timeout(duration)
+            end = sim.now
+            record(start, end, ent[0])
+            self.gpu_kernel_time += duration
+            rows_append(
+                (ent[0], "gpu.kernel", start, end, "gpu", ri, ent[1])
+            )
+            launches += 1
+            gpu_ops += step.items * step.ops_per_item
+        if launches:
+            lk = self._lk_gpu.get(level)
+            if lk is None:
+                lk = self._lk_gpu[level] = _metric_label_key(
                     device="gpu", level=level
                 )
-                metrics.counter("gpu.ops").inc(
-                    step.items * step.ops_per_item, device="gpu", level=level
-                )
+            self._c_kernel_launches.inc_at(lk, launches)
+            self._c_gpu_ops.inc_at(lk, gpu_ops)
 
     def gpu_transfer(self, words: int, tag: str):
         """One CPU↔GPU transfer of ``words`` machine words."""
@@ -802,11 +895,8 @@ class _Run:
                     f"kernel:{step.name}", "gpu.kernel", start, self.sim.now,
                     device=lane, level=level, items=step.items,
                 )
-                metrics = tracer.metrics
-                metrics.counter("gpu.kernel_launches").inc(
-                    device=lane, level=level
-                )
-                metrics.counter("gpu.ops").inc(
+                self._c_kernel_launches.inc(device=lane, level=level)
+                self._c_gpu_ops.inc(
                     step.items * step.ops_per_item, device=lane, level=level
                 )
 
@@ -851,19 +941,29 @@ class _Run:
             self.sim.now, self.w.name, *tuple(noise_key)
         )
         if self.tracer is not None:
-            metrics = self.tracer.metrics
-            metrics.counter("sim.events").inc(
-                self.sim.events_processed, device="sim"
+            self._wait_hist.observe_many_at(
+                self._wait_key, 0.0, self._zero_waits[0]
             )
-            metrics.counter("sim.processes").inc(
-                self.sim.processes_spawned, device="sim"
-            )
-            metrics.counter("runs").inc()
-            metrics.histogram(
-                "run.makespan", help="noised makespans per platform/workload"
-            ).observe(
-                makespan, platform=self.x.hpu.name, workload=self.w.name
-            )
+            self._zero_waits[0] = 0
+            # Flush the per-level CPU batch aggregates accumulated by
+            # cpu_batch (one counter update per touched level per run).
+            for level, agg in self._cpu_agg.items():
+                lk = self._lk_cpu.get(level)
+                if lk is None:
+                    lk = self._lk_cpu[level] = _metric_label_key(
+                        device="cpu", level=level
+                    )
+                self._c_cpu_ops.inc_at(lk, agg[0])
+                self._c_cpu_batches.inc_at(lk, agg[1])
+                if agg[2]:
+                    self._c_llc.inc_at(lk, agg[2])
+            self._cpu_agg.clear()
+            (_m, c_events, c_procs, c_runs, h_makespan, _wh, lk_sim,
+             lk_none, lk_run) = self._fin
+            c_events.inc_at(lk_sim, self.sim.events_processed)
+            c_procs.inc_at(lk_sim, self.sim.processes_spawned)
+            c_runs.inc_at(lk_none)
+            h_makespan.observe_at(lk_run, makespan)
             # Close this run's segment on the trace timeline at the
             # *unnoised* clock — span times are raw simulated time.
             self.tracer.end_run(self.sim.now)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.algorithms.mergesort.hybrid import make_mergesort_workload
 from repro.core.schedule import AdvancedSchedule
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, fmt_ratio
 from repro.hpu import HPU1
 
 N = 1 << 24
@@ -46,7 +46,7 @@ def run(fast: bool = False) -> ExperimentResult:
         rows=rows,
         notes=[
             f"split level t = {t}, transfer level y = {y}, "
-            f"effective alpha = {plan.effective_alpha:.3f}",
+            f"effective alpha = {fmt_ratio(plan.effective_alpha)}",
             "GPU executes its partition from the leaves up to level y; "
             "levels between y and t of that partition are finished on "
             "the CPU after the transfer back.",

@@ -14,31 +14,53 @@ from repro.algorithms.mergesort.hybrid import make_mergesort_workload
 from repro.core.schedule import AdvancedSchedule, ScheduleExecutor
 from repro.experiments.common import MEASUREMENT_NOISE, ExperimentResult
 from repro.hpu import HPU1
+from repro.parallel import get_engine
 
 N = 1 << 24
 LEVELS = range(7, 13)
 
 
-def run(fast: bool = False) -> ExperimentResult:
+def _level_sweep_task(payload):
+    """One transfer level's α sweep (module-level, hence picklable).
+
+    Each worker rebuilds the workload and executor; every run is a
+    fresh DES with keyed measurement noise, so the speedups match the
+    shared-executor serial loop bit for bit.
+    """
+    level, alphas = payload
     workload = make_mergesort_workload(N)
     executor = ScheduleExecutor(HPU1, workload, noise=MEASUREMENT_NOISE)
     scheduler = AdvancedSchedule()
-    alphas = np.round(np.arange(0.04, 0.36, 0.08 if fast else 0.02), 3)
+    speedups = []
+    for alpha in alphas:
+        plan = scheduler.plan(
+            workload,
+            HPU1.parameters,
+            alpha=float(alpha),
+            transfer_level=int(level),
+        )
+        speedups.append(executor.run_advanced(plan).speedup)
+    return speedups
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    alphas = [float(a) for a in np.round(
+        np.arange(0.04, 0.36, 0.08 if fast else 0.02), 3
+    )]
+    engine = get_engine()
+    per_level = engine.map(
+        _level_sweep_task,
+        [(int(level), tuple(alphas)) for level in LEVELS],
+        label="fig7 alpha sweep",
+    )
 
     rows = []
     best = (0.0, None, None)
-    for level in LEVELS:
-        for alpha in alphas:
-            plan = scheduler.plan(
-                workload,
-                HPU1.parameters,
-                alpha=float(alpha),
-                transfer_level=int(level),
-            )
-            result = executor.run_advanced(plan)
-            rows.append([int(level), float(alpha), round(result.speedup, 3)])
-            if result.speedup > best[0]:
-                best = (result.speedup, float(alpha), int(level))
+    for level, speedups in zip(LEVELS, per_level):
+        for alpha, speedup in zip(alphas, speedups):
+            rows.append([int(level), alpha, round(speedup, 3)])
+            if speedup > best[0]:
+                best = (speedup, alpha, int(level))
 
     return ExperimentResult(
         experiment_id="fig7",

@@ -20,8 +20,9 @@ from repro.experiments.common import (
     MEASUREMENT_NOISE,
     ExperimentResult,
     default_alpha_grid,
+    fmt_ratio,
     size_grid,
-    sweep_best_operating_point,
+    sweep_best_operating_points,
 )
 from repro.hpu import PLATFORMS
 from repro.util.intmath import ilog2
@@ -34,23 +35,33 @@ def predicted_speedup(hpu, n: int) -> float:
 
 def run(fast: bool = False) -> ExperimentResult:
     alphas = default_alpha_grid(fast)
+    sizes = size_grid(fast)
+    platforms = sorted(PLATFORMS.items())
+    # One flat batch across both platforms: the sweep engine fans the
+    # (platform, n) points over worker processes when --jobs allows it,
+    # returning the same BestPoint sequence the serial loop produced.
+    bests = iter(
+        sweep_best_operating_points(
+            [(hpu, n) for _, hpu in platforms for n in sizes],
+            alphas,
+            noise=MEASUREMENT_NOISE,
+            adaptive=fast,
+        )
+    )
     rows = []
     notes = []
-    for name, hpu in sorted(PLATFORMS.items()):
+    for name, hpu in platforms:
         peak = (0.0, 0)
-        for n in size_grid(fast):
-            best = sweep_best_operating_point(
-                hpu, n, alphas, noise=MEASUREMENT_NOISE, adaptive=fast
-            )
+        for n in sizes:
+            best = next(bests)
             pred = predicted_speedup(hpu, n)
-            ratio = best.result.gpu_cpu_ratio
             rows.append(
                 [
                     name,
                     f"2^{ilog2(n)}",
                     round(best.speedup, 3),
                     round(pred, 3),
-                    round(ratio, 3) if ratio != float("inf") else "inf",
+                    fmt_ratio(best.result.gpu_cpu_ratio),
                 ]
             )
             if best.speedup > peak[0]:

@@ -78,8 +78,11 @@ def _build_manifest(
     run_id: str,
     outputs: Dict[str, Optional[str]],
     session=None,
+    jobs: int = 1,
 ):
     """Assemble the RunManifest for this invocation."""
+    import os
+
     import repro
     from repro.experiments.common import MEASUREMENT_NOISE
     from repro.hpu import PLATFORMS
@@ -87,6 +90,8 @@ def _build_manifest(
     from repro.util.rng import DEFAULT_SEED
 
     return RunManifest(
+        jobs=jobs,
+        host_cpus=os.cpu_count() or 1,
         run_id=run_id,
         created_unix=int(time.time()),
         argv=list(argv) if argv is not None else sys.argv[1:],
@@ -187,6 +192,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--fast", action="store_true", help="coarser sweeps, quicker run"
+    )
+    parser.add_argument(
+        "--jobs",
+        default="auto",
+        metavar="N",
+        help="worker processes for the parallel sweep engine: a count, "
+        "or 'auto' for one per CPU (default); --jobs 1 is the exact "
+        "legacy serial path (see docs/PERFORMANCE.md, 'Parallel sweeps')",
     )
     parser.add_argument(
         "--plot",
@@ -296,6 +309,17 @@ def main(argv=None) -> int:
             f"available: {', '.join(EXPERIMENTS)}"
         )
 
+    # -- parallel sweep engine -----------------------------------------
+    from repro.parallel import configure as _configure_engine
+
+    try:
+        engine = _configure_engine(
+            args.jobs if args.jobs == "auto" else int(args.jobs)
+        )
+    except ValueError:
+        parser.error(f"--jobs: expected a positive integer or 'auto', "
+                     f"got {args.jobs!r}")
+
     # -- observability setup -------------------------------------------
     tracing_on = args.trace_out is not None or args.metrics_out is not None
     emit_manifest = tracing_on or args.manifest
@@ -349,6 +373,13 @@ def main(argv=None) -> int:
             from repro.obs import deactivate
 
             deactivate()
+        from repro.parallel import deconfigure as _deconfigure_engine
+
+        _deconfigure_engine()
+
+    for note in engine.notes:
+        # Fallback-to-serial diagnostics; stderr keeps --json parseable.
+        print(f"jobs: {note}", file=sys.stderr)
 
     if profiler is not None:
         import pstats
@@ -383,7 +414,7 @@ def main(argv=None) -> int:
         )
         manifest = _build_manifest(
             args, argv, selected, results, tracer, run_id, outputs,
-            session=session,
+            session=session, jobs=engine.jobs,
         )
         path = manifest.write(args.results_dir / run_id / "manifest.json")
         print(f"manifest: {path}")

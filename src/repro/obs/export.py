@@ -24,7 +24,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracer import Tracer
+from repro.obs.tracer import Tracer, expand_row as _expand_row
 
 #: Lane name used for run-level spans in the Chrome export.
 RUNS_LANE = "runs"
@@ -74,33 +74,49 @@ def chrome_trace(tracer: Tracer) -> dict:
                 "args": args,
             }
         )
-    for span in tracer.spans:
-        args = {k: _jsonable(v) for k, v in span.attrs.items()}
-        if span.run is not None:
-            args["run"] = span.run
+    # Batch-flush the tracer's flat row buffers directly: no Span
+    # materialization for the ~100k rows a traced sweep records.  Rows
+    # with a run index are run-relative; their run's offset is applied
+    # here.  Team rows (tuple-of-starts, see tracer.span_many) expand.
+    runs = tracer.runs
+    for row in tracer.span_rows:
+        row_run = row[5]
+        offset = 0.0 if row_run is None else runs[row_run].offset
+        for name, cat, start, end, device, run, attrs in _expand_row(
+            row, offset
+        ):
+            if attrs:
+                args = {k: _jsonable(v) for k, v in attrs.items()}
+            else:
+                args = {}
+            if run is not None:
+                args["run"] = run
+            events.append(
+                {
+                    "name": name,
+                    "cat": cat,
+                    "ph": "X",
+                    "ts": start,
+                    "dur": end - start,
+                    "pid": pid,
+                    "tid": tid_for(device),
+                    "args": args,
+                }
+            )
+    for name, cat, start, _end, device, run, attrs in tracer.instant_rows:
+        if attrs:
+            args = {k: _jsonable(v) for k, v in attrs.items()}
+        else:
+            args = {}
         events.append(
             {
-                "name": span.name,
-                "cat": span.category,
-                "ph": "X",
-                "ts": span.start,
-                "dur": span.duration,
-                "pid": pid,
-                "tid": tid_for(span.device),
-                "args": args,
-            }
-        )
-    for event in tracer.instants:
-        args = {k: _jsonable(v) for k, v in event.attrs.items()}
-        events.append(
-            {
-                "name": event.name,
-                "cat": event.category,
+                "name": name,
+                "cat": cat,
                 "ph": "i",
-                "ts": event.start,
+                "ts": start if run is None else runs[run].offset + start,
                 "s": "p",  # process-scoped marker
                 "pid": pid,
-                "tid": tid_for(event.device),
+                "tid": tid_for(device),
                 "args": args,
             }
         )

@@ -71,6 +71,10 @@ class RunManifest:
         default_factory=_platform.python_version
     )
     machine: str = field(default_factory=_platform.machine)
+    #: Resolved sweep-engine worker count (--jobs; 1 = serial path).
+    jobs: int = 1
+    #: Host cores visible to the run (``os.cpu_count()``).
+    host_cpus: int = 1
     #: Per-experiment result digest: {id: {"title": ..., "notes": [...]}}.
     results: Dict[str, dict] = field(default_factory=dict)
     #: Compact metric totals (MetricsRegistry.summary()) when traced.
@@ -99,6 +103,8 @@ class RunManifest:
             "repro_version": self.repro_version,
             "python_version": self.python_version,
             "machine": self.machine,
+            "jobs": self.jobs,
+            "host_cpus": self.host_cpus,
             "results": self.results,
             "metrics_summary": self.metrics_summary,
             "outputs": self.outputs,
@@ -127,6 +133,8 @@ class RunManifest:
             repro_version=data["repro_version"],
             python_version=data["python_version"],
             machine=data["machine"],
+            jobs=data.get("jobs", 1),
+            host_cpus=data.get("host_cpus", 1),
             results=data.get("results", {}),
             metrics_summary=data.get("metrics_summary", {}),
             outputs=data.get("outputs", {}),

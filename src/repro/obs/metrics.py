@@ -16,6 +16,7 @@ Everything serializes to plain JSON via :meth:`MetricsRegistry.to_dict`.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, List, Optional, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -35,8 +36,34 @@ DEFAULT_BUCKETS = (
 )
 
 
+#: Memo for :func:`_label_key`.  Instrumentation sites call with the
+#: same few label sets hundreds of thousands of times per sweep, and
+#: the sort + per-value ``str()`` dominated the metrics cost before the
+#: cache.  Keys are the raw ``labels.items()`` tuples (hashable for the
+#: str/int values instrumentation passes); unhashable values fall back
+#: to the slow path.  Bounded so a pathological caller cannot grow it
+#: without limit.
+_LABEL_KEY_CACHE: Dict[tuple, LabelKey] = {}
+_LABEL_KEY_CACHE_MAX = 4096
+
+
 def _label_key(labels: Dict[str, object]) -> LabelKey:
-    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+    raw = tuple(labels.items())
+    try:
+        key = _LABEL_KEY_CACHE.get(raw)
+    except TypeError:  # unhashable label value
+        return tuple(sorted((k, str(v)) for k, v in labels.items()))
+    if key is None:
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        if len(_LABEL_KEY_CACHE) < _LABEL_KEY_CACHE_MAX:
+            _LABEL_KEY_CACHE[raw] = key
+    return key
+
+
+def label_key(**labels: object) -> LabelKey:
+    """Public form of the point key: precompute once, then use
+    :meth:`Counter.inc_at` / :meth:`Histogram.observe_at` on hot paths."""
+    return _label_key(labels)
 
 
 class _Metric:
@@ -73,6 +100,16 @@ class Counter(_Metric):
             )
         key = _label_key(labels)
         self._points[key] = self._points.get(key, 0.0) + value
+
+    def inc_at(self, key: LabelKey, value: float = 1.0) -> None:
+        """Hot-path :meth:`inc` with a precomputed sorted label key.
+
+        Callers on per-event paths (the schedule executor) build the
+        key once per label set via :func:`label_key` and skip the
+        kwargs/validation machinery on every subsequent increment.
+        """
+        points = self._points
+        points[key] = points.get(key, 0.0) + value
 
     def value(self, **labels: object) -> float:
         """Current value of one labelled point (0.0 if never touched)."""
@@ -163,11 +200,42 @@ class Histogram(_Metric):
             point.min = value
         if value > point.max:
             point.max = value
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                point.bucket_counts[i] += 1
-                return
-        point.bucket_counts[-1] += 1
+        # bisect_left on sorted bounds == first bucket with value <= bound;
+        # len(buckets) (the overflow slot) when value exceeds every bound.
+        point.bucket_counts[bisect_left(self.buckets, value)] += 1
+
+    def observe_many_at(self, key: LabelKey, value: float, n: int) -> None:
+        """Record ``n`` identical observations at once.
+
+        Histograms are commutative aggregates, so a deferred batch
+        flush (e.g. the executor's zero-wait core acquisitions) yields
+        the same point state as ``n`` interleaved ``observe`` calls.
+        """
+        if n <= 0:
+            return
+        point = self._points.get(key)
+        if point is None:
+            self._points[key] = point = _HistogramPoint(len(self.buckets))
+        point.count += n
+        point.sum += value * n
+        if value < point.min:
+            point.min = value
+        if value > point.max:
+            point.max = value
+        point.bucket_counts[bisect_left(self.buckets, value)] += n
+
+    def observe_at(self, key: LabelKey, value: float) -> None:
+        """Hot-path :meth:`observe` with a precomputed label key."""
+        point = self._points.get(key)
+        if point is None:
+            self._points[key] = point = _HistogramPoint(len(self.buckets))
+        point.count += 1
+        point.sum += value
+        if value < point.min:
+            point.min = value
+        if value > point.max:
+            point.max = value
+        point.bucket_counts[bisect_left(self.buckets, value)] += 1
 
     def point(self, **labels: object) -> Optional[_HistogramPoint]:
         """The raw accumulator for one labelled point, if it exists."""
@@ -247,6 +315,48 @@ class MetricsRegistry:
             name: metric.to_dict()
             for name, metric in sorted(self._metrics.items())
         }
+
+    def merge_dict(self, snapshot: dict) -> None:
+        """Merge a :meth:`to_dict` snapshot into this registry.
+
+        Used by :mod:`repro.parallel` to fold worker-process registries
+        back into the parent: counters and gauges add point-wise,
+        histograms merge count/sum/min/max and bucket counts.  Metric
+        families are created here on demand, so merging into an empty
+        registry reproduces the snapshot exactly.
+        """
+        for name, data in snapshot.items():
+            kind = data.get("type")
+            if kind == "counter":
+                metric = self.counter(name, data.get("help", ""))
+                for point in data["points"]:
+                    metric.inc(point["value"], **point["labels"])
+            elif kind == "gauge":
+                metric = self.gauge(name, data.get("help", ""))
+                for point in data["points"]:
+                    metric.add(point["value"], **point["labels"])
+            elif kind == "histogram":
+                metric = self.histogram(
+                    name, data.get("help", ""),
+                    buckets=tuple(data["buckets"]),
+                )
+                for point in data["points"]:
+                    key = _label_key(point["labels"])
+                    acc = metric._points.get(key)
+                    if acc is None:
+                        metric._points[key] = acc = _HistogramPoint(
+                            len(metric.buckets)
+                        )
+                    acc.count += point["count"]
+                    acc.sum += point["sum"]
+                    if point["min"] is not None and point["min"] < acc.min:
+                        acc.min = point["min"]
+                    if point["max"] is not None and point["max"] > acc.max:
+                        acc.max = point["max"]
+                    for i, n in enumerate(point["bucket_counts"]):
+                        acc.bucket_counts[i] += n
+            else:  # pragma: no cover - future metric kinds
+                raise ValueError(f"cannot merge metric {name!r} of {kind!r}")
 
     def summary(self) -> dict:
         """Compact totals for manifests: one number per metric family.

@@ -1,0 +1,36 @@
+"""Process-parallel sweep execution for independent evaluation points.
+
+Every sweep in the reproduction — experiment grids over (platform, n),
+auto-tune (α, y) searches, the §6.4 calibration scans — evaluates
+*independent* deterministic DES runs.  :class:`SweepEngine` fans such
+points across worker processes while guaranteeing results identical to
+the serial path; see ``docs/PERFORMANCE.md`` ("Parallel sweeps").
+
+>>> from repro.parallel import SweepEngine
+>>> engine = SweepEngine(jobs=4)
+>>> results = engine.map(fn, payloads)   # same values as [fn(p) ...]
+
+The ambient engine (``configure`` / ``get_engine``) mirrors the
+tracer/resilience session idiom: the experiment runner configures it
+once from ``--jobs`` and the sweep layers pick it up.
+"""
+
+from repro.parallel.engine import (
+    SweepEngine,
+    configure,
+    deconfigure,
+    get_engine,
+    pmap,
+    resolve_jobs,
+    serial_engine,
+)
+
+__all__ = [
+    "SweepEngine",
+    "configure",
+    "deconfigure",
+    "get_engine",
+    "pmap",
+    "resolve_jobs",
+    "serial_engine",
+]

@@ -1,0 +1,253 @@
+"""The sweep engine: deterministic process-pool fan-out with merging.
+
+Independent evaluation points go through :meth:`SweepEngine.map`, which
+either runs them inline (``jobs=1`` — the exact legacy serial path) or
+fans them across a :class:`concurrent.futures.ProcessPoolExecutor` and
+returns the results **in submission order**, so callers observe the
+same value sequence either way.  Three properties make the parallel
+path safe to use everywhere the serial one was:
+
+Determinism
+    Evaluations are pure functions of their payload: simulated clocks
+    come from the DES, and measurement noise is keyed content-hashing
+    (:class:`~repro.util.rng.NoiseModel` via ``blake2b``), independent
+    of process identity or evaluation order.  Merging in submission
+    order therefore reproduces the serial result sequence bit for bit
+    (pinned by ``tests/parallel/test_differential.py``).
+
+Transparent fallback
+    Anything that prevents fanning out degrades to the serial path with
+    a note in :attr:`SweepEngine.notes` rather than an error: payloads
+    or results that don't pickle, a pool that can't start (restricted
+    containers), a single-point sweep, or an active
+    :mod:`repro.resilience` session (fault-injection state is ambient
+    per-process mutable state that must not silently diverge across
+    workers, so chaos sessions force serial).
+
+Observability merging
+    When a :mod:`repro.obs` tracer is active in the parent, each worker
+    records into a fresh tracer and ships a snapshot back with its
+    result; the parent absorbs the snapshots in submission order, which
+    re-bases every worker segment onto the parent's run-offset timeline
+    and merges metrics registries point-by-point — a parallel sweep
+    still exports one coherent Chrome trace (see
+    ``docs/OBSERVABILITY.md``).
+
+Workers are initialized with a module flag that makes any nested
+:func:`get_engine` resolve to a serial engine, so a sweep inside a
+sweep cannot fork grandchildren.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
+
+from repro.obs import tracer as _obs
+
+#: Jobs spec accepted throughout: a positive int, ``"auto"``, or None
+#: (both meaning "one worker per CPU").
+JobsSpec = Union[int, str, None]
+
+#: Set in worker processes: forces nested engines serial.
+_IN_WORKER = False
+
+
+def resolve_jobs(jobs: JobsSpec = None) -> int:
+    """Normalize a ``--jobs`` spec to a worker count.
+
+    ``None`` / ``"auto"`` resolve to :func:`os.cpu_count`; explicit
+    integers must be >= 1.  Worker processes always resolve to 1.
+    """
+    if _IN_WORKER:
+        return 1
+    if jobs is None or jobs == "auto":
+        return os.cpu_count() or 1
+    count = int(jobs)
+    if count < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+    return count
+
+
+def _resilience_active() -> bool:
+    # Imported lazily: repro.resilience.runtime imports nothing heavy,
+    # but keeping the engine importable without the resilience package
+    # wired simplifies bootstrapping in tests.
+    from repro.resilience.runtime import active
+
+    return active() is not None
+
+
+def _run_point(payload: bytes):
+    """Worker-side task: unpickle ``(fn, item, traced)``, evaluate.
+
+    With ``traced`` set, the evaluation runs under a fresh worker
+    tracer whose snapshot travels back with the result for
+    :meth:`~repro.obs.tracer.Tracer.absorb` in the parent.  The
+    payload arrives pre-pickled so the parent's picklability check and
+    the pool's serialization are one and the same operation.
+    """
+    fn, item, traced = pickle.loads(payload)
+    if not traced:
+        return fn(item), None
+    tracer = _obs.Tracer(name="worker")
+    _obs.activate(tracer)
+    try:
+        result = fn(item)
+    finally:
+        _obs.deactivate()
+    return result, tracer.snapshot()
+
+
+def _init_worker() -> None:
+    """Pool initializer: mark the process as a worker (nested engines
+    resolve serial) and silence KeyboardInterrupt tracebacks."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+class SweepEngine:
+    """Maps a function over independent points, possibly in parallel.
+
+    ``jobs`` follows :func:`resolve_jobs`.  The engine is stateless
+    between :meth:`map` calls except for :attr:`notes`, which records
+    why (if ever) a call fell back to the serial path.
+    """
+
+    def __init__(self, jobs: JobsSpec = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        #: Human-readable fallback notes, newest last.
+        self.notes: List[str] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SweepEngine jobs={self.jobs}>"
+
+    # ------------------------------------------------------------------
+    @property
+    def parallel(self) -> bool:
+        """Whether this engine would currently fan out a large sweep."""
+        return self.jobs > 1 and not _resilience_active()
+
+    def _note(self, message: str) -> None:
+        self.notes.append(message)
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        label: str = "sweep",
+    ) -> List[Any]:
+        """Evaluate ``fn`` over ``items``; results in submission order.
+
+        Guaranteed to return exactly ``[fn(item) for item in items]``
+        (bit-identical — see the module docstring).  ``label`` names
+        the sweep in fallback notes.
+        """
+        items = list(items)
+        if self.jobs <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        if _resilience_active():
+            self._note(
+                f"{label}: resilience session active — fault-injection "
+                f"state is per-process, running serial"
+            )
+            return [fn(item) for item in items]
+
+        traced = _obs.active() is not None
+        try:
+            payloads = [
+                pickle.dumps((fn, item, traced)) for item in items
+            ]
+        except Exception as exc:  # noqa: BLE001 - any pickle failure
+            self._note(
+                f"{label}: payload not picklable ({exc!r}), running serial"
+            )
+            return [fn(item) for item in items]
+
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(items)),
+                initializer=_init_worker,
+            )
+        except Exception as exc:  # noqa: BLE001 - pool refused to start
+            self._note(
+                f"{label}: process pool unavailable ({exc!r}), "
+                f"running serial"
+            )
+            return [fn(item) for item in items]
+
+        try:
+            with pool:
+                futures = [pool.submit(_run_point, p) for p in payloads]
+                outcomes = [f.result() for f in futures]
+        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+            # A result failed to serialize on the way back, or the pool
+            # rejected the callable: degrade, don't fail the sweep.
+            self._note(
+                f"{label}: parallel execution failed ({exc!r}), "
+                f"running serial"
+            )
+            return [fn(item) for item in items]
+        except OSError as exc:
+            self._note(
+                f"{label}: worker pool died ({exc!r}), running serial"
+            )
+            return [fn(item) for item in items]
+
+        results = []
+        tracer = _obs.active()
+        for result, snapshot in outcomes:
+            results.append(result)
+            if snapshot is not None and tracer is not None:
+                tracer.absorb(snapshot)
+        return results
+
+
+def serial_engine() -> SweepEngine:
+    """An engine pinned to the exact legacy serial path."""
+    return SweepEngine(jobs=1)
+
+
+# ----------------------------------------------------------------------
+# ambient engine (mirrors repro.obs.tracer / repro.resilience.runtime)
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[SweepEngine] = None
+
+
+def configure(jobs: JobsSpec = None) -> SweepEngine:
+    """Install the ambient engine (the runner's ``--jobs`` hook)."""
+    global _ACTIVE
+    _ACTIVE = SweepEngine(jobs)
+    return _ACTIVE
+
+
+def deconfigure() -> None:
+    """Remove the ambient engine (subsequent sweeps run serial)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def get_engine() -> SweepEngine:
+    """The ambient engine; serial when none was configured.
+
+    Worker processes always see a serial engine regardless of
+    configuration, so nested sweeps cannot fork grandchildren.
+    """
+    if _IN_WORKER or _ACTIVE is None:
+        return SweepEngine(jobs=1)
+    return _ACTIVE
+
+
+def pmap(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    jobs: JobsSpec = None,
+    label: str = "sweep",
+) -> List[Any]:
+    """One-shot convenience: ``SweepEngine(jobs).map(fn, items)``,
+    using the ambient engine when ``jobs`` is None."""
+    engine = get_engine() if jobs is None else SweepEngine(jobs)
+    return engine.map(fn, items, label=label)

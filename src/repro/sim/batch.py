@@ -32,6 +32,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.trace import BusyTrace
 
 
+#: (trace name, pool name, tag) -> (span name, worker lane) for traced
+#: team completions.  Teams are created per batch, so deriving the lane
+#: f-string on each instance would allocate ~one string per batch; the
+#: mapping is tiny (a handful of lanes per sweep) and immutable.
+_SPAN_IDENTITY: Dict[tuple, tuple] = {}
+
+
 class TeamBatch(Signal):
     """A worker team over a unit-resource pool; fires when all finish.
 
@@ -110,12 +117,34 @@ class TeamBatch(Signal):
         tracer = _obs_active()
         if tracer is not None:
             # Worker-granularity spans on a per-device "... workers"
-            # lane; the executor records the enclosing batch span.
-            base = self._trace.name if self._trace is not None else ""
-            device = f"{base or self._pool.name}.workers"
-            name = self._tag or "worker"
-            for start in starts:
-                tracer.span(name, "cpu.worker", start, end, device=device)
+            # lane; the executor records the enclosing batch span.  The
+            # row appends directly onto the tracer's buffer (the tuple
+            # shape is repro.obs.tracer.SpanRow): in-run rows are
+            # run-relative, which the sim times here already are — the
+            # non-zero-offset case (recording outside any run) defers
+            # to span_many for the shift.
+            key = (
+                self._trace.name if self._trace is not None else None,
+                self._pool.name,
+                self._tag,
+            )
+            ident = _SPAN_IDENTITY.get(key)
+            if ident is None:
+                base = (self._trace.name if self._trace is not None else "")
+                ident = _SPAN_IDENTITY[key] = (
+                    self._tag or "worker",
+                    f"{base or self._pool.name}.workers",
+                )
+            name, lane = ident
+            if tracer._offset == 0.0:
+                tracer.span_rows.append(
+                    (name, "cpu.worker",
+                     starts[0] if len(starts) == 1 else tuple(starts),
+                     end, lane, tracer._run_index, None)
+                )
+            else:
+                tracer.span_many(name, "cpu.worker", starts, end,
+                                 device=lane)
         self._pool.release(len(starts))
         self._remaining -= len(starts)
         if self._remaining == 0:

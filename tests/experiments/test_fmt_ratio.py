@@ -1,0 +1,57 @@
+"""Unit tests for :func:`repro.experiments.common.fmt_ratio`: every
+ratio cell renders to exactly one type (str) and finite values still
+parse back with ``float``."""
+
+import math
+
+import pytest
+
+from repro.experiments.common import fmt_ratio
+from repro.experiments import fig8_speedup_vs_n, fig10_optimal_params
+
+
+class TestFmtRatio:
+    def test_finite_matches_round(self):
+        assert fmt_ratio(1.23456) == "1.235"
+        assert fmt_ratio(2.0) == "2.0"
+        assert fmt_ratio(0.04, digits=2) == "0.04"
+        assert fmt_ratio(-1.5) == "-1.5"
+
+    def test_sentinels(self):
+        assert fmt_ratio(None) == "-"
+        assert fmt_ratio(float("inf")) == "inf"
+        assert fmt_ratio(float("-inf")) == "-inf"
+        assert fmt_ratio(float("nan")) == "nan"
+
+    def test_always_a_string(self):
+        for value in (None, 0.0, 1.5, float("inf"), float("nan"), 3):
+            assert isinstance(fmt_ratio(value), str)
+
+    def test_finite_cells_parse_back(self):
+        for value in (0.0, 0.25, 12.3456, -7.0):
+            assert float(fmt_ratio(value)) == round(float(value), 3)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises((TypeError, ValueError)):
+            fmt_ratio("n/a")
+
+
+class TestRatioColumnsSingleType:
+    """Figs. 4/8/10 route their ratio columns through fmt_ratio, so the
+    rendered tables carry exactly one cell type per column."""
+
+    @pytest.mark.parametrize(
+        "module, column",
+        [
+            (fig8_speedup_vs_n, "GPU/CPU"),
+            (fig10_optimal_params, "alpha (obtained)"),
+        ],
+    )
+    def test_column_is_all_strings(self, module, column):
+        result = module.run(fast=True)
+        cells = result.column(column)
+        assert cells
+        assert all(isinstance(cell, str) for cell in cells)
+        for cell in cells:
+            if cell not in ("-",):
+                assert not math.isnan(float(cell)) or cell == "nan"

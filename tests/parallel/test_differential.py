@@ -1,0 +1,123 @@
+"""Differential tests: ``--jobs N`` must be bit-identical to serial.
+
+The sweep engine's whole contract is that fanning the same sweep across
+worker processes changes wall-clock time and nothing else.  These tests
+run real experiment sweeps twice — once with no engine configured (the
+exact legacy serial path) and once under ``configure(jobs=2)`` — and
+require identical tables, notes, traces, and merged tuner caches.
+"""
+
+import pytest
+
+from repro.experiments import fig8_speedup_vs_n, fig10_optimal_params
+from repro.experiments import common
+from repro.hpu import HPU1, HPU2
+from repro.obs import tracer as obs
+from repro.obs.export import chrome_trace
+from repro.parallel import configure, deconfigure, get_engine
+from repro.util.rng import NO_NOISE
+
+
+@pytest.fixture(autouse=True)
+def _fresh_sweep_state():
+    """Each run starts cold: shared tuner caches would otherwise let the
+    second run skip simulations and record a different trace."""
+    common._TUNERS.clear()
+    deconfigure()
+    yield
+    common._TUNERS.clear()
+    deconfigure()
+
+
+def _parallel_rerun(run_fn):
+    """Run ``run_fn`` serially, then cold under a 2-worker engine."""
+    serial = run_fn()
+    common._TUNERS.clear()
+    engine = configure(jobs=2)
+    try:
+        parallel = run_fn()
+    finally:
+        deconfigure()
+    return serial, parallel, engine
+
+
+class TestFigureDifferential:
+    def test_fig8_fast_identical_across_jobs(self):
+        serial, parallel, engine = _parallel_rerun(
+            lambda: fig8_speedup_vs_n.run(fast=True).to_dict()
+        )
+        assert parallel == serial
+        assert engine.notes == []
+
+    def test_fig10_fast_identical_across_jobs(self):
+        serial, parallel, engine = _parallel_rerun(
+            lambda: fig10_optimal_params.run(fast=True).to_dict()
+        )
+        assert parallel == serial
+        assert engine.notes == []
+
+
+_POINTS = [(HPU1, 1 << 10), (HPU2, 1 << 10)]
+_ALPHAS = (0.1, 0.2)
+_LEVELS = (8, 9)
+
+
+def _traced_sweep():
+    tracer = obs.Tracer(name="test")
+    obs.activate(tracer)
+    try:
+        bests = common.sweep_best_operating_points(
+            _POINTS, alphas=_ALPHAS, levels=_LEVELS
+        )
+    finally:
+        obs.deactivate()
+    return bests, chrome_trace(tracer)
+
+
+class TestTracedMerge:
+    def test_absorbed_worker_trace_matches_serial(self):
+        (serial_bests, serial_trace), (par_bests, par_trace), engine = (
+            _parallel_rerun(_traced_sweep)
+        )
+        assert engine.notes == []
+        assert [
+            (b.speedup, b.alpha, b.transfer_level) for b in par_bests
+        ] == [(b.speedup, b.alpha, b.transfer_level) for b in serial_bests]
+        # The absorbed multi-worker trace re-bases every worker segment
+        # onto the parent timeline with the serial cursor recurrence, so
+        # the exported Chrome trace is equal event for event.
+        assert par_trace == serial_trace
+
+
+class TestCacheMergeBack:
+    def test_worker_cache_entries_fold_into_parent(self):
+        configure(jobs=2)
+        try:
+            common.sweep_best_operating_points(
+                _POINTS, alphas=_ALPHAS, levels=_LEVELS
+            )
+        finally:
+            deconfigure()
+        # The parent now holds every (alpha, level) evaluation the
+        # workers ran: re-sweeping the same grids serially must be pure
+        # cache hits, spending zero additional simulator runs.
+        runs_before = {}
+        for hpu, n in _POINTS:
+            tuner = common._TUNERS[(hpu.name, n, NO_NOISE)]
+            assert tuner._cache
+            runs_before[hpu.name] = tuner.executor_runs
+        rerun = common.sweep_best_operating_points(
+            _POINTS, alphas=_ALPHAS, levels=_LEVELS
+        )
+        for hpu, n in _POINTS:
+            tuner = common._TUNERS[(hpu.name, n, NO_NOISE)]
+            assert tuner.executor_runs == runs_before[hpu.name]
+        assert len(rerun) == len(_POINTS)
+
+    def test_serial_engine_skips_merge_machinery(self):
+        # Unconfigured: the batch helper is exactly the legacy loop.
+        bests = common.sweep_best_operating_points(
+            _POINTS, alphas=_ALPHAS, levels=_LEVELS
+        )
+        assert len(bests) == len(_POINTS)
+        assert get_engine().notes == []

@@ -1,0 +1,173 @@
+"""Unit tests for :mod:`repro.parallel`: jobs resolution, the map
+contract, transparent serial fallbacks, and the ambient engine."""
+
+import os
+
+import pytest
+
+from repro.obs.manifest import RunManifest
+from repro.parallel import (
+    SweepEngine,
+    configure,
+    deconfigure,
+    get_engine,
+    pmap,
+    resolve_jobs,
+    serial_engine,
+)
+from repro.parallel import engine as engine_mod
+from repro.resilience.runtime import resilient
+
+
+def _square(x):
+    return x * x
+
+
+def _pid_tag(x):
+    return (x, os.getpid())
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_engine():
+    deconfigure()
+    yield
+    deconfigure()
+
+
+class TestResolveJobs:
+    def test_auto_and_none_use_cpu_count(self):
+        expected = os.cpu_count() or 1
+        assert resolve_jobs(None) == expected
+        assert resolve_jobs("auto") == expected
+
+    def test_explicit_counts(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs("2") == 2
+
+    def test_invalid_counts_raise(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+        with pytest.raises(ValueError):
+            resolve_jobs(-4)
+
+    def test_worker_processes_resolve_serial(self, monkeypatch):
+        monkeypatch.setattr(engine_mod, "_IN_WORKER", True)
+        assert resolve_jobs(8) == 1
+        assert resolve_jobs("auto") == 1
+
+
+class TestSweepEngineMap:
+    def test_serial_matches_comprehension(self):
+        engine = serial_engine()
+        items = list(range(7))
+        assert engine.map(_square, items) == [x * x for x in items]
+        assert engine.notes == []
+
+    def test_parallel_matches_serial_values_and_order(self):
+        engine = SweepEngine(jobs=2)
+        items = list(range(6))
+        assert engine.map(_square, items) == [x * x for x in items]
+        assert engine.notes == []
+
+    def test_parallel_runs_in_workers(self):
+        engine = SweepEngine(jobs=2)
+        results = engine.map(_pid_tag, [1, 2, 3, 4])
+        assert [x for x, _pid in results] == [1, 2, 3, 4]
+        # At least one evaluation left the parent process (all of them,
+        # unless the pool fell back — in which case a note explains why).
+        if not engine.notes:
+            assert all(pid != os.getpid() for _x, pid in results)
+
+    def test_single_item_stays_in_process(self):
+        engine = SweepEngine(jobs=2)
+        [(value, pid)] = engine.map(_pid_tag, [5])
+        assert value == 5
+        assert pid == os.getpid()
+        assert engine.notes == []
+
+    def test_unpicklable_payload_falls_back_with_note(self):
+        engine = SweepEngine(jobs=2)
+        captured = []  # closure makes the lambda unpicklable for sure
+        results = engine.map(lambda x: captured.append(x) or x + 1, [1, 2, 3])
+        assert results == [2, 3, 4]
+        assert captured == [1, 2, 3]
+        assert len(engine.notes) == 1
+        assert "not picklable" in engine.notes[0]
+
+    def test_resilience_session_forces_serial(self):
+        engine = SweepEngine(jobs=2)
+        with resilient(None):
+            assert not engine.parallel
+            results = engine.map(_pid_tag, [1, 2])
+        assert [pid for _x, pid in results] == [os.getpid()] * 2
+        assert len(engine.notes) == 1
+        assert "resilience session active" in engine.notes[0]
+
+    def test_parallel_property(self):
+        assert not serial_engine().parallel
+        assert SweepEngine(jobs=2).parallel
+
+
+class TestAmbientEngine:
+    def test_configure_installs_and_deconfigure_removes(self):
+        engine = configure(jobs=2)
+        assert get_engine() is engine
+        assert engine.jobs == 2
+        deconfigure()
+        assert get_engine().jobs == 1
+
+    def test_unconfigured_default_is_serial(self):
+        engine = get_engine()
+        assert engine.jobs == 1
+        assert not engine.parallel
+
+    def test_workers_always_see_serial(self, monkeypatch):
+        configure(jobs=4)
+        monkeypatch.setattr(engine_mod, "_IN_WORKER", True)
+        assert get_engine().jobs == 1
+
+    def test_pmap_explicit_jobs(self):
+        assert pmap(_square, [1, 2, 3], jobs=2) == [1, 4, 9]
+
+    def test_pmap_uses_ambient_engine(self):
+        configure(jobs=1)
+        assert pmap(_square, [2, 3]) == [4, 9]
+
+
+class TestManifestFields:
+    def test_jobs_and_host_cpus_round_trip(self):
+        manifest = RunManifest(
+            run_id="r1",
+            created_unix=0,
+            argv=["fig8", "--jobs", "2"],
+            experiments=["fig8"],
+            fast=True,
+            platforms={},
+            seed=1,
+            noise_amplitude=0.0,
+            repro_version="0",
+            jobs=2,
+            host_cpus=8,
+        )
+        clone = RunManifest.from_dict(manifest.to_dict())
+        assert clone.jobs == 2
+        assert clone.host_cpus == 8
+
+    def test_legacy_manifests_default_serial(self):
+        data = RunManifest(
+            run_id="r1",
+            created_unix=0,
+            argv=[],
+            experiments=[],
+            fast=False,
+            platforms={},
+            seed=1,
+            noise_amplitude=0.0,
+            repro_version="0",
+        ).to_dict()
+        del data["jobs"]
+        del data["host_cpus"]
+        clone = RunManifest.from_dict(data)
+        assert clone.jobs == 1
+        assert clone.host_cpus == 1
