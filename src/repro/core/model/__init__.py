@@ -27,9 +27,29 @@ from repro.core.model.levels import (
     level_time_gpu,
 )
 from repro.core.model.master import MasterCase, classify_recurrence
+from repro.core.model.oracle import (
+    DEFAULT_RESIDUAL_BAND,
+    OPTIMISM_TOLERANCE,
+    ConformanceReport,
+    advanced_report,
+    basic_report,
+    conformance_from_attrs,
+    conformance_summary,
+    conformance_verdict,
+    predict_basic_time,
+)
 from repro.core.model.prediction import predict_hybrid_speedup, predict_hybrid_time
 
 __all__ = [
+    "ConformanceReport",
+    "DEFAULT_RESIDUAL_BAND",
+    "OPTIMISM_TOLERANCE",
+    "advanced_report",
+    "basic_report",
+    "conformance_from_attrs",
+    "conformance_summary",
+    "conformance_verdict",
+    "predict_basic_time",
     "AdvancedModel",
     "AdvancedSolution",
     "ClosedFormModel",

@@ -213,7 +213,10 @@ class ScheduleExecutor:
                 )
             return None
 
-        return run.finish(driver(), noise_key=("basic", plan.crossover))
+        result = run.finish(driver(), noise_key=("basic", plan.crossover))
+        if run.tracer is not None:
+            self._note_conformance(run, result, basic_plan=plan)
+        return result
 
     # ------------------------------------------------------------------
     # advanced strategy (§5.2 / Algorithm 8)
@@ -299,11 +302,14 @@ class ScheduleExecutor:
                 )
             return None
 
-        return run.finish(
+        result = run.finish(
             driver(),
             noise_key=("advanced", plan.cpu_tasks_at_split, t, y),
             side_spans=side_spans,
         )
+        if run.tracer is not None:
+            self._note_conformance(run, result, advanced_plan=plan)
+        return result
 
     # ------------------------------------------------------------------
     # §7 extension: advanced strategy with a parallel-kernel GPU tail
@@ -490,6 +496,116 @@ class ScheduleExecutor:
                 iv for card in cards for iv in card.trace.intervals
             ),
             recovery=result.recovery,
+        )
+
+
+    # ------------------------------------------------------------------
+    # model-conformance oracle (traced runs only; pure observation)
+    # ------------------------------------------------------------------
+    def _model_context(self):
+        """The run's :class:`~repro.core.model.context.ModelContext`,
+        cached per executor; ``None`` when the workload is irregular."""
+        ctx = getattr(self, "_oracle_ctx", False)
+        if ctx is False:
+            from repro.core.schedule.advanced import AdvancedSchedule
+
+            try:
+                ctx = AdvancedSchedule._context(
+                    self.workload, self.hpu.parameters
+                )
+            except ScheduleError:
+                ctx = None
+            self._oracle_ctx = ctx
+        return ctx
+
+    def _note_conformance(
+        self, run: "_Run", result: HybridRunResult,
+        advanced_plan=None, basic_plan=None,
+    ) -> None:
+        """Record predicted-vs-simulated residuals for one traced run.
+
+        Evaluates the analytical model at the run's *own* operating
+        point (the integerized ``(α, y)`` / crossover actually
+        executed), records the absolute and relative makespan residuals
+        as metrics, and attaches the oracle's numbers to the run's
+        trace record.  Pure arithmetic on already-simulated values: no
+        events, no randomness, so traced results stay bit-identical to
+        untraced ones.  Degraded runs (CPU fallback after a GPU loss)
+        are skipped — their makespan is a recovery artifact, not a
+        model subject.
+        """
+        if result.recovery:
+            return
+        ctx = self._model_context()
+        if ctx is None:
+            return
+        from repro.core.model.oracle import advanced_report, basic_report
+        from repro.errors import ModelError
+
+        try:
+            if advanced_plan is not None:
+                report = advanced_report(
+                    ctx,
+                    advanced_plan.effective_alpha,
+                    advanced_plan.transfer_level,
+                    result.makespan,
+                )
+            else:
+                report = basic_report(
+                    ctx,
+                    basic_plan.crossover,
+                    basic_plan.use_gpu,
+                    result.makespan,
+                )
+        except ModelError:
+            return  # operating point outside the model's admissible region
+        tracer = run.tracer
+        oracle = getattr(self, "_oracle_metrics", None)
+        if oracle is None or oracle[0] is not tracer.metrics:
+            metrics = tracer.metrics
+            oracle = self._oracle_metrics = (
+                metrics,
+                metrics.histogram(
+                    "model.residual_abs",
+                    help="per-run |predicted - simulated| makespan (ops)",
+                ),
+                metrics.histogram(
+                    "model.residual_rel",
+                    help="per-run |predicted - simulated| / simulated",
+                ),
+                metrics.histogram(
+                    "model.residual_rel_signed",
+                    help=(
+                        "per-run (predicted - simulated) / simulated; "
+                        "positive = model optimistic"
+                    ),
+                ),
+                {},
+            )
+        _m, h_abs, h_rel, h_signed, keys = oracle
+        lk = keys.get(report.strategy)
+        if lk is None:
+            lk = keys[report.strategy] = _metric_label_key(
+                platform=self.hpu.name,
+                strategy=report.strategy,
+                workload=self.workload.name,
+            )
+        h_abs.observe_at(lk, report.residual_abs)
+        h_rel.observe_at(lk, report.residual_rel)
+        h_signed.observe_at(lk, report.residual_rel_signed)
+        # Attach the oracle numbers to the run's trace record, so every
+        # run segment in the exported trace carries its conformance.
+        record = tracer.runs[run._ri]
+        record.attrs.update(
+            strategy=report.strategy,
+            predicted_makespan=report.predicted,
+            residual=report.residual,
+            residual_rel=report.residual_rel,
+            residual_rel_signed=report.residual_rel_signed,
+            model_tc=report.tc,
+            model_tg_max=report.tg_max,
+            model_crossover=report.crossover,
+            closed_form=report.closed_form,
         )
 
 

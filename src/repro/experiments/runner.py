@@ -79,6 +79,8 @@ def _build_manifest(
     outputs: Dict[str, Optional[str]],
     session=None,
     jobs: int = 1,
+    conformance: Optional[dict] = None,
+    analysis: Optional[dict] = None,
 ):
     """Assemble the RunManifest for this invocation."""
     import os
@@ -119,6 +121,8 @@ def _build_manifest(
             if session is not None
             else []
         ),
+        conformance=conformance or {},
+        analysis=analysis or {},
     )
 
 
@@ -245,6 +249,24 @@ def main(argv=None) -> int:
         help="write a run manifest even without --trace-out/--metrics-out",
     )
     parser.add_argument(
+        "--check-model",
+        nargs="?",
+        const="default",
+        default=None,
+        metavar="BAND",
+        help="check every basic/advanced run against the analytical "
+        "model at its own (α, y): activates tracing, records "
+        "predicted-vs-simulated residuals in the manifest, and prints "
+        "the conformance summary; BAND overrides the committed "
+        "mean-relative-residual band (gate with 'repro-obs check')",
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="write a self-contained Markdown report next to the run "
+        "manifest (activates tracing and manifest emission)",
+    )
+    parser.add_argument(
         "--run-id",
         help="manifest directory name (default: <timestamp>-<experiments>)",
     )
@@ -321,7 +343,26 @@ def main(argv=None) -> int:
                      f"got {args.jobs!r}")
 
     # -- observability setup -------------------------------------------
-    tracing_on = args.trace_out is not None or args.metrics_out is not None
+    residual_band = None
+    if args.check_model is not None:
+        if args.check_model == "default":
+            from repro.core.model.oracle import DEFAULT_RESIDUAL_BAND
+
+            residual_band = DEFAULT_RESIDUAL_BAND
+        else:
+            try:
+                residual_band = float(args.check_model)
+            except ValueError:
+                parser.error(
+                    f"--check-model: expected a number, "
+                    f"got {args.check_model!r}"
+                )
+    tracing_on = (
+        args.trace_out is not None
+        or args.metrics_out is not None
+        or args.check_model is not None
+        or args.report
+    )
     emit_manifest = tracing_on or args.manifest
     tracer = None
     if tracing_on:
@@ -408,15 +449,56 @@ def main(argv=None) -> int:
 
         print()
         print(ascii_report(tracer))
+
+    # -- conformance + trace analysis ----------------------------------
+    conformance = None
+    analysis = None
+    if tracer is not None:
+        from repro.core.model.oracle import (
+            DEFAULT_RESIDUAL_BAND,
+            conformance_from_attrs,
+        )
+        from repro.obs.analysis import analyze, longest_run
+
+        conformance = conformance_from_attrs(
+            ((record.label, record.attrs) for record in tracer.runs),
+            band=(
+                residual_band
+                if residual_band is not None
+                else DEFAULT_RESIDUAL_BAND
+            ),
+        )
+        headline = longest_run(tracer)
+        if headline is not None:
+            analysis = analyze(tracer, run=headline).summary()
+        if args.check_model is not None:
+            print(
+                f"conformance: {conformance['verdict']} — "
+                f"{conformance['checks']} runs checked, mean rel "
+                f"residual {conformance['mean_rel_residual']:.4g} "
+                f"(band {conformance['band']:.4g}), max signed "
+                f"{conformance['max_signed_rel_residual']:.4g}"
+            )
+
     if emit_manifest:
         run_id = args.run_id or (
             time.strftime("%Y%m%d-%H%M%S") + "-" + "+".join(selected)
         )
+        run_dir = args.results_dir / run_id
+        if args.report:
+            # Recorded in the manifest, so written before it.
+            outputs["report"] = str(run_dir / "report.md")
         manifest = _build_manifest(
             args, argv, selected, results, tracer, run_id, outputs,
             session=session, jobs=engine.jobs,
+            conformance=conformance, analysis=analysis,
         )
-        path = manifest.write(args.results_dir / run_id / "manifest.json")
+        path = manifest.write(run_dir / "manifest.json")
+        if args.report:
+            from repro.obs.report import write_report
+
+            report_path = write_report(manifest, run_dir / "report.md")
+            print(f"report: {report_path}")
         print(f"manifest: {path}")
     return 0
 

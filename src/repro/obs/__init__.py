@@ -22,6 +22,15 @@ Quick tour::
 See ``docs/OBSERVABILITY.md`` for the full walkthrough.
 """
 
+from repro.obs.analysis import (
+    Bubble,
+    CriticalStep,
+    DeviceUsage,
+    LevelUsage,
+    TraceAnalysis,
+    analyze,
+    longest_run,
+)
 from repro.obs.export import (
     ascii_report,
     chrome_trace,
@@ -29,7 +38,9 @@ from repro.obs.export import (
     write_chrome_trace,
     write_metrics,
 )
+from repro.obs.index import append_entry, index_line, load_index
 from repro.obs.manifest import RunManifest, platform_manifest
+from repro.obs.report import render_html, render_markdown, write_report
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracer import (
     Instant,
@@ -62,4 +73,17 @@ __all__ = [
     "ascii_report",
     "RunManifest",
     "platform_manifest",
+    "TraceAnalysis",
+    "DeviceUsage",
+    "LevelUsage",
+    "Bubble",
+    "CriticalStep",
+    "analyze",
+    "longest_run",
+    "append_entry",
+    "index_line",
+    "load_index",
+    "render_markdown",
+    "render_html",
+    "write_report",
 ]

@@ -174,7 +174,13 @@ def write_chrome_trace(path: Union[str, Path], tracer: Tracer) -> Path:
 # metrics
 # ----------------------------------------------------------------------
 def metrics_json(source: Union[Tracer, MetricsRegistry]) -> dict:
-    """Flat JSON document for a registry (or a tracer's registry)."""
+    """Flat JSON document for a registry (or a tracer's registry).
+
+    An empty registry is a valid input and yields a well-formed document
+    with empty ``summary``/``metrics`` maps.  The document is serialized
+    key-sorted by :func:`write_metrics`, so identical runs produce
+    byte-identical metrics files.
+    """
     registry = source.metrics if isinstance(source, Tracer) else source
     return {
         "format": "repro.obs.metrics/v1",
@@ -189,7 +195,9 @@ def write_metrics(
     """Serialize :func:`metrics_json` to ``path``; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(metrics_json(source), indent=2) + "\n")
+    path.write_text(
+        json.dumps(metrics_json(source), indent=2, sort_keys=True) + "\n"
+    )
     return path
 
 
@@ -216,11 +224,26 @@ def ascii_report(tracer: Tracer, width: int = 72) -> str:
         for device in tracer.devices()
     }
     lanes = {name: iv for name, iv in lanes.items() if iv}
-    parts = [
+    header = (
         f"trace {tracer.name!r}: {len(tracer.spans)} spans over "
-        f"{len(tracer.runs)} run(s), times in simulated ops",
-        render_timeline(lanes, width=width),
-    ]
+        f"{len(tracer.runs)} run(s), times in simulated ops"
+    )
+    # Degenerate traces happen legitimately (all spans zero-length, e.g.
+    # a schedule whose makespan rounds to 0): there is no horizon to
+    # draw, so return a well-formed report instead of asking the Gantt
+    # renderer to divide by it.
+    horizon = max(
+        (
+            end
+            for iv in lanes.values()
+            for start, end in iv
+            if end > start  # zero-length spans draw nothing
+        ),
+        default=0.0,
+    )
+    if not lanes or horizon <= 0:
+        return header + "\n(degenerate trace: zero-length timeline)"
+    parts = [header, render_timeline(lanes, width=width)]
 
     per_level: Dict[str, Dict[int, float]] = {}
     for span in tracer.spans:

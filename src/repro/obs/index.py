@@ -1,0 +1,102 @@
+"""The persistent run index: ``results/index.jsonl``.
+
+Every :meth:`~repro.obs.manifest.RunManifest.write` appends one compact
+JSON line to the index sitting next to the run directories, so a
+results tree accumulates a queryable ledger of everything ever run into
+it — what ``repro-obs list`` prints and ``repro-obs diff`` resolves run
+ids against.
+
+Lines are append-only and self-contained: re-running a run id appends a
+*new* line (the loader keeps the last one per id) rather than rewriting
+history, which keeps concurrent appends safe-ish (one ``O_APPEND``
+write per run) and the file useful as a plain audit log.  Every line is
+key-sorted compact JSON, so identical runs produce byte-identical lines
+and CI can compare indexes with ``cmp``.
+
+Process-parallel sweeps stay deterministic by construction: workers
+never write manifests — the parent process writes exactly one manifest
+(hence one index line) per invocation after absorbing worker results,
+so ``--jobs N`` and ``--jobs 1`` append the same line.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+#: File name of the index, created next to the run directories.
+INDEX_NAME = "index.jsonl"
+
+
+def index_path_for(manifest_path: Union[str, Path]) -> Path:
+    """Index location for a manifest at ``results/<run-id>/manifest.json``
+    — the grandparent's ``index.jsonl``."""
+    return Path(manifest_path).resolve().parent.parent / INDEX_NAME
+
+
+def index_line(manifest, manifest_path: Union[str, Path]) -> dict:
+    """The compact index entry for one written manifest (key-sorted).
+
+    Carries just enough to list, select and sanity-check runs without
+    opening their manifests; ``manifest`` is the path relative to the
+    index file so the index survives moving the results tree.
+    """
+    manifest_path = Path(manifest_path).resolve()
+    index_path = index_path_for(manifest_path)
+    try:
+        rel = manifest_path.relative_to(index_path.parent)
+    except ValueError:  # manifest outside the tree: keep it absolute
+        rel = manifest_path
+    conformance = manifest.conformance or {}
+    return {
+        "conformance": conformance.get("verdict", ""),
+        "created_unix": manifest.created_unix,
+        "experiments": list(manifest.experiments),
+        "fast": manifest.fast,
+        "jobs": manifest.jobs,
+        "manifest": rel.as_posix(),
+        "recovery_actions": len(manifest.recovery),
+        "run_id": manifest.run_id,
+        "schema_version": manifest.schema_version,
+        "seed": manifest.seed,
+    }
+
+
+def dumps_line(entry: dict) -> str:
+    """One byte-stable index line (sorted keys, compact separators)."""
+    return json.dumps(entry, sort_keys=True, separators=(",", ":"))
+
+
+def append_entry(manifest, manifest_path: Union[str, Path]) -> Path:
+    """Append the manifest's index line; returns the index path."""
+    index_path = index_path_for(manifest_path)
+    index_path.parent.mkdir(parents=True, exist_ok=True)
+    line = dumps_line(index_line(manifest, manifest_path))
+    with open(index_path, "a") as fh:
+        fh.write(line + "\n")
+    return index_path
+
+
+def load_index(results_dir: Union[str, Path]) -> List[dict]:
+    """Entries of ``<results_dir>/index.jsonl``, last-write-wins per id.
+
+    Preserves first-appended order of the surviving entries; a missing
+    index is an empty list (a results tree nobody has written to yet).
+    Blank lines are skipped so hand-edits cannot brick the tools.
+    """
+    index_path = Path(results_dir) / INDEX_NAME
+    if not index_path.exists():
+        return []
+    latest: Dict[str, dict] = {}
+    order: List[str] = []
+    for raw in index_path.read_text().splitlines():
+        raw = raw.strip()
+        if not raw:
+            continue
+        entry = json.loads(raw)
+        run_id = entry.get("run_id", "")
+        if run_id not in latest:
+            order.append(run_id)
+        latest[run_id] = entry
+    return [latest[run_id] for run_id in order]

@@ -22,6 +22,15 @@ from typing import Dict, List, Optional, Union
 #: Format marker checked on load (bump on incompatible changes).
 MANIFEST_FORMAT = "repro.obs.manifest/v1"
 
+#: Schema version written into new manifests.  Unlike the format marker
+#: (which gates *incompatible* layouts), the schema version counts
+#: additive evolutions: readers accept any version and ignore keys they
+#: do not know, so a v2 reader loads v1 files (missing fields default)
+#: and a v1 reader loads v2 files (extra keys skipped).  v1: PR-2
+#: manifests.  v2: adds ``schema_version``, ``conformance``,
+#: ``analysis``; writes are key-sorted and append an index line.
+SCHEMA_VERSION = 2
+
 
 def platform_manifest(hpu) -> dict:
     """The calibrated parameter sheet of one HPU preset.
@@ -87,6 +96,17 @@ class RunManifest:
     #: Recovery actions taken across the run (retries, timeouts, CPU
     #: fallbacks), as ``RecoveryAction.to_dict()`` entries in order.
     recovery: List[dict] = field(default_factory=list)
+    #: Additive schema evolution counter (see :data:`SCHEMA_VERSION`).
+    schema_version: int = SCHEMA_VERSION
+    #: Model-conformance block (``repro.core.model.oracle.
+    #: conformance_summary``): predicted-vs-simulated residual
+    #: aggregates and the ok/warn verdict.  Empty when the run was not
+    #: checked against the model.
+    conformance: Dict[str, object] = field(default_factory=dict)
+    #: Trace-analytics block (``repro.obs.analysis.TraceAnalysis.
+    #: summary`` of the sweep's longest run): per-device and per-level
+    #: utilization, bubbles, critical path.  Empty when untraced.
+    analysis: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -110,11 +130,21 @@ class RunManifest:
             "outputs": self.outputs,
             "fault_plan": self.fault_plan,
             "recovery": self.recovery,
+            "schema_version": self.schema_version,
+            "conformance": self.conformance,
+            "analysis": self.analysis,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunManifest":
-        """Inverse of :meth:`to_dict`; validates the format marker."""
+        """Inverse of :meth:`to_dict`; validates the format marker.
+
+        Forward-compatible by construction: keys are picked explicitly,
+        so a manifest written by a *newer* schema version (extra keys,
+        higher ``schema_version``) still loads — the unknown keys are
+        ignored and the known ones keep their meaning.  Manifests from
+        before the field default to ``schema_version`` 1.
+        """
         fmt = data.get("format")
         if fmt != MANIFEST_FORMAT:
             raise ValueError(
@@ -140,14 +170,31 @@ class RunManifest:
             outputs=data.get("outputs", {}),
             fault_plan=data.get("fault_plan", {}),
             recovery=data.get("recovery", []),
+            schema_version=data.get("schema_version", 1),
+            conformance=data.get("conformance", {}),
+            analysis=data.get("analysis", {}),
         )
 
     # ------------------------------------------------------------------
-    def write(self, path: Union[str, Path]) -> Path:
-        """Serialize to ``path`` (parent directories created)."""
+    def write(self, path: Union[str, Path], index: bool = True) -> Path:
+        """Serialize to ``path`` (parent directories created).
+
+        Output is key-sorted, so two identical runs produce
+        byte-identical manifests.  Unless ``index=False``, a compact
+        line for the run is also appended to the results directory's
+        ``index.jsonl`` (the manifest's grandparent — the layout is
+        ``results/<run-id>/manifest.json``), which is what ``repro-obs
+        list``/``diff`` enumerate.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        if index:
+            from repro.obs.index import append_entry  # lazy: no cycle
+
+            append_entry(self, path)
         return path
 
     @classmethod

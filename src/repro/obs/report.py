@@ -1,0 +1,174 @@
+"""Self-contained per-run reports (Markdown / HTML) from manifests.
+
+A report is generated **from the manifest alone** — no trace file, no
+registry, no live tracer — so ``repro-obs report`` can (re)build it for
+any indexed run, including runs produced on another machine.  The
+manifest's ``conformance`` and ``analysis`` blocks carry everything the
+report needs; sections for data the run did not record are simply
+omitted.
+
+The Markdown output is deterministic for a fixed manifest (section
+order, key order and float formatting are all pinned), so reports can
+be diffed like any other run artifact.  The HTML variant wraps the same
+content in a minimal standalone page (inline CSS, no external assets).
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.obs.manifest import RunManifest
+
+
+def _fmt(value: object) -> str:
+    """Stable scalar rendering: floats via ``%g``, the rest via str."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    return format(value, "g")
+
+
+def _kv_table(data: dict) -> List[str]:
+    """A two-column Markdown table of one flat mapping (key-sorted)."""
+    lines = ["| key | value |", "| --- | --- |"]
+    for key in sorted(data):
+        value = data[key]
+        if isinstance(value, (dict, list)):
+            value = json.dumps(value, sort_keys=True)
+        lines.append(f"| `{key}` | {_fmt(value)} |")
+    return lines
+
+
+def render_markdown(manifest: RunManifest) -> str:
+    """The full Markdown report for one run manifest."""
+    lines: List[str] = [
+        f"# Run report: {manifest.run_id}",
+        "",
+        f"- experiments: {', '.join(manifest.experiments) or '(none)'}",
+        f"- fast mode: {manifest.fast}",
+        f"- seed: {manifest.seed}  ·  noise amplitude: "
+        f"{_fmt(manifest.noise_amplitude)}",
+        f"- jobs: {manifest.jobs}  ·  schema v{manifest.schema_version}"
+        f"  ·  repro {manifest.repro_version}",
+    ]
+
+    conformance = manifest.conformance
+    if conformance:
+        verdict = conformance.get("verdict", "?")
+        lines += [
+            "",
+            f"## Model conformance — **{verdict}**",
+            "",
+            f"{_fmt(conformance.get('checks', 0))} runs checked against "
+            "the analytical model at their own operating points "
+            "(residual = predicted − simulated makespan).",
+            "",
+            f"- mean relative residual: "
+            f"{_fmt(conformance.get('mean_rel_residual', 0.0))}"
+            f" (band: {_fmt(conformance.get('band', 0.0))})",
+            f"- max relative residual: "
+            f"{_fmt(conformance.get('max_rel_residual', 0.0))}",
+            f"- max signed relative residual: "
+            f"{_fmt(conformance.get('max_signed_rel_residual', 0.0))}"
+            f" (optimism tolerance: "
+            f"{_fmt(conformance.get('optimism_tol', 0.0))})",
+        ]
+        worst = conformance.get("worst") or {}
+        if worst:
+            lines += ["", "### Worst run", ""]
+            lines += _kv_table(worst)
+
+    analysis = manifest.analysis
+    if analysis:
+        lines += [
+            "",
+            f"## Trace analysis — {analysis.get('label', '(run)')}",
+            "",
+            f"- horizon: {_fmt(analysis.get('horizon', 0.0))} ops",
+            f"- critical path: {_fmt(analysis.get('critical_steps', 0))} "
+            f"spans, {_fmt(analysis.get('critical_time', 0.0))} ops "
+            f"({_fmt(analysis.get('critical_coverage', 0.0))} of horizon)",
+            f"- transfers: {_fmt(analysis.get('transfer_count', 0))} in "
+            f"{_fmt(analysis.get('transfer_time', 0.0))} ops",
+            f"- idle bubbles: {_fmt(analysis.get('bubble_count', 0))}",
+        ]
+        utilization = analysis.get("utilization") or {}
+        if utilization:
+            lines += ["", "### Device utilization", ""]
+            lines += _kv_table(utilization)
+        levels = analysis.get("levels") or {}
+        if levels:
+            lines += ["", "### Per-level utilization (device:level)", ""]
+            lines += _kv_table(levels)
+
+    if manifest.recovery:
+        lines += [
+            "",
+            f"## Recovery ledger — {len(manifest.recovery)} action(s)",
+            "",
+        ]
+        for action in manifest.recovery:
+            lines.append(
+                "- " + json.dumps(action, sort_keys=True, default=str)
+            )
+
+    if manifest.results:
+        lines += ["", "## Experiment notes"]
+        for key in sorted(manifest.results):
+            entry = manifest.results[key]
+            lines += ["", f"### {entry.get('title', key)}", ""]
+            for note in entry.get("notes", []):
+                lines.append(f"- {note}")
+
+    if manifest.metrics_summary:
+        lines += ["", "## Metric totals", ""]
+        lines += _kv_table(manifest.metrics_summary)
+
+    lines.append("")
+    return "\n".join(lines)
+
+
+_HTML_PAGE = """<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+body {{ font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto;
+       max-width: 60rem; padding: 0 1rem; color: #1a1a1a; }}
+pre {{ background: #f6f8fa; padding: 1rem; overflow-x: auto;
+      border-radius: 6px; }}
+</style>
+</head>
+<body>
+<pre>{body}</pre>
+</body>
+</html>
+"""
+
+
+def render_html(manifest: RunManifest) -> str:
+    """Standalone HTML wrapping of :func:`render_markdown`."""
+    return _HTML_PAGE.format(
+        title=_html.escape(f"Run report: {manifest.run_id}"),
+        body=_html.escape(render_markdown(manifest)),
+    )
+
+
+def write_report(
+    manifest: RunManifest,
+    path: Union[str, Path],
+    fmt: str = "md",
+) -> Path:
+    """Write the report (``fmt``: ``"md"`` or ``"html"``) to ``path``."""
+    if fmt not in ("md", "html"):
+        raise ValueError(f"unknown report format {fmt!r} (md or html)")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    content = (
+        render_markdown(manifest) if fmt == "md" else render_html(manifest)
+    )
+    path.write_text(content)
+    return path

@@ -127,6 +127,82 @@ class TestPrediction:
         assert predict_multicore_time(ctx) > ctx.total_work() / ctx.params.p
 
 
+class TestPredictionEdgeCases:
+    """Boundary behaviour of predict_hybrid_time: α ∈ {0, 1}, y on an
+    integer level boundary, and agreement with the closed forms."""
+
+    def test_alpha_zero_rejected(self):
+        with pytest.raises(ModelError):
+            predict_hybrid_time(mergesort_ctx(), alpha=0.0)
+
+    def test_alpha_one_degenerates_to_multicore(self):
+        """α = 1 is admissible (the CPU takes the whole tree); with the
+        GPU boundary pushed to the leaves the hybrid prediction must
+        collapse to the CPU-only breadth-first time exactly."""
+        ctx = mergesort_ctx()
+        t = predict_hybrid_time(ctx, alpha=1.0, y=float(ctx.k))
+        assert t == pytest.approx(predict_multicore_time(ctx), rel=1e-12)
+
+    def test_alpha_above_one_rejected(self):
+        with pytest.raises(ModelError):
+            predict_hybrid_time(mergesort_ctx(), alpha=1.0 + 1e-9)
+
+    def test_integer_level_boundary(self):
+        """Crossing an integer level must stay continuous from below; a
+        hair above, the only admissible step is the one-round floor
+        (an ε-wide residual level still costs one full round on p
+        cores — ``max(width/p, 1)``), never more."""
+        ctx = mergesort_ctx()
+        for j in (ctx.k - 3, ctx.k - 5):
+            below = predict_hybrid_time(ctx, alpha=0.16, y=j - 1e-9)
+            exact = predict_hybrid_time(ctx, alpha=0.16, y=float(j))
+            above = predict_hybrid_time(ctx, alpha=0.16, y=j + 1e-9)
+            assert below == pytest.approx(exact, rel=1e-9)
+            step = above - exact
+            assert 0.0 <= step <= ctx.level_cost[j] * (1 + 1e-9)
+
+    def test_monotone_in_y(self):
+        """Raising y (GPU stops deeper in the tree) can only shift work
+        back to the CPU tail — time is non-decreasing in y."""
+        ctx = mergesort_ctx()
+        times = [
+            predict_hybrid_time(ctx, alpha=0.16, y=half / 2.0)
+            for half in range(2, 2 * ctx.k + 1)
+        ]
+        assert all(a <= b + 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_tc_matches_closed_form_exactly(self):
+        """For the balanced family each internal level contributes the
+        same work, so the numeric climb sum telescopes to the paper's
+        formula with no discretization error at all."""
+        from repro.core.model.advanced import AdvancedModel
+        from repro.core.model.closedform import ClosedFormModel
+
+        ctx = mergesort_ctx()
+        adv, closed = AdvancedModel(ctx), ClosedFormModel(ctx)
+        for alpha in (0.05, 0.16, 0.3, 0.6, 0.9):
+            assert adv.tc(alpha) == pytest.approx(
+                closed.tc(alpha), rel=1e-12
+            )
+
+    def test_solve_y_and_gpu_work_match_closed_form(self):
+        """solve_y interpolates the GPU curve linearly between integer
+        levels while the closed form is exact in the unsaturated region,
+        so agreement is within a tenth of a level / 1% of work."""
+        from repro.core.model.advanced import AdvancedModel
+        from repro.core.model.closedform import ClosedFormModel
+
+        ctx = mergesort_ctx()
+        adv, closed = AdvancedModel(ctx), ClosedFormModel(ctx)
+        for alpha in (0.05, 0.16, 0.3, 0.6, 0.9):
+            assert adv.solve_y(alpha) == pytest.approx(
+                closed.solve_y(alpha), abs=0.1
+            )
+            assert adv.gpu_work(alpha) == pytest.approx(
+                closed.gpu_work(alpha), rel=0.01
+            )
+
+
 class TestMasterTheorem:
     def test_mergesort_balanced(self):
         result = classify_recurrence(2, 2, lambda n: n)

@@ -1,0 +1,255 @@
+"""Model-conformance oracle: reports, verdicts, executor wiring."""
+
+import math
+
+import pytest
+
+from repro.core.model import (
+    DEFAULT_RESIDUAL_BAND,
+    OPTIMISM_TOLERANCE,
+    ConformanceReport,
+    ModelContext,
+    advanced_report,
+    basic_report,
+    conformance_from_attrs,
+    conformance_summary,
+    conformance_verdict,
+    predict_basic_time,
+    predict_hybrid_time,
+)
+from repro.core.model.prediction import predict_multicore_time
+from repro.errors import ModelError
+from repro.hpu.hpu import HPUParameters
+
+HPU1_PARAMS = HPUParameters(p=4, g=2**12, gamma=1 / 160)
+
+
+def mergesort_ctx(n=2**12, params=HPU1_PARAMS):
+    return ModelContext(a=2, b=2, n=n, f=lambda m: m, params=params)
+
+
+class TestConformanceReport:
+    def test_residual_signs_and_magnitudes(self):
+        report = ConformanceReport(
+            strategy="advanced", alpha=0.2, y=10.0,
+            predicted=80.0, measured=100.0,
+        )
+        assert report.residual == -20.0
+        assert report.residual_abs == 20.0
+        assert report.residual_rel == pytest.approx(0.2)
+        assert report.residual_rel_signed == pytest.approx(-0.2)
+
+    def test_zero_makespan_rel_residual_is_zero(self):
+        report = ConformanceReport(
+            strategy="basic", alpha=None, y=None,
+            predicted=5.0, measured=0.0,
+        )
+        assert report.residual_rel == 0.0
+        assert report.residual_rel_signed == 0.0
+
+    def test_to_dict_key_sorted(self):
+        d = ConformanceReport(
+            strategy="advanced", alpha=0.2, y=10.0,
+            predicted=80.0, measured=100.0,
+        ).to_dict()
+        assert list(d) == sorted(d)
+
+    def test_verdict_within_band(self):
+        ok = ConformanceReport(
+            strategy="advanced", alpha=0.2, y=10.0,
+            predicted=70.0, measured=100.0,
+        )
+        assert ok.verdict() == "ok"
+
+    def test_verdict_optimistic_prediction_warns(self):
+        # Prediction 10% *above* measurement: the cost-blind model can
+        # never legitimately err in that direction beyond noise.
+        bad = ConformanceReport(
+            strategy="advanced", alpha=0.2, y=10.0,
+            predicted=110.0, measured=100.0,
+        )
+        assert bad.verdict() == "warn"
+
+
+class TestVerdict:
+    def test_mean_inside_band_is_ok(self):
+        assert conformance_verdict(DEFAULT_RESIDUAL_BAND) == "ok"
+        assert conformance_verdict(0.0) == "ok"
+
+    def test_mean_outside_band_warns(self):
+        assert conformance_verdict(DEFAULT_RESIDUAL_BAND + 1e-9) == "warn"
+
+    def test_optimism_guard(self):
+        assert conformance_verdict(0.1, OPTIMISM_TOLERANCE) == "ok"
+        assert (
+            conformance_verdict(0.1, OPTIMISM_TOLERANCE + 1e-9) == "warn"
+        )
+
+    def test_summary_block_keys_sorted_and_verdict(self):
+        block = conformance_summary(
+            checks=3, max_rel=0.9, mean_rel=0.4, max_abs=100.0,
+            max_signed_rel=0.01,
+        )
+        assert list(block) == sorted(block)
+        assert block["verdict"] == "ok"
+        warn = conformance_summary(
+            checks=3, max_rel=0.9, mean_rel=0.7, max_abs=100.0,
+            max_signed_rel=0.01,
+        )
+        assert warn["verdict"] == "warn"
+
+    def test_empty_summary_is_ok(self):
+        block = conformance_summary(
+            checks=0, max_rel=0.0, mean_rel=0.0, max_abs=0.0
+        )
+        assert block["verdict"] == "ok"
+        assert block["max_signed_rel_residual"] == 0.0
+
+
+class TestPredictBasicTime:
+    def test_cpu_only_equals_multicore_prediction(self):
+        ctx = mergesort_ctx()
+        assert predict_basic_time(ctx, 0, use_gpu=False) == pytest.approx(
+            predict_multicore_time(ctx)
+        )
+
+    def test_crossover_extremes(self):
+        ctx = mergesort_ctx()
+        # crossover = k: GPU only takes the leaves; crossover = 0: GPU
+        # takes everything.  Both are admissible single-device splits.
+        all_cpu_internal = predict_basic_time(ctx, ctx.k)
+        all_gpu = predict_basic_time(ctx, 0)
+        assert all_cpu_internal > 0 and all_gpu > 0
+
+    def test_crossover_out_of_range_raises(self):
+        ctx = mergesort_ctx()
+        with pytest.raises(ModelError):
+            predict_basic_time(ctx, -1)
+        with pytest.raises(ModelError):
+            predict_basic_time(ctx, ctx.k + 1)
+
+
+class TestReports:
+    def test_advanced_report_matches_prediction(self):
+        ctx = mergesort_ctx()
+        alpha, y = 0.25, float(ctx.k - 2)
+        predicted = predict_hybrid_time(ctx, alpha=alpha, y=y)
+        report = advanced_report(ctx, alpha, y, measured=predicted * 2)
+        assert report.strategy == "advanced"
+        assert report.predicted == pytest.approx(predicted)
+        assert report.closed_form  # mergesort is the balanced family
+        assert report.tc is not None and report.tg_max is not None
+        assert report.crossover == pytest.approx(math.log2(640))
+        assert report.residual_rel == pytest.approx(0.5)
+
+    def test_advanced_report_rejects_inadmissible_alpha(self):
+        ctx = mergesort_ctx()
+        with pytest.raises(ModelError):
+            advanced_report(ctx, 0.0, float(ctx.k - 2), measured=1.0)
+
+    def test_basic_report_strategies(self):
+        ctx = mergesort_ctx()
+        gpu = basic_report(ctx, crossover=ctx.k // 2, use_gpu=True,
+                           measured=1.0)
+        cpu = basic_report(ctx, crossover=0, use_gpu=False, measured=1.0)
+        assert gpu.strategy == "basic" and cpu.strategy == "cpu-only"
+        assert gpu.y == float(ctx.k // 2) and cpu.y is None
+        assert not gpu.closed_form
+
+
+class TestConformanceFromAttrs:
+    def test_aggregates_and_picks_worst(self):
+        runs = [
+            ("a", {"residual_rel": 0.2, "residual_rel_signed": -0.2,
+                   "residual": -20.0}),
+            ("b", {"residual_rel": 0.6, "residual_rel_signed": -0.6,
+                   "residual": -60.0}),
+            ("skip", {"makespan": 5.0}),  # unchecked run: ignored
+        ]
+        block = conformance_from_attrs(runs)
+        assert block["checks"] == 2
+        assert block["mean_rel_residual"] == pytest.approx(0.4)
+        assert block["max_rel_residual"] == pytest.approx(0.6)
+        assert block["max_abs_residual"] == pytest.approx(60.0)
+        assert block["worst"]["label"] == "b"
+        assert block["verdict"] == "ok"
+
+    def test_optimistic_run_flips_verdict(self):
+        runs = [
+            ("a", {"residual_rel": 0.1, "residual_rel_signed": 0.1,
+                   "residual": 10.0}),
+        ]
+        assert conformance_from_attrs(runs)["verdict"] == "warn"
+
+    def test_empty_is_ok(self):
+        block = conformance_from_attrs([])
+        assert block["checks"] == 0 and block["verdict"] == "ok"
+
+    def test_worst_attrs_json_safe(self):
+        import json
+
+        import numpy as np
+
+        runs = [
+            ("a", {"residual_rel": np.float64(0.3),
+                   "residual_rel_signed": np.float64(-0.3),
+                   "residual": np.float64(-3.0),
+                   "transfer_level": np.int64(7),
+                   "workload": "mergesort"}),
+        ]
+        block = conformance_from_attrs(runs)
+        json.dumps(block)  # must not raise
+        assert block["worst"]["transfer_level"] == 7
+
+
+class TestExecutorConformanceWiring:
+    """The executor attaches residuals to every traced model-subject
+    run — and only to those."""
+
+    def _run(self, strategy, tracer_on=True):
+        from repro.algorithms.mergesort.hybrid import (
+            make_mergesort_workload,
+        )
+        from repro.core.schedule import (
+            AdvancedSchedule,
+            BasicSchedule,
+            ScheduleExecutor,
+        )
+        from repro.hpu import PLATFORMS
+        from repro.obs.tracer import Tracer, tracing
+
+        hpu = PLATFORMS["HPU1"]
+        w = make_mergesort_workload(1 << 12)
+        with tracing(Tracer()) as tr:
+            ex = ScheduleExecutor(hpu, w, fast=True)
+            if strategy == "advanced":
+                plan = AdvancedSchedule().plan(
+                    w, hpu.parameters, alpha=0.2, transfer_level=w.k - 2
+                )
+                result = ex.run_advanced(plan)
+            else:
+                plan = BasicSchedule().plan(w, hpu.parameters)
+                result = ex.run_basic(plan)
+        return tr, result
+
+    @pytest.mark.parametrize("strategy", ["advanced", "basic"])
+    def test_traced_run_carries_residuals(self, strategy):
+        tr, result = self._run(strategy)
+        attrs = tr.runs[0].attrs
+        assert attrs["strategy"] in ("advanced", "basic", "cpu-only")
+        assert attrs["predicted_makespan"] > 0
+        assert attrs["residual_rel"] == pytest.approx(
+            abs(attrs["predicted_makespan"] - result.makespan)
+            / result.makespan
+        )
+        assert attrs["residual_rel_signed"] == pytest.approx(
+            (attrs["predicted_makespan"] - result.makespan)
+            / result.makespan
+        )
+
+    def test_residual_metrics_recorded(self):
+        tr, _result = self._run("advanced")
+        for name in ("model.residual_abs", "model.residual_rel",
+                     "model.residual_rel_signed"):
+            hist = tr.metrics.histogram(name)
+            assert sum(p.count for p in hist._points.values()) == 1

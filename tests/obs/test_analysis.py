@@ -1,0 +1,196 @@
+"""Trace analytics: utilization, transfers, bubbles, critical path."""
+
+import json
+
+import pytest
+
+from repro.obs.analysis import (
+    WORK_CATEGORIES,
+    TraceAnalysis,
+    analyze,
+    longest_run,
+)
+from repro.obs.tracer import Tracer, tracing
+
+
+def synthetic_tracer() -> Tracer:
+    """A hand-built two-device timeline with known numbers.
+
+    gpu:  [0,10] xfer  [10,30] kernel       [40,50] kernel
+    cpu:       [5,25] batch            [30,45] batch
+    Horizon 50.  gpu bubble: (30, 40).  cpu bubbles: (25, 30) and none
+    before 5 (leading idle is not a bubble).
+    """
+    tr = Tracer()
+    tr.begin_run("synthetic")
+    tr.span("h2d", "gpu.xfer", 0.0, 10.0, device="gpu", words=64)
+    tr.span("k0", "gpu.kernel", 10.0, 30.0, device="gpu", level=1)
+    tr.span("k1", "gpu.kernel", 40.0, 50.0, device="gpu", level=0)
+    tr.span("b0", "cpu.batch", 5.0, 25.0, device="cpu", level=1)
+    tr.span("b1", "cpu.batch", 30.0, 45.0, device="cpu", level=0)
+    tr.span("note", "marker", 0.0, 50.0, device="cpu")  # not work
+    tr.end_run(50.0)
+    return tr
+
+
+class TestDeviceAndLevelUsage:
+    def test_busy_idle_utilization(self):
+        a = analyze(synthetic_tracer(), run=0)
+        assert a.horizon == 50.0
+        gpu = a.device("gpu")
+        assert gpu.busy == pytest.approx(40.0)
+        assert gpu.idle == pytest.approx(10.0)
+        assert gpu.utilization == pytest.approx(0.8)
+        cpu = a.device("cpu")
+        assert cpu.busy == pytest.approx(35.0)
+        assert cpu.spans == 2  # the marker span is not work
+
+    def test_non_work_categories_excluded(self):
+        assert "marker" not in WORK_CATEGORIES
+        a = analyze(synthetic_tracer(), run=0)
+        assert {d.device for d in a.devices} == {"cpu", "gpu"}
+
+    def test_per_level_busy(self):
+        a = analyze(synthetic_tracer(), run=0)
+        by_key = {(lv.device, lv.level): lv for lv in a.levels}
+        assert by_key[("gpu", "1")].busy == pytest.approx(20.0)
+        assert by_key[("gpu", "0")].busy == pytest.approx(10.0)
+        assert by_key[("cpu", "1")].utilization == pytest.approx(0.4)
+        # numeric levels come before non-numeric, in order
+        cpu_levels = [lv.level for lv in a.levels if lv.device == "cpu"]
+        assert cpu_levels == sorted(cpu_levels, key=float)
+
+    def test_transfer_accounting(self):
+        a = analyze(synthetic_tracer(), run=0)
+        assert a.transfer_time == pytest.approx(10.0)
+        assert a.transfer_count == 1
+        assert a.transfer_words == 64
+        assert a.transfers_by_tag == (("h2d", 10.0, 1),)
+
+
+class TestBubbles:
+    def test_gaps_between_busy_intervals(self):
+        a = analyze(synthetic_tracer(), run=0)
+        gaps = {(b.device, b.start, b.end) for b in a.bubbles}
+        assert ("gpu", 30.0, 40.0) in gaps
+        assert ("cpu", 25.0, 30.0) in gaps
+        assert len(a.bubbles) == 2  # leading/trailing idle is not a gap
+
+    def test_min_bubble_filter(self):
+        a = analyze(synthetic_tracer(), run=0, min_bubble=7.0)
+        assert [(b.device, b.duration) for b in a.bubbles] == [
+            ("gpu", 10.0)
+        ]
+
+    def test_bubble_time_helper(self):
+        a = analyze(synthetic_tracer(), run=0)
+        assert a.bubble_time() == pytest.approx(15.0)
+        assert a.bubble_time("gpu") == pytest.approx(10.0)
+
+
+class TestCriticalPath:
+    def test_backward_walk(self):
+        a = analyze(synthetic_tracer(), run=0)
+        names = [s.name for s in a.critical_path]
+        # k1 ends last (50); its predecessor must end by 40 — b0 ends
+        # 25, k0 ends 30 -> k0; k0's predecessor ends by 10 -> h2d.
+        assert names == ["h2d", "k0", "k1"]
+        assert a.critical_time == pytest.approx(40.0)
+        assert a.critical_coverage == pytest.approx(0.8)
+
+    def test_deterministic_and_byte_stable(self):
+        a = analyze(synthetic_tracer(), run=0)
+        b = analyze(synthetic_tracer(), run=0)
+        assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+            b.to_dict(), sort_keys=True
+        )
+
+
+class TestDegenerateInputs:
+    def test_empty_tracer(self):
+        a = analyze(Tracer())
+        assert isinstance(a, TraceAnalysis)
+        assert a.horizon == 0.0
+        assert a.devices == () and a.critical_path == ()
+        assert a.critical_coverage == 0.0
+        assert "(no work spans)" in a.render_table()
+
+    def test_zero_length_spans(self):
+        tr = Tracer()
+        tr.span("z", "cpu.batch", 5.0, 5.0, device="cpu")
+        a = analyze(tr)
+        # A 5-op horizon exists (the span *ends* at 5) but there is no
+        # positive-length work; utilization must not divide by zero.
+        assert a.horizon == 5.0
+        assert a.device("cpu").busy == 0.0
+
+    def test_bad_run_index(self):
+        with pytest.raises(IndexError):
+            analyze(Tracer(), run=0)
+
+
+class TestWholeTimelineAndRuns:
+    def test_longest_run(self):
+        tr = Tracer()
+        tr.begin_run("short")
+        tr.span("s", "cpu.batch", 0.0, 5.0, device="cpu")
+        tr.end_run(5.0)
+        tr.begin_run("long")
+        tr.span("s", "cpu.batch", 0.0, 50.0, device="cpu")
+        tr.end_run(50.0)
+        assert longest_run(tr) == 1
+        assert longest_run(Tracer()) is None
+
+    def test_run_analysis_uses_run_clock(self):
+        tr = Tracer()
+        tr.begin_run("first")
+        tr.span("s", "cpu.batch", 0.0, 10.0, device="cpu")
+        tr.end_run(10.0)
+        tr.begin_run("second")
+        tr.span("s", "cpu.batch", 0.0, 20.0, device="cpu")
+        tr.end_run(20.0)
+        second = analyze(tr, run=1)
+        assert second.horizon == 20.0  # not 30 (timeline position)
+        whole = analyze(tr)
+        assert whole.horizon == 30.0
+
+    def test_real_executor_run(self):
+        from repro.algorithms.mergesort.hybrid import (
+            make_mergesort_workload,
+        )
+        from repro.core.schedule import AdvancedSchedule, ScheduleExecutor
+        from repro.hpu import PLATFORMS
+
+        hpu = PLATFORMS["HPU1"]
+        w = make_mergesort_workload(1 << 12)
+        with tracing(Tracer()) as tr:
+            ex = ScheduleExecutor(hpu, w, fast=True)
+            plan = AdvancedSchedule().plan(
+                w, hpu.parameters, alpha=0.2, transfer_level=w.k - 2
+            )
+            result = ex.run_advanced(plan)
+        a = analyze(tr, run=0)
+        # The horizon is the simulated makespan (before measurement
+        # noise, which only scales the reported number).
+        assert a.horizon == pytest.approx(result.makespan, rel=0.05)
+        assert a.transfer_count == 2  # exactly two transfers (§5.2)
+        assert a.device("gpu").utilization > 0
+        # The critical path must explain a dominant share of the run.
+        assert a.critical_coverage > 0.5
+        summary = a.summary()
+        json.dumps(summary)
+        assert list(summary) == sorted(summary)
+
+
+class TestRenderers:
+    def test_render_table_sections(self):
+        text = analyze(synthetic_tracer(), run=0).render_table()
+        assert "device occupancy" in text
+        assert "per-level busy time" in text
+        assert "transfers:" in text
+        assert "critical path:" in text
+
+    def test_to_dict_json_ready(self):
+        doc = analyze(synthetic_tracer(), run=0).to_dict()
+        json.dumps(doc)
+        assert list(doc) == sorted(doc)

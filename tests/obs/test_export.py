@@ -100,6 +100,19 @@ class TestMetricsJson:
         back = json.loads(path.read_text())
         assert back["summary"]["x"] == 1
 
+    def test_empty_registry_is_valid_document(self):
+        doc = metrics_json(MetricsRegistry())
+        assert doc["format"] == "repro.obs.metrics/v1"
+        assert doc["summary"] == {} and doc["metrics"] == {}
+        json.dumps(doc)
+
+    def test_write_is_byte_stable_and_key_sorted(self, tmp_path):
+        a = write_metrics(tmp_path / "a.json", make_tracer())
+        b = write_metrics(tmp_path / "b.json", make_tracer())
+        assert a.read_bytes() == b.read_bytes()
+        doc = json.loads(a.read_text())
+        assert list(doc["summary"]) == sorted(doc["summary"])
+
 
 class TestAsciiReport:
     def test_renders_lanes_and_levels(self):
@@ -110,3 +123,22 @@ class TestAsciiReport:
 
     def test_empty_tracer(self):
         assert "empty trace" in ascii_report(Tracer())
+
+    def test_zero_length_spans_only(self):
+        # Spans exist but none has positive duration: the timeline
+        # renderer would divide by a zero horizon, so the report must
+        # short-circuit instead of raising.
+        tr = Tracer()
+        tr.begin_run("r")
+        tr.span("z", "cpu.batch", 3.0, 3.0, device="cpu")
+        tr.end_run(3.0)
+        report = ascii_report(tr)
+        assert "degenerate trace" in report
+
+    def test_instant_only_trace(self):
+        tr = Tracer()
+        tr.begin_run("r")
+        tr.instant("mark", "autotune.sweep", 0.0, device="runs")
+        tr.end_run(0.0)
+        report = ascii_report(tr)  # must not raise
+        assert "degenerate trace" in report or "empty trace" in report

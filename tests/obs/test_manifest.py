@@ -75,6 +75,55 @@ class TestRunManifest:
         assert back.fault_plan == {} and back.recovery == []
 
 
+class TestSchemaVersion:
+    def test_new_manifests_carry_current_version(self, tmp_path):
+        from repro.obs.manifest import SCHEMA_VERSION
+
+        manifest = make_manifest()
+        assert manifest.schema_version == SCHEMA_VERSION
+        path = manifest.write(tmp_path / "manifest.json", index=False)
+        back = RunManifest.load(path)
+        assert back.schema_version == SCHEMA_VERSION
+
+    def test_v1_manifest_defaults_to_version_1(self):
+        """PR-2 era manifests predate the field."""
+        data = make_manifest().to_dict()
+        for key in ("schema_version", "conformance", "analysis"):
+            del data[key]
+        back = RunManifest.from_dict(data)
+        assert back.schema_version == 1
+        assert back.conformance == {} and back.analysis == {}
+
+    def test_forward_compat_unknown_keys_tolerated(self, tmp_path):
+        """A manifest written by a *future* schema still loads: higher
+        version number kept, unknown keys ignored, known keys intact."""
+        data = make_manifest().to_dict()
+        data["schema_version"] = 99
+        data["some_future_block"] = {"shape": ["of", "things"]}
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(data))
+        back = RunManifest.load(path)
+        assert back.schema_version == 99
+        assert back.run_id == "test-run"
+        assert not hasattr(back, "some_future_block")
+
+    def test_conformance_and_analysis_round_trip(self, tmp_path):
+        manifest = make_manifest()
+        manifest.conformance = {"verdict": "ok", "checks": 3}
+        manifest.analysis = {"horizon": 10.0, "utilization": {"gpu": 0.9}}
+        path = manifest.write(tmp_path / "manifest.json", index=False)
+        back = RunManifest.load(path)
+        assert back.conformance == manifest.conformance
+        assert back.analysis == manifest.analysis
+
+    def test_write_is_byte_stable(self, tmp_path):
+        """Key-sorted serialization: identical manifests, identical
+        bytes — the property repro-obs diff and CI cmp rely on."""
+        a = make_manifest().write(tmp_path / "a.json", index=False)
+        b = make_manifest().write(tmp_path / "b.json", index=False)
+        assert a.read_bytes() == b.read_bytes()
+
+
 class TestRunnerIntegration:
     def test_trace_metrics_manifest_flow(self, tmp_path, capsys):
         # table1 is the cheapest experiment that still builds platforms.
