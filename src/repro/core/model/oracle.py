@@ -274,8 +274,10 @@ def conformance_from_attrs(
             continue
         checks += 1
         total_rel += rel
-        signed = attrs.get("residual_rel_signed", 0.0)
-        if signed > max_signed:
+        # Entries without the signed field (older writers) must not
+        # contribute a fake 0.0 that masks a negative population max.
+        signed = attrs.get("residual_rel_signed")
+        if signed is not None and signed > max_signed:
             max_signed = signed
         abs_residual = abs(attrs.get("residual", 0.0))
         if abs_residual > max_abs:
@@ -326,7 +328,9 @@ def conformance_summary(
         "max_abs_residual": max_abs,
         "max_rel_residual": max_rel,
         "max_signed_rel_residual": (
-            max_signed_rel if checks else 0.0
+            # -inf is the "no signed data" sentinel (no checks, or no
+            # entry carried the signed field); keep the block JSON-safe.
+            max_signed_rel if max_signed_rel > float("-inf") else 0.0
         ),
         "mean_rel_residual": mean_rel,
         "optimism_tol": OPTIMISM_TOLERANCE,

@@ -374,22 +374,28 @@ def _critical_path(
     # Deterministic ordering by (end, start, device, name).
     ordered = sorted(spans, key=lambda s: (s[3], s[2], s[4], s[0]))
     ends = [s[3] for s in ordered]
-    current = ordered[-1]
+    cur_idx = len(ordered) - 1
+    current = ordered[cur_idx]
     path = [current]
+    # Zero-length spans sharing a timestamp satisfy each other's
+    # predecessor test, so the walk must never revisit a span or it
+    # cycles between them forever.
+    visited = {cur_idx}
     while current[2] > eps:
         # Latest-ending span finishing by current.start (+eps); the sort
         # order makes "last index" the deterministic winner of end ties.
         idx = bisect_right(ends, current[2] + eps) - 1
-        predecessor = None
+        pred_idx = -1
         while idx >= 0:
-            cand = ordered[idx]
-            if cand is not current and cand[3] <= current[2] + eps:
-                predecessor = cand
+            if idx not in visited and ordered[idx][3] <= current[2] + eps:
+                pred_idx = idx
                 break
             idx -= 1
-        if predecessor is None:
+        if pred_idx < 0:
             break  # a gap the trace cannot explain: stop the chain
-        current = predecessor
+        visited.add(pred_idx)
+        cur_idx = pred_idx
+        current = ordered[cur_idx]
         path.append(current)
     path.reverse()
     return [

@@ -194,6 +194,7 @@ def _cmd_show(args) -> int:
 
 def _cmd_check(args) -> int:
     from repro.core.model.oracle import (
+        DEFAULT_RESIDUAL_BAND,
         OPTIMISM_TOLERANCE,
         conformance_verdict,
     )
@@ -208,6 +209,9 @@ def _cmd_check(args) -> int:
         )
         return 2
     band = args.band if args.band is not None else block.get("band")
+    if band is None:
+        # Foreign/older manifests may lack the band field entirely.
+        band = DEFAULT_RESIDUAL_BAND
     verdict = conformance_verdict(
         block.get("mean_rel_residual", 0.0),
         block.get("max_signed_rel_residual", float("-inf")),

@@ -83,7 +83,8 @@ def load_index(results_dir: Union[str, Path]) -> List[dict]:
 
     Preserves first-appended order of the surviving entries; a missing
     index is an empty list (a results tree nobody has written to yet).
-    Blank lines are skipped so hand-edits cannot brick the tools.
+    Blank and unparseable lines (hand-edits, a torn concurrent append)
+    are skipped so a single bad line cannot brick the tools.
     """
     index_path = Path(results_dir) / INDEX_NAME
     if not index_path.exists():
@@ -94,7 +95,12 @@ def load_index(results_dir: Union[str, Path]) -> List[dict]:
         raw = raw.strip()
         if not raw:
             continue
-        entry = json.loads(raw)
+        try:
+            entry = json.loads(raw)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(entry, dict):
+            continue
         run_id = entry.get("run_id", "")
         if run_id not in latest:
             order.append(run_id)

@@ -185,6 +185,29 @@ class TestConformanceFromAttrs:
         block = conformance_from_attrs([])
         assert block["checks"] == 0 and block["verdict"] == "ok"
 
+    def test_missing_signed_field_does_not_mask_negative_max(self):
+        # An entry without residual_rel_signed (an older writer) must
+        # not contribute a fake 0.0 that hides a negative population
+        # max — the normal direction of the cost-blind analysis.
+        runs = [
+            ("a", {"residual_rel": 0.2, "residual_rel_signed": -0.2,
+                   "residual": -20.0}),
+            ("old", {"residual_rel": 0.1, "residual": -10.0}),
+        ]
+        block = conformance_from_attrs(runs)
+        assert block["checks"] == 2
+        assert block["max_signed_rel_residual"] == pytest.approx(-0.2)
+        # No entry carries the signed field at all: the block stays
+        # JSON-safe (no -Infinity) and the optimism guard stays quiet.
+        none_signed = conformance_from_attrs(
+            [("old", {"residual_rel": 0.1, "residual": -10.0})]
+        )
+        assert none_signed["max_signed_rel_residual"] == 0.0
+        assert none_signed["verdict"] == "ok"
+        import json
+
+        json.dumps(none_signed)
+
     def test_worst_attrs_json_safe(self):
         import json
 

@@ -128,6 +128,22 @@ class TestDegenerateInputs:
         with pytest.raises(IndexError):
             analyze(Tracer(), run=0)
 
+    def test_zero_length_ties_terminate_critical_path(self):
+        # Two zero-length spans at the same timestamp satisfy each
+        # other's predecessor test; the backward walk used to bounce
+        # between them forever.  It must terminate and stay finite.
+        tr = Tracer()
+        tr.span("base", "cpu.batch", 0.0, 1.0, device="cpu")
+        tr.span("z1", "cpu.batch", 1.0, 1.0, device="cpu")
+        tr.span("z2", "cpu.batch", 1.0, 1.0, device="cpu")
+        a = analyze(tr)
+        names = [s.name for s in a.critical_path]
+        assert len(names) == len(set(names)) <= 3
+        assert names[0] == "base" and names[-1] == "z2"
+        # Still deterministic under the degenerate tie.
+        b = analyze(tr)
+        assert a.to_dict() == b.to_dict()
+
 
 class TestWholeTimelineAndRuns:
     def test_longest_run(self):

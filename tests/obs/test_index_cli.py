@@ -102,6 +102,22 @@ class TestIndex:
         (results / INDEX_NAME).write_text(f"\n{line}\n\n")
         assert len(load_index(results)) == 1
 
+    def test_corrupt_lines_skipped(self, tmp_path):
+        # A torn concurrent append or a hand-edit must not brick the
+        # whole results tree — bad lines are dropped, good ones survive.
+        results = tmp_path / "results"
+        results.mkdir()
+        line = dumps_line(
+            index_line(
+                make_manifest(), results / "run-a" / "manifest.json"
+            )
+        )
+        (results / INDEX_NAME).write_text(
+            f'{line[: len(line) // 2]}\n{line}\n"not-a-dict"\n{{bad\n'
+        )
+        entries = load_index(results)
+        assert [e["run_id"] for e in entries] == ["run-a"]
+
 
 class TestDiff:
     def test_identical_manifests_diff_empty(self):
@@ -175,6 +191,21 @@ class TestCli:
         )
         assert code == 1
         assert "warn" in capsys.readouterr().out
+
+    def test_check_foreign_block_without_band(self, tmp_path, capsys):
+        # A manifest from an older/foreign writer may carry checks but
+        # no band; the default band applies instead of a TypeError.
+        results = self._write(
+            tmp_path,
+            conformance={
+                "checks": 3,
+                "mean_rel_residual": 0.4,
+                "verdict": "ok",
+            },
+        )
+        assert main(["--results-dir", str(results), "check", "run-a"]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "band 0.6" in out
 
     def test_check_no_data(self, tmp_path, capsys):
         results = self._write(tmp_path, conformance={})
