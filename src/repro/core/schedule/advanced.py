@@ -73,6 +73,25 @@ class AdvancedPlan:
 class AdvancedSchedule:
     """Planner for the advanced strategy."""
 
+    def __init__(self) -> None:
+        # One-slot (workload, params) -> (ctx, model) cache: a tuner
+        # sweep plans hundreds of operating points against the same
+        # workload, and both objects are immutable once built.
+        self._model_cache: Optional[tuple] = None
+
+    def _model_for(self, workload: DCWorkload, params: HPUParameters):
+        cached = self._model_cache
+        if (
+            cached is not None
+            and cached[0] is workload
+            and cached[1] == params
+        ):
+            return cached[2], cached[3]
+        ctx = self._context(workload, params)
+        model = AdvancedModel(ctx)
+        self._model_cache = (workload, params, ctx, model)
+        return ctx, model
+
     def plan(
         self,
         workload: DCWorkload,
@@ -97,8 +116,7 @@ class AdvancedSchedule:
                 "the advanced strategy requires γ·g > p; use BasicSchedule "
                 "(which degenerates to CPU-only) instead"
             )
-        ctx = self._context(workload, params)
-        model = AdvancedModel(ctx)
+        ctx, model = self._model_for(workload, params)
         if alpha is None or transfer_level is None:
             solution = model.optimize()
             if alpha is None:

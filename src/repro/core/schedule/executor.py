@@ -33,7 +33,7 @@ from repro.resilience.guard import ResilienceGuard
 from repro.resilience.policies import ResilienceConfig
 from repro.resilience.runtime import active as _resilience_active
 from repro.sim import AllOf, Resource, Simulator, TeamBatch, Timeout
-from repro.sim.trace import time_at_concurrency
+from repro.sim.trace import merge_intervals, overlap_merged, time_at_concurrency
 from repro.util.intmath import ceil_div
 from repro.util.rng import NO_NOISE, NoiseModel
 
@@ -112,6 +112,13 @@ class ScheduleExecutor:
     when ``None``, the executor picks up the ambient session installed
     via :func:`repro.resilience.install`, if any.  Each run gets a
     fresh injector, so a failed run never poisons the next.
+
+    ``macro`` controls the whole-run closed-form fast path (see
+    :mod:`repro.core.schedule.macro`): ``None`` (the default) takes it
+    whenever the run is eligible — bit-identical to the DES by
+    construction — and ``False`` forces every run through the DES
+    (the ``REPRO_NO_MACRO=1`` environment variable does the same
+    process-wide).
     """
 
     def __init__(
@@ -121,23 +128,46 @@ class ScheduleExecutor:
         noise: NoiseModel = NO_NOISE,
         fast: bool = True,
         resilience: Optional[ResilienceConfig] = None,
+        macro: Optional[bool] = None,
     ) -> None:
         self.hpu = hpu
         self.workload = workload
         self.noise = noise
         self.fast = fast
         self.resilience = resilience
+        self.macro = macro
+        #: Kernel-step duration cache shared by the DES and macro paths.
+        #: KernelStep is a frozen dataclass, so steps cache by value; a
+        #: tuner sweep replays identical step shapes across hundreds of
+        #: runs.  Keyed on the primary GPU's cost model — the explicit
+        #: multi-card path (gpu_level_on) prices per device and bypasses
+        #: this cache.
+        self._kernel_cache: Dict[KernelStep, float] = {}
+        #: Whole-level duration tuples for the macro path, keyed by
+        #: (level, count, offset); see _MacroRun.gpu_level.
+        self._gpu_level_cache: Dict[tuple, tuple] = {}
+        #: Per-worker CPU team durations for the macro path, keyed by
+        #: (level, count, cores); see _MacroRun.team_durations.
+        self._team_cache: Dict[tuple, tuple] = {}
+        self._sequential_ops: Optional[float] = None
 
     # ------------------------------------------------------------------
     # baselines
     # ------------------------------------------------------------------
     def sequential_ops(self) -> float:
-        """Work of the 1-core recursive baseline (= its time, rate 1)."""
-        w = self.workload
-        internal = sum(
-            t * c for t, c in zip(w.level_tasks, w.level_cost)
-        )
-        return internal + w.leaf_tasks * w.leaf_cost
+        """Work of the 1-core recursive baseline (= its time, rate 1).
+
+        A pure function of the (immutable) workload, computed once per
+        executor — every run result carries it.
+        """
+        cached = self._sequential_ops
+        if cached is None:
+            w = self.workload
+            internal = sum(
+                t * c for t, c in zip(w.level_tasks, w.level_cost)
+            )
+            cached = self._sequential_ops = internal + w.leaf_tasks * w.leaf_cost
+        return cached
 
     def run_cpu_only(self, cores: Optional[int] = None) -> HybridRunResult:
         """Breadth-first execution on the CPU alone (no GPU).
@@ -146,6 +176,9 @@ class ScheduleExecutor:
         the default uses all ``p`` cores (the multicore comparison the
         paper cites from [13]).
         """
+        result = _macro.try_macro_cpu_only(self, cores)
+        if result is not None:
+            return result
         run = _Run(self, cores=cores)
 
         def driver():
@@ -171,6 +204,9 @@ class ScheduleExecutor:
         basic planner's CPU-only degenerate schedule — and the run
         completes correctly.
         """
+        result = _macro.try_macro_basic(self, plan)
+        if result is not None:
+            return result
         run = _Run(self)
         w = self.workload
 
@@ -230,6 +266,9 @@ class ScheduleExecutor:
         like the gpu-tail always has) and the run still produces a
         correct result — the degraded mode of ``docs/RESILIENCE.md``.
         """
+        result = _macro.try_macro_advanced(self, plan)
+        if result is not None:
+            return result
         run = _Run(self)
         w = self.workload
         t, y = plan.split_level, plan.transfer_level
@@ -884,18 +923,24 @@ class _Run:
             if parallel
             else self.w.gpu_steps(level, count, offset)
         )
-        durations = [
-            kernel_launch_time(
-                self._gpu_params,
-                _step_kernel(step),
-                NDRange(
-                    step.items,
-                    min(self.x.hpu.gpu_spec.preferred_workgroup, step.items),
-                ),
-                {},
-            )
-            for step in steps
-        ]
+        cache = self.x._kernel_cache
+        durations = []
+        for step in steps:
+            duration = cache.get(step)
+            if duration is None:
+                duration = cache[step] = kernel_launch_time(
+                    self._gpu_params,
+                    _step_kernel(step),
+                    NDRange(
+                        step.items,
+                        min(
+                            self.x.hpu.gpu_spec.preferred_workgroup,
+                            step.items,
+                        ),
+                    ),
+                    {},
+                )
+            durations.append(duration)
         # The guard admits (or fails) the whole level before the hook
         # touches host data, so failed attempts never corrupt state and
         # the successful attempt replays the steps exactly as planned.
@@ -1090,20 +1135,30 @@ class _Run:
                 self._session.note_recovery(
                     f"{self.x.hpu.name}:{self.w.name}", recovery
                 )
+        # Each trace's interval list is built (and merged) once and
+        # reused for the busy totals, the overlap, and the raw tuples.
         cpu_intervals = self.cpu.trace.intervals
+        gpu_intervals = self.gpu.trace.intervals
+        cpu_merged = merge_intervals(cpu_intervals)
+        gpu_merged = merge_intervals(gpu_intervals)
         side_spans = side_spans or {}
         return HybridRunResult(
             makespan=makespan,
             sequential_ops=self.x.sequential_ops(),
-            cpu_busy=self.cpu.trace.busy_time(),
-            gpu_busy=self.gpu.trace.busy_time(),
+            cpu_busy=sum(e - s for s, e in cpu_merged),
+            gpu_busy=sum(e - s for s, e in gpu_merged),
             gpu_kernel_time=self.gpu_kernel_time,
             transfer_time=self.transfer_time,
             cpu_fully_busy=time_at_concurrency(cpu_intervals, self.cores),
-            overlap=self.cpu.trace.overlap_with(self.gpu.trace),
+            overlap=overlap_merged(cpu_merged, gpu_merged),
             cpu_side_time=side_spans.get("cpu", 0.0),
             gpu_side_time=side_spans.get("gpu", 0.0),
-            cpu_intervals=tuple(self.cpu.trace.intervals),
-            gpu_intervals=tuple(self.gpu.trace.intervals),
+            cpu_intervals=tuple(cpu_intervals),
+            gpu_intervals=tuple(gpu_intervals),
             recovery=recovery,
         )
+
+
+# Imported last: macro.py needs HybridRunResult/_step_kernel from this
+# module, so the import must run after they are defined.
+from repro.core.schedule import macro as _macro  # noqa: E402

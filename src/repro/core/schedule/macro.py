@@ -1,0 +1,501 @@
+"""Whole-run closed-form execution: the macro fast path.
+
+The paper's point is that the hybrid schedule's behaviour is
+predictable from closed forms; the DES should only pay event-by-event
+cost when something the closed forms cannot express is in play.  For a
+run with no fault plan, no ambient tracer, no functional execute hook
+and no core-pool contention, every schedule the executor runs is a
+straight-line chain of closed-form batch durations — so this module
+replays the whole run with plain float arithmetic and emits the same
+:class:`~repro.core.schedule.executor.HybridRunResult`.
+
+Bit-identity is the contract, not an aspiration: the replay performs
+the *same float additions in the same order* as the DES —
+
+- batch ends are ``start + duration`` with the identical ``duration``
+  expression (spawn overhead + chunk · cost · contention, or the
+  kernel/transfer cost model), chained left to right;
+- trace intervals append in DES event order (CPU side, then the GPU
+  tail, then the top — the sides never interleave on an eligible run);
+- heterogeneous worker teams reproduce :class:`~repro.sim.batch.
+  TeamBatch`'s completion groups, including their end-time drain order;
+- ``gpu_kernel_time``/``transfer_time`` accumulate in the same order,
+  and the noise key and application are identical.
+
+Core-pool contention — the GPU side's CPU tail racing a still-running
+CPU side — is replayed by a minimal two-stream event loop
+(:func:`_replay_tail_contention`) that reproduces the DES's FIFO grant
+and completion-group semantics, including its same-timestamp tie-break
+order, with a conservative bail back to the DES in the one case the
+tie-break cannot be reproduced cheaply (the tail starting at exactly
+the timestamp of another pending pool event).  Anything traced,
+guarded, hooked, or slow-path always takes the DES.  The env
+kill-switch ``REPRO_NO_MACRO=1`` forces the DES everywhere (for
+debugging); ``ScheduleExecutor(macro=False)`` does so per executor.
+The differential suite (``tests/core/schedule/test_macro_path.py``)
+pins DES-vs-macro bit-identity across the fig8 operating grid.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from heapq import heappop, heappush
+from typing import Optional
+
+from repro.core.schedule.workload import LEAVES
+from repro.cpu.cache import contention_factor
+from repro.obs.tracer import active as _obs_active
+from repro.opencl.costmodel import kernel_launch_time
+from repro.opencl.kernel import NDRange
+from repro.resilience.runtime import active as _resilience_active
+from repro.sim.trace import (
+    merge_interval_arrays,
+    overlap_merged,
+    time_at_concurrency_arrays,
+)
+from repro.util.intmath import ceil_div
+
+#: Set (to any non-empty value) to disable the macro path process-wide.
+NO_MACRO_ENV = "REPRO_NO_MACRO"
+
+
+def macro_enabled(executor) -> bool:
+    """Whether ``executor``'s next run may skip the DES entirely.
+
+    Requires the fast path (the reference path exists to exercise the
+    DES), no resilience config (explicit or ambient session: faults and
+    deadlines need events), no active tracer (span/metric emission is
+    defined in terms of the event stream), and no functional execute
+    hook (hooks observe per-batch scheduling order).
+    """
+    return (
+        executor.macro is not False
+        and executor.fast
+        and executor.resilience is None
+        and executor.workload.execute is None
+        and _obs_active() is None
+        and _resilience_active() is None
+        and not os.environ.get(NO_MACRO_ENV)
+    )
+
+
+class _MacroRun:
+    """Closed-form mirror of the executor's per-run state."""
+
+    __slots__ = (
+        "x", "w", "cores", "ws", "llc", "kappa", "spawn",
+        "gpu_params", "preferred_wg",
+        "cpu_starts", "cpu_ends", "gpu_starts", "gpu_ends",
+        "gpu_kernel_time", "transfer_time",
+    )
+
+    def __init__(self, executor, cores: Optional[int] = None) -> None:
+        self.x = executor
+        self.w = executor.workload
+        cpu_spec = executor.hpu.cpu_spec
+        self.cores = cpu_spec.p if cores is None else cores
+        self.ws = self.w.working_set_bytes()
+        self.llc = cpu_spec.llc_bytes
+        self.kappa = cpu_spec.cache_kappa
+        self.spawn = cpu_spec.thread_spawn_overhead
+        self.gpu_params = executor.hpu.gpu_spec.cost_parameters()
+        self.preferred_wg = executor.hpu.gpu_spec.preferred_workgroup
+        # Raw busy intervals in DES record order, as parallel flat
+        # start/end lists (finish() feeds them straight into numpy; the
+        # result only ever exposes (start, end) pairs, so tags are not
+        # kept).
+        self.cpu_starts = []
+        self.cpu_ends = []
+        self.gpu_starts = []
+        self.gpu_ends = []
+        self.gpu_kernel_time = 0.0
+        self.transfer_time = 0.0
+
+    # -- CPU -----------------------------------------------------------
+    def team_durations(self, level, count: int):
+        """Per-worker durations of one team batch (empty for count 0).
+
+        The same arithmetic as ``_Run.cpu_batch``: ``min(count, cores)``
+        workers with statically ceil-divided chunks, spawn overhead when
+        more than one, the LLC contention factor throughout.  Durations
+        are non-increasing (full chunks first, then the remainder), so
+        ``durations[0]`` is the batch's uncontended critical path.
+
+        Memoized per executor on (level, count, cores): the inputs are
+        otherwise fixed per (HPU, workload), and a tuner sweep replays
+        the same level batches across hundreds of runs.
+        """
+        if count == 0:
+            return ()
+        cache = self.x._team_cache
+        key = (level, count, self.cores)
+        durations = cache.get(key)
+        if durations is not None:
+            return durations
+        cost = self.w.cost_at(level)
+        cores = self.cores
+        workers = count if count < cores else cores
+        contention = contention_factor(self.ws, self.llc, workers, self.kappa)
+        chunk = ceil_div(count, workers)
+        spawn = self.spawn if workers > 1 else 0.0
+        if chunk * workers == count:
+            durations = (spawn + chunk * cost * contention,) * workers
+        else:
+            priced = []
+            remaining = count
+            for _ in range(workers):
+                take = chunk if chunk < remaining else remaining
+                if take <= 0:
+                    break
+                priced.append(spawn + take * cost * contention)
+                remaining -= take
+            durations = tuple(priced)
+        cache[key] = durations
+        return durations
+
+    def record_team(self, now: float, durations) -> float:
+        """Record one uncontended team batch; returns its fire time.
+
+        Mirrors :class:`TeamBatch` on a free pool: every worker is
+        granted at ``now``, completion groups drain in ascending end
+        order, and each group records one interval per worker.
+        """
+        starts = self.cpu_starts
+        ends = self.cpu_ends
+        if durations[0] == durations[-1]:
+            # Homogeneous static chunks: one completion group.
+            end = now + durations[0]
+            for _ in durations:
+                starts.append(now)
+                ends.append(end)
+            return end
+        # Heterogeneous chunks: group workers by identical end time and
+        # drain the groups in end order, exactly like TeamBatch._finish
+        # events popping off the queue.
+        groups = {}
+        for duration in durations:
+            end = now + duration
+            groups[end] = groups.get(end, 0) + 1
+        last = now
+        for end in sorted(groups):
+            for _ in range(groups[end]):
+                starts.append(now)
+                ends.append(end)
+            last = end
+        return last
+
+    def cpu_batch(self, now: float, level, count: int) -> float:
+        """One uncontended worker-team batch at ``now``; returns its end."""
+        durations = self.team_durations(level, count)
+        if not durations:
+            return now
+        return self.record_team(now, durations)
+
+    # -- GPU -----------------------------------------------------------
+    def gpu_level(self, now: float, level, count: int, offset: int) -> float:
+        """The kernel chain of one level; returns its end time."""
+        if count == 0:
+            return now
+        # The macro path needs only durations (its records carry no
+        # kernel tags), and gpu_steps is a pure function of its
+        # arguments — so whole levels cache as duration tuples on the
+        # executor, skipping step construction and kernel pricing on
+        # the sweeps that replay identical levels hundreds of times.
+        level_cache = self.x._gpu_level_cache
+        key = (level, count, offset)
+        durations = level_cache.get(key)
+        if durations is None:
+            from repro.core.schedule.executor import _step_kernel
+
+            preferred = self.preferred_wg
+            params = self.gpu_params
+            kernel_cache = self.x._kernel_cache
+            priced = []
+            for step in self.w.gpu_steps(level, count, offset):
+                duration = kernel_cache.get(step)
+                if duration is None:
+                    duration = kernel_cache[step] = kernel_launch_time(
+                        params,
+                        _step_kernel(step),
+                        NDRange(step.items, min(preferred, step.items)),
+                        {},
+                    )
+                priced.append(duration)
+            durations = level_cache[key] = tuple(priced)
+        starts = self.gpu_starts
+        ends = self.gpu_ends
+        kernel_time = self.gpu_kernel_time
+        for duration in durations:
+            end = now + duration
+            starts.append(now)
+            ends.append(end)
+            kernel_time += duration
+            now = end
+        self.gpu_kernel_time = kernel_time
+        return now
+
+    def gpu_transfer(self, now: float, words: int) -> float:
+        """One host↔device transfer; returns its end time."""
+        duration = self.x.hpu.transfer_time(words)
+        end = now + duration
+        self.gpu_starts.append(now)
+        self.gpu_ends.append(end)
+        self.transfer_time += duration
+        return end
+
+    # -- wrap-up ---------------------------------------------------------
+    def finish(self, final_now: float, noise_key,
+               cpu_side: float = 0.0, gpu_side: float = 0.0):
+        from repro.core.schedule.executor import HybridRunResult
+
+        x = self.x
+        makespan = x.noise.apply(final_now, self.w.name, *tuple(noise_key))
+        cpu_merged = merge_interval_arrays(self.cpu_starts, self.cpu_ends)
+        gpu_merged = merge_interval_arrays(self.gpu_starts, self.gpu_ends)
+        return HybridRunResult(
+            makespan=makespan,
+            sequential_ops=x.sequential_ops(),
+            cpu_busy=sum(e - s for s, e in cpu_merged),
+            gpu_busy=sum(e - s for s, e in gpu_merged),
+            gpu_kernel_time=self.gpu_kernel_time,
+            transfer_time=self.transfer_time,
+            cpu_fully_busy=time_at_concurrency_arrays(
+                self.cpu_starts, self.cpu_ends, self.cores
+            ),
+            overlap=overlap_merged(cpu_merged, gpu_merged),
+            cpu_side_time=cpu_side,
+            gpu_side_time=gpu_side,
+            cpu_intervals=tuple(zip(self.cpu_starts, self.cpu_ends)),
+            gpu_intervals=tuple(zip(self.gpu_starts, self.gpu_ends)),
+            recovery=(),
+        )
+
+
+# ----------------------------------------------------------------------
+# contended two-stream replay
+# ----------------------------------------------------------------------
+def _replay_tail_contention(
+    rec_starts, rec_ends, capacity: int,
+    cpu_batches, tail_batches, tail_start: float,
+):
+    """Replay two batch streams contending for the core pool.
+
+    ``cpu_batches`` starts at 0, ``tail_batches`` at ``tail_start``;
+    each is a list of per-batch duration lists.  Returns ``(cpu_done,
+    tail_done)`` fire times and appends the busy intervals to the
+    ``rec_starts``/``rec_ends`` columns in DES trace order — or ``None``
+    to bail to the DES.
+
+    This is the DES, shrunk to the only state the contended phase has:
+    a unit-core FIFO pool and two sequential streams of
+    :class:`~repro.sim.batch.TeamBatch` equivalents.  Events carry a
+    locally-assigned sequence number, and every push happens in the
+    order the engine's callbacks would push it (drain grants before the
+    finished batch advances its stream, next batch's start behind
+    already-queued same-time events), so the ``(time, seq)`` pop order
+    equals the engine's.  The one seq the replay cannot derive is the
+    tail's first start, which the DES pushes from a *GPU* event: if any
+    pool event shares that exact timestamp, the relative order depends
+    on event history we did not track — bail and let the DES decide.
+    """
+    heap = []
+    seq = 0
+    in_use = 0
+    # FIFO unit-core waiters as (duration, batch).  Invariant (all
+    # requests are single units): waiters non-empty implies a full
+    # pool, so a newly-starting batch never overtakes the queue.
+    waiters = deque()
+    streams = (cpu_batches, tail_batches)
+    index = [0, 0]  # next batch to create, per stream
+    done = [0.0, 0.0]
+    # batch state: [stream, remaining_workers, completion_groups]
+    # heap entry: (time, seq, kind, batch, payload) — kind 1 is a batch
+    # START carrying its durations, kind 0 a completion-group FINISH
+    # carrying its end time.  seq is unique, so entries never compare
+    # beyond it.
+
+    def start_batch(stream: int, time: float) -> None:
+        nonlocal seq
+        durations = streams[stream][index[stream]]
+        index[stream] += 1
+        heappush(
+            heap, (time, seq, 1, [stream, len(durations), {}], durations)
+        )
+        seq += 1
+
+    def grant(duration: float, batch, now: float) -> None:
+        nonlocal seq, in_use
+        in_use += 1
+        end = now + duration
+        groups = batch[2]
+        group = groups.get(end)
+        if group is None:
+            groups[end] = group = []
+            heappush(heap, (end, seq, 0, batch, end))
+            seq += 1
+        group.append(now)
+
+    start_batch(0, 0.0)
+    start_batch(1, tail_start)  # seq 1: pops first among tail_start ties
+    while heap:
+        time, sq, kind, batch, payload = heappop(heap)
+        if sq == 1 and heap and heap[0][0] == time:
+            return None  # tail start ties a pool event: order unknown
+        if kind == 1:  # batch START: grant workers in order, queue rest
+            for duration in payload:
+                if not waiters and in_use < capacity:
+                    grant(duration, batch, time)
+                else:
+                    waiters.append((duration, batch))
+        else:  # completion-group FINISH at time == payload
+            starts = batch[2].pop(payload)
+            for start in starts:
+                rec_starts.append(start)
+                rec_ends.append(payload)
+            in_use -= len(starts)
+            while waiters and in_use < capacity:
+                duration, waiting = waiters.popleft()
+                grant(duration, waiting, time)
+            batch[1] -= len(starts)
+            if batch[1] == 0:  # batch fires: its stream advances
+                stream = batch[0]
+                if index[stream] < len(streams[stream]):
+                    start_batch(stream, time)
+                else:
+                    done[stream] = time
+    return done
+
+
+# ----------------------------------------------------------------------
+# per-strategy planners: return a result, or None to run the DES
+# ----------------------------------------------------------------------
+def try_macro_cpu_only(executor, cores: Optional[int] = None):
+    """Closed form of ``run_cpu_only``: one sequential batch chain."""
+    if not macro_enabled(executor):
+        return None
+    p = executor.hpu.cpu_spec.p
+    resolved = p if cores is None else cores
+    if not 1 <= resolved <= p:
+        return None  # the DES path raises the ScheduleError
+    run = _MacroRun(executor, cores=resolved)
+    w = executor.workload
+    now = run.cpu_batch(0.0, LEAVES, w.leaf_tasks)
+    for level in range(w.k - 1, -1, -1):
+        now = run.cpu_batch(now, level, w.tasks_at(level))
+    return run.finish(now, ("cpu-only", cores))
+
+
+def try_macro_basic(executor, plan):
+    """Closed form of ``run_basic``: one device at a time, no overlap."""
+    if not macro_enabled(executor):
+        return None
+    run = _MacroRun(executor)
+    w = executor.workload
+    now = 0.0
+    if plan.use_gpu:
+        total_words = w.words_for_tasks(LEAVES, w.leaf_tasks)
+        now = run.gpu_transfer(now, total_words)
+        now = run.gpu_level(now, LEAVES, w.leaf_tasks, 0)
+        for level in plan.gpu_levels(w.k):
+            now = run.gpu_level(now, level, w.tasks_at(level), 0)
+        now = run.gpu_transfer(now, total_words)
+    else:
+        now = run.cpu_batch(now, LEAVES, w.leaf_tasks)
+    for level in plan.cpu_levels(w.k):
+        now = run.cpu_batch(now, level, w.tasks_at(level))
+    return run.finish(now, ("basic", plan.crossover))
+
+
+def try_macro_advanced(executor, plan):
+    """Closed form of ``run_advanced``.
+
+    Both sides' batch durations are start-time independent, so the CPU
+    side and the GPU tail reduce to precomputed duration lists.  When
+    the device chain hands back at or after the CPU side's uncontended
+    end, both sides chain in closed form (a tail landing exactly at the
+    CPU side's end is safe: every grant happens at that same timestamp
+    either way).  A tail that starts earlier contends for the core
+    pool, which :func:`_replay_tail_contention` replays — bailing to
+    the DES only when its start ties another pool event's timestamp.
+    """
+    if not macro_enabled(executor):
+        return None
+    w = executor.workload
+    t, y = plan.split_level, plan.transfer_level
+    if not 0 <= t <= y <= w.k:
+        return None  # the DES path raises the ScheduleError
+    cpu_leaves = plan.cpu_leaf_tasks(w)
+    gpu_leaves = w.leaf_tasks - cpu_leaves
+    run = _MacroRun(executor)
+    # Split counts, inlined from plan.cpu_tasks_at/gpu_tasks_at: the
+    # loops below stay inside the accessors' checked level range.
+    level_tasks = w.level_tasks
+    cpu_split = plan.cpu_tasks_at_split
+    total_split = cpu_split + plan.gpu_tasks_at_split
+
+    # CPU side: leaves then levels k-1 .. t, sequential on the pool.
+    cpu_batches = []
+    durations = run.team_durations(LEAVES, cpu_leaves)
+    if durations:
+        cpu_batches.append(durations)
+    for level in range(w.k - 1, t - 1, -1):
+        count = cpu_split * (level_tasks[level] // total_split)
+        durations = run.team_durations(level, count)
+        if durations:
+            cpu_batches.append(durations)
+
+    gpu_span = 0.0
+    cpu_end = 0.0
+    tail_done = 0.0
+    if gpu_leaves:
+        # GPU side: h2d, kernel chain, d2h, then the CPU tail.
+        words = w.words_for_tasks(LEAVES, gpu_leaves)
+        dev = run.gpu_transfer(0.0, words)
+        dev = run.gpu_level(dev, LEAVES, gpu_leaves, cpu_leaves)
+        for level in range(w.k - 1, y - 1, -1):
+            tasks = level_tasks[level]
+            cpu_count = cpu_split * (tasks // total_split)
+            dev = run.gpu_level(dev, level, tasks - cpu_count, cpu_count)
+        dev = run.gpu_transfer(dev, words)
+        gpu_span = dev
+        tail_batches = []
+        for level in range(y - 1, t - 1, -1):
+            tasks = level_tasks[level]
+            count = tasks - cpu_split * (tasks // total_split)
+            durations = run.team_durations(level, count)
+            if durations:
+                tail_batches.append(durations)
+        # Uncontended critical path of the CPU side: each batch fires
+        # at start + durations[0] (its longest worker).
+        dry_end = 0.0
+        for durations in cpu_batches:
+            dry_end += durations[0]
+        if tail_batches and dev < dry_end:
+            ends = _replay_tail_contention(
+                run.cpu_starts, run.cpu_ends, run.cores,
+                cpu_batches, tail_batches, dev,
+            )
+            if ends is None:
+                return None  # ambiguous tie: let the DES order it
+            cpu_end, tail_done = ends
+        else:
+            for durations in cpu_batches:
+                cpu_end = run.record_team(cpu_end, durations)
+            tail_done = dev
+            for durations in tail_batches:
+                tail_done = run.record_team(tail_done, durations)
+    else:
+        for durations in cpu_batches:
+            cpu_end = run.record_team(cpu_end, durations)
+
+    # Top: full-width levels t-1 .. 0 after both sides complete.
+    now = cpu_end if cpu_end >= tail_done else tail_done
+    for level in range(t - 1, -1, -1):
+        now = run.cpu_batch(now, level, level_tasks[level])
+    return run.finish(
+        now,
+        ("advanced", plan.cpu_tasks_at_split, t, y),
+        cpu_side=cpu_end,
+        gpu_side=gpu_span,
+    )

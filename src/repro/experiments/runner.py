@@ -81,6 +81,8 @@ def _build_manifest(
     jobs: int = 1,
     conformance: Optional[dict] = None,
     analysis: Optional[dict] = None,
+    queue_backend: str = "heap",
+    macro: bool = True,
 ):
     """Assemble the RunManifest for this invocation."""
     import os
@@ -123,6 +125,8 @@ def _build_manifest(
         ),
         conformance=conformance or {},
         analysis=analysis or {},
+        queue_backend=queue_backend,
+        macro=macro,
     )
 
 
@@ -313,6 +317,26 @@ def main(argv=None) -> int:
         help="raise device errors instead of re-planning a lost GPU's "
         "remaining work onto the CPU",
     )
+    from repro.sim.events import QUEUE_BACKENDS
+
+    parser.add_argument(
+        "--queue-backend",
+        choices=sorted(QUEUE_BACKENDS),
+        default=None,
+        metavar="NAME",
+        help="event-queue backend for the simulator cores "
+        f"({', '.join(sorted(QUEUE_BACKENDS))}); default: the "
+        "REPRO_QUEUE_BACKEND environment variable, else 'heap'. All "
+        "backends drain bit-identically; see docs/PERFORMANCE.md, "
+        "'Event-core backends'",
+    )
+    parser.add_argument(
+        "--no-macro",
+        action="store_true",
+        help="disable the whole-run macro fast path and force every "
+        "simulation through the discrete-event core (equivalent to "
+        "REPRO_NO_MACRO=1; results are bit-identical either way)",
+    )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"
     )
@@ -330,6 +354,29 @@ def main(argv=None) -> int:
             f"unknown experiment(s): {', '.join(unknown)}; "
             f"available: {', '.join(EXPERIMENTS)}"
         )
+
+    # -- event-core selection ------------------------------------------
+    # Flags win over the environment; the resolved choice is exported so
+    # sweep worker processes inherit it, and recorded in the manifest.
+    import os
+
+    from repro.core.schedule.macro import NO_MACRO_ENV
+    from repro.sim.events import BACKEND_ENV, default_backend
+
+    saved_env = {
+        name: os.environ.get(name) for name in (BACKEND_ENV, NO_MACRO_ENV)
+    }
+    if args.queue_backend is not None:
+        os.environ[BACKEND_ENV] = args.queue_backend
+    queue_backend = default_backend()
+    if queue_backend not in QUEUE_BACKENDS:
+        parser.error(
+            f"{BACKEND_ENV}={queue_backend!r} is not a known queue "
+            f"backend; available: {', '.join(sorted(QUEUE_BACKENDS))}"
+        )
+    if args.no_macro:
+        os.environ[NO_MACRO_ENV] = "1"
+    macro_enabled = not os.environ.get(NO_MACRO_ENV)
 
     # -- parallel sweep engine -----------------------------------------
     from repro.parallel import configure as _configure_engine
@@ -417,6 +464,11 @@ def main(argv=None) -> int:
         from repro.parallel import deconfigure as _deconfigure_engine
 
         _deconfigure_engine()
+        for name, value in saved_env.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
 
     for note in engine.notes:
         # Fallback-to-serial diagnostics; stderr keeps --json parseable.
@@ -492,6 +544,7 @@ def main(argv=None) -> int:
             args, argv, selected, results, tracer, run_id, outputs,
             session=session, jobs=engine.jobs,
             conformance=conformance, analysis=analysis,
+            queue_backend=queue_backend, macro=macro_enabled,
         )
         path = manifest.write(run_dir / "manifest.json")
         if args.report:

@@ -29,7 +29,8 @@ MANIFEST_FORMAT = "repro.obs.manifest/v1"
 #: and a v1 reader loads v2 files (extra keys skipped).  v1: PR-2
 #: manifests.  v2: adds ``schema_version``, ``conformance``,
 #: ``analysis``; writes are key-sorted and append an index line.
-SCHEMA_VERSION = 2
+#: v3: adds ``queue_backend`` and ``macro`` (event-core selection).
+SCHEMA_VERSION = 3
 
 
 def platform_manifest(hpu) -> dict:
@@ -96,6 +97,12 @@ class RunManifest:
     #: Recovery actions taken across the run (retries, timeouts, CPU
     #: fallbacks), as ``RecoveryAction.to_dict()`` entries in order.
     recovery: List[dict] = field(default_factory=list)
+    #: Event-queue backend the simulator cores used (``"heap"`` or
+    #: ``"array"``; see ``repro.sim.events.QUEUE_BACKENDS``).
+    queue_backend: str = "heap"
+    #: Whether the macro fast path was permitted (False when the run
+    #: forced the DES with ``--no-macro`` / ``REPRO_NO_MACRO=1``).
+    macro: bool = True
     #: Additive schema evolution counter (see :data:`SCHEMA_VERSION`).
     schema_version: int = SCHEMA_VERSION
     #: Model-conformance block (``repro.core.model.oracle.
@@ -130,6 +137,8 @@ class RunManifest:
             "outputs": self.outputs,
             "fault_plan": self.fault_plan,
             "recovery": self.recovery,
+            "queue_backend": self.queue_backend,
+            "macro": self.macro,
             "schema_version": self.schema_version,
             "conformance": self.conformance,
             "analysis": self.analysis,
@@ -170,6 +179,8 @@ class RunManifest:
             outputs=data.get("outputs", {}),
             fault_plan=data.get("fault_plan", {}),
             recovery=data.get("recovery", []),
+            queue_backend=data.get("queue_backend", "heap"),
+            macro=data.get("macro", True),
             schema_version=data.get("schema_version", 1),
             conformance=data.get("conformance", {}),
             analysis=data.get("analysis", {}),

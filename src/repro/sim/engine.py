@@ -10,13 +10,20 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.errors import DeadlockError, SimulationError
-from repro.sim.events import EventQueue
+from repro.sim.events import make_event_queue
 from repro.sim.process import AllOf, Process, ProcessGenerator, Timeout
 from repro.sim.signals import Signal
 
 
 class Simulator:
-    """A simulated clock plus the machinery to run processes against it."""
+    """A simulated clock plus the machinery to run processes against it.
+
+    ``queue_backend`` names the event-queue implementation (see
+    :data:`repro.sim.events.QUEUE_BACKENDS`); ``None`` resolves the
+    ``REPRO_QUEUE_BACKEND`` environment variable and falls back to the
+    heapq reference.  Every backend preserves the FIFO tie-break
+    contract, so the choice never changes simulation results.
+    """
 
     __slots__ = (
         "_queue",
@@ -27,8 +34,8 @@ class Simulator:
         "processes_spawned",
     )
 
-    def __init__(self) -> None:
-        self._queue = EventQueue()
+    def __init__(self, queue_backend: Optional[str] = None) -> None:
+        self._queue = make_event_queue(queue_backend)
         self.now: float = 0.0
         self._live_processes = 0
         self._running = False
@@ -105,19 +112,41 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
+        queue = self._queue
+        pop_batch = queue.pop_batch
+        # Events are drained in whole equal-time runs: callbacks fired
+        # *during* the batch at the same timestamp queue behind it (they
+        # would get later tie-break seqs anyway), so batch order equals
+        # the one-event-at-a-time reference order.  The event counter
+        # accumulates locally and flushes once on exit — nothing reads
+        # it mid-run.
+        events = 0
         try:
-            while len(self._queue):
-                if until is not None and self._queue.peek_time() > until:
+            while len(queue):
+                if until is not None and queue.peek_time() > until:
                     self.now = until
                     return self.now
-                time, callback = self._queue.pop()
+                time, callbacks = pop_batch()
                 if time < self.now:
                     raise SimulationError(
                         f"event time {time} precedes current time {self.now}"
                     )
                 self.now = time
-                self.events_processed += 1
-                callback()
+                done = 0
+                try:
+                    for callback in callbacks:
+                        done += 1
+                        callback()
+                except BaseException:
+                    # Restore the unprocessed rest of the batch at the
+                    # front of this timestamp's FIFO run, ahead of any
+                    # same-time events the failing callback scheduled —
+                    # exactly the state the unbatched loop would leave.
+                    if done < len(callbacks):
+                        queue.requeue(time, callbacks[done:])
+                    events += done
+                    raise
+                events += done
             if self._live_processes > 0 and until is None:
                 raise DeadlockError(
                     f"event queue drained at t={self.now} with "
@@ -125,6 +154,7 @@ class Simulator:
                 )
             return self.now
         finally:
+            self.events_processed += events
             self._running = False
 
     def run_process(self, generator: ProcessGenerator, name: str = "") -> Any:

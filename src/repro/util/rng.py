@@ -58,13 +58,22 @@ class NoiseModel:
             raise ValueError(
                 f"noise amplitude must be in [0, 1), got {self.amplitude!r}"
             )
+        # eps depends only on the key, so the (hash + generator
+        # construction + draw) per apply() is memoized.  The cache is
+        # invisible to dataclass eq/hash (not a field) and bounded by
+        # the number of distinct measurement keys in a process.
+        object.__setattr__(self, "_eps_cache", {})
 
     def apply(self, value: float, *key: object) -> float:
         """Jitter ``value`` deterministically based on ``key``."""
         if self.amplitude == 0.0:
             return value
-        rng = make_rng(self.seed, "noise", *key)
-        eps = rng.uniform(-self.amplitude, self.amplitude)
+        cache = self._eps_cache
+        eps = cache.get(key)
+        if eps is None:
+            rng = make_rng(self.seed, "noise", *key)
+            eps = rng.uniform(-self.amplitude, self.amplitude)
+            cache[key] = eps
         return value * (1.0 + eps)
 
 

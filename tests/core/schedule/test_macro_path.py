@@ -1,0 +1,216 @@
+"""DES-vs-macro bit-identity and the macro fast path's eligibility gates.
+
+The macro path (:mod:`repro.core.schedule.macro`) replays a whole run
+in closed form instead of pumping the discrete-event core.  Its
+contract is *bit-identity*: on every eligible plan the emitted
+:class:`HybridRunResult` — makespan, busy totals, raw interval lists,
+everything — must equal the DES's output exactly, including on plans
+whose GPU tail contends for the core pool (the two-stream replay).
+These tests pin that contract across a fig8-style operating grid,
+verify every escape hatch back to the DES (``macro=False``,
+``REPRO_NO_MACRO``, the reference path, active tracing), and check the
+analytic-model conformance oracle accepts macro-path runs within the
+committed fig8 band.
+"""
+
+import pytest
+
+from repro.algorithms.mergesort.hybrid import make_mergesort_workload
+from repro.core.model.oracle import (
+    DEFAULT_RESIDUAL_BAND,
+    OPTIMISM_TOLERANCE,
+    advanced_report,
+)
+from repro.core.schedule import (
+    AdvancedSchedule,
+    BasicSchedule,
+    ScheduleExecutor,
+)
+from repro.core.schedule import macro as macro_module
+from repro.hpu import HPU1, HPU2
+from repro.obs.tracer import Tracer, tracing
+from repro.util.rng import NoiseModel
+
+PLATFORMS = {"hpu1": HPU1, "hpu2": HPU2}
+SIZES = [1 << 10, 1 << 14, 1 << 18]
+ALPHAS = [None, 0.1, 0.2, 0.35]  # None: the model's optimum
+
+
+def _advanced_pair(hpu, n, alpha, noise=None, transfer_level=None):
+    """(macro result or None, DES result) for one operating point."""
+    workload = make_mergesort_workload(n)
+    plan = AdvancedSchedule().plan(
+        workload, hpu.parameters, alpha=alpha, transfer_level=transfer_level
+    )
+    kwargs = {} if noise is None else {"noise": noise}
+    des = ScheduleExecutor(
+        hpu, workload, macro=False, **kwargs
+    ).run_advanced(plan)
+    mac_executor = ScheduleExecutor(hpu, workload, **kwargs)
+    mac = macro_module.try_macro_advanced(mac_executor, plan)
+    return mac, des
+
+
+class TestAdvancedBitIdentity:
+    @pytest.mark.parametrize("platform", sorted(PLATFORMS))
+    @pytest.mark.parametrize("n", SIZES)
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    def test_macro_equals_des(self, platform, n, alpha):
+        mac, des = _advanced_pair(PLATFORMS[platform], n, alpha)
+        if mac is None:
+            pytest.skip("point bails to the DES (tie at tail start)")
+        assert mac == des  # every HybridRunResult field, bit for bit
+
+    @pytest.mark.parametrize("platform", sorted(PLATFORMS))
+    @pytest.mark.parametrize(
+        "alpha,transfer_level", [(0.35, 16), (0.5, 14), (0.5, 16)]
+    )
+    def test_contended_replay_points(
+        self, platform, alpha, transfer_level, monkeypatch
+    ):
+        """Late transfer levels make the GPU tail race the CPU side:
+        the two-stream replay arm must run and stay bit-identical."""
+        replays = []
+        original = macro_module._replay_tail_contention
+
+        def counting(*args, **kwargs):
+            out = original(*args, **kwargs)
+            replays.append(out is not None)
+            return out
+
+        monkeypatch.setattr(
+            macro_module, "_replay_tail_contention", counting
+        )
+        mac, des = _advanced_pair(
+            PLATFORMS[platform], 1 << 18, alpha,
+            transfer_level=transfer_level,
+        )
+        assert replays, "point did not contend for the core pool"
+        if mac is None:
+            pytest.skip("point bails to the DES (tie at tail start)")
+        assert mac == des
+
+    def test_full_run_path_matches_forced_des(self):
+        """run_advanced with macro on equals the same run with it off."""
+        workload = make_mergesort_workload(1 << 14)
+        plan = AdvancedSchedule().plan(workload, HPU1.parameters)
+        auto = ScheduleExecutor(HPU1, workload).run_advanced(plan)
+        forced = ScheduleExecutor(
+            HPU1, workload, macro=False
+        ).run_advanced(plan)
+        assert auto == forced
+
+    def test_identity_holds_under_measurement_noise(self):
+        """Keyed noise must replay identically (same keys, same eps)."""
+        noise = NoiseModel(amplitude=0.015)
+        mac, des = _advanced_pair(HPU1, 1 << 14, 0.2, noise=noise)
+        assert mac is not None
+        assert mac == des
+
+
+class TestBasicAndCpuOnlyBitIdentity:
+    @pytest.mark.parametrize("platform", sorted(PLATFORMS))
+    @pytest.mark.parametrize("n", SIZES)
+    def test_basic_macro_equals_des(self, platform, n):
+        hpu = PLATFORMS[platform]
+        workload = make_mergesort_workload(n)
+        plan = BasicSchedule().plan(workload, hpu.parameters)
+        des = ScheduleExecutor(hpu, workload, macro=False).run_basic(plan)
+        mac = macro_module.try_macro_basic(
+            ScheduleExecutor(hpu, workload), plan
+        )
+        assert mac is not None
+        assert mac == des
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_cpu_only_macro_equals_des(self, n):
+        workload = make_mergesort_workload(n)
+        des = ScheduleExecutor(
+            HPU1, workload, macro=False
+        ).run_cpu_only()
+        mac = macro_module.try_macro_cpu_only(
+            ScheduleExecutor(HPU1, workload)
+        )
+        assert mac is not None
+        assert mac == des
+
+
+class TestEligibilityGates:
+    def _executor(self, **kwargs):
+        return ScheduleExecutor(
+            HPU1, make_mergesort_workload(1 << 12), **kwargs
+        )
+
+    def test_default_executor_is_eligible(self):
+        assert macro_module.macro_enabled(self._executor())
+
+    def test_macro_false_forces_des(self):
+        assert not macro_module.macro_enabled(self._executor(macro=False))
+
+    def test_env_kill_switch_forces_des(self, monkeypatch):
+        monkeypatch.setenv(macro_module.NO_MACRO_ENV, "1")
+        assert not macro_module.macro_enabled(self._executor())
+
+    def test_env_kill_switch_empty_value_is_off(self, monkeypatch):
+        monkeypatch.setenv(macro_module.NO_MACRO_ENV, "")
+        assert macro_module.macro_enabled(self._executor())
+
+    def test_reference_path_forces_des(self):
+        assert not macro_module.macro_enabled(self._executor(fast=False))
+
+    def test_active_tracer_forces_des(self):
+        executor = self._executor()
+        with tracing(Tracer()):
+            assert not macro_module.macro_enabled(executor)
+        assert macro_module.macro_enabled(executor)
+
+
+class TestMacroConformance:
+    """The model oracle accepts macro-path runs in the fig8 band.
+
+    The pinned fig8 population band
+    (``tests/obs/test_conformance_pinned.py``) is measured traced, i.e.
+    over DES runs.  These tests transfer it to the macro path: the
+    oracle must produce *identical* residuals for a macro run and its
+    DES twin (so the pinned aggregates apply verbatim), predictions
+    must never be optimistic, and the sizes the band was calibrated on
+    must conform point-wise.  Small ``n`` is transfer-dominated — the
+    pinned suite's known worst region — so there only ``< 1.0`` holds.
+    """
+
+    def _report(self, hpu, n, macro):
+        workload = make_mergesort_workload(n)
+        schedule = AdvancedSchedule()
+        plan = schedule.plan(workload, hpu.parameters)
+        executor = ScheduleExecutor(hpu, workload, macro=macro)
+        if macro is not False:
+            assert macro_module.macro_enabled(executor)
+        result = executor.run_advanced(plan)
+        ctx = schedule._context(workload, hpu.parameters)
+        return advanced_report(
+            ctx,
+            plan.effective_alpha,
+            plan.transfer_level,
+            result.makespan,
+        )
+
+    @pytest.mark.parametrize("platform", sorted(PLATFORMS))
+    @pytest.mark.parametrize("n", SIZES)
+    def test_oracle_cannot_distinguish_macro_from_des(self, platform, n):
+        hpu = PLATFORMS[platform]
+        via_macro = self._report(hpu, n, macro=None)
+        via_des = self._report(hpu, n, macro=False)
+        assert via_macro == via_des
+
+    @pytest.mark.parametrize("platform", sorted(PLATFORMS))
+    @pytest.mark.parametrize("n", SIZES)
+    def test_macro_predictions_never_optimistic(self, platform, n):
+        report = self._report(PLATFORMS[platform], n, macro=None)
+        assert report.residual_rel_signed <= OPTIMISM_TOLERANCE
+        assert report.residual_rel < 1.0
+
+    @pytest.mark.parametrize("platform", sorted(PLATFORMS))
+    def test_macro_runs_in_band_at_calibrated_size(self, platform):
+        report = self._report(PLATFORMS[platform], 1 << 18, macro=None)
+        assert report.verdict(DEFAULT_RESIDUAL_BAND) == "ok"
+        assert report.residual_rel <= DEFAULT_RESIDUAL_BAND
