@@ -34,8 +34,9 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.experiments import (
     ext_future_work,
@@ -69,9 +70,191 @@ EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
 }
 
 
+# ----------------------------------------------------------------------
+# the callable runner API (what repro.serve drives; argv parsing below
+# is one thin client of it)
+# ----------------------------------------------------------------------
+@dataclass
+class RunSpec:
+    """One runner invocation, as plain data (no argv involved).
+
+    The programmatic mirror of the CLI flags: ``repro.serve`` builds
+    these from validated job requests, tests build them directly, and
+    :func:`main` builds one from parsed arguments.  All fields are
+    picklable primitives so a spec can cross a process-pool boundary.
+    """
+
+    #: Experiment ids to run, or ``["sweep"]`` with :attr:`sweep` set.
+    experiments: Sequence[str] = ()
+    fast: bool = False
+    #: Sweep-engine worker processes ("auto", or an int; 1 = serial).
+    jobs: Union[int, str, None] = "auto"
+    #: Event-queue backend (None = environment / default).
+    queue_backend: Optional[str] = None
+    #: Permit the whole-run macro fast path.
+    macro: bool = True
+    #: Activate the tracer even without file outputs.
+    trace: bool = False
+    trace_out: Optional[Path] = None
+    metrics_out: Optional[Path] = None
+    #: Conformance residual band; None = no model check.
+    check_model: Optional[float] = None
+    report: bool = False
+    #: Write a manifest even when nothing else forces one.
+    manifest: bool = False
+    run_id: Optional[str] = None
+    results_dir: Path = Path("results")
+    #: Custom operating-point sweep (kind='sweep' requests): a dict of
+    #: ``platform``, ``n`` (list), and optional ``alphas`` / ``levels``
+    #: / ``adaptive`` / ``include_cpu_fallback`` / ``noise_amplitude``
+    #: / ``seed``.  Runs as the pseudo-experiment id ``"sweep"``.
+    sweep: Optional[dict] = None
+    #: A ``repro.resilience.ResilienceConfig`` to install for the run.
+    #: Resilient runs are uncacheable (their cache_key is empty).
+    resilience: Optional[object] = None
+    #: Render the ASCII per-device timeline into the outcome.
+    trace_ascii: bool = False
+    #: Recorded in the manifest's (volatile) argv field.
+    argv: Optional[List[str]] = None
+
+
+@dataclass
+class RunOutcome:
+    """What one :func:`run_request` produced."""
+
+    run_id: str
+    results: Dict[str, ExperimentResult]
+    cache_key: str
+    request: Dict[str, object]
+    manifest: Optional[object] = None  # RunManifest when emitted
+    manifest_path: Optional[Path] = None
+    report_path: Optional[Path] = None
+    conformance: Optional[dict] = None
+    #: Sweep-engine fallback notes (SweepEngine.notes).
+    engine_notes: List[str] = field(default_factory=list)
+    outputs: Dict[str, Optional[str]] = field(default_factory=dict)
+    #: Tracer statistics for status lines (0 when untraced).
+    trace_spans: int = 0
+    trace_runs: int = 0
+    metric_families: int = 0
+    #: ASCII timeline (only with ``RunSpec.trace_ascii``).
+    ascii_timeline: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        """JSON-able digest (what the serve daemon ships around)."""
+        return {
+            "run_id": self.run_id,
+            "cache_key": self.cache_key,
+            "request": self.request,
+            "manifest_path": (
+                str(self.manifest_path) if self.manifest_path else None
+            ),
+            "report_path": (
+                str(self.report_path) if self.report_path else None
+            ),
+            "conformance": self.conformance or {},
+            "engine_notes": list(self.engine_notes),
+            "results": {
+                key: {"title": res.title, "notes": list(res.notes)}
+                for key, res in self.results.items()
+            },
+        }
+
+
+def unique_run_id(results_dir: Union[str, Path], base: str) -> str:
+    """``base``, uniquified against existing run directories.
+
+    Auto-generated run ids have one-second resolution, so two runs
+    started in the same second used to silently share (and overwrite)
+    one ``results/<run-id>/``.  Appends ``-2``, ``-3``, ... until the
+    directory is free; explicit ``--run-id`` values bypass this (the
+    caller asked for that exact directory).
+    """
+    results_dir = Path(results_dir)
+    run_id, counter = base, 1
+    while (results_dir / run_id).exists():
+        counter += 1
+        run_id = f"{base}-{counter}"
+    return run_id
+
+
+def _sweep_run(sweep: dict) -> Callable[[bool], ExperimentResult]:
+    """Build the pseudo-experiment callable for a custom sweep."""
+    from repro.experiments.common import (
+        MEASUREMENT_NOISE,
+        default_alpha_grid,
+        fmt_ratio,
+        sweep_best_operating_points,
+    )
+    from repro.hpu.platforms import get_platform
+    from repro.util.rng import DEFAULT_SEED, NoiseModel
+
+    def run(fast: bool) -> ExperimentResult:
+        hpu = get_platform(sweep["platform"])
+        sizes = [int(n) for n in sweep["n"]]
+        alphas = sweep.get("alphas")
+        if alphas is None:
+            alphas = default_alpha_grid(fast)
+        levels = sweep.get("levels")
+        adaptive = sweep.get("adaptive")
+        if adaptive is None:
+            adaptive = fast
+        noise = MEASUREMENT_NOISE
+        if (
+            sweep.get("noise_amplitude") is not None
+            or sweep.get("seed") is not None
+        ):
+            noise = NoiseModel(
+                amplitude=(
+                    MEASUREMENT_NOISE.amplitude
+                    if sweep.get("noise_amplitude") is None
+                    else float(sweep["noise_amplitude"])
+                ),
+                seed=(
+                    DEFAULT_SEED
+                    if sweep.get("seed") is None
+                    else int(sweep["seed"])
+                ),
+            )
+        bests = sweep_best_operating_points(
+            [(hpu, n) for n in sizes],
+            alphas=[float(a) for a in alphas],
+            levels=levels,
+            noise=noise,
+            include_cpu_fallback=bool(
+                sweep.get("include_cpu_fallback", True)
+            ),
+            adaptive=bool(adaptive),
+        )
+        rows = []
+        for n, best in zip(sizes, bests):
+            rows.append(
+                [
+                    hpu.name,
+                    n,
+                    fmt_ratio(best.alpha),
+                    "-"
+                    if best.transfer_level is None
+                    else best.transfer_level,
+                    fmt_ratio(best.speedup),
+                ]
+            )
+        return ExperimentResult(
+            experiment_id="sweep",
+            title=f"Custom operating-point sweep on {hpu.name}",
+            headers=["platform", "n", "alpha*", "y*", "speedup"],
+            rows=rows,
+            notes=[
+                f"grid: {len(sizes)} sizes x {len(list(alphas))} alphas"
+                f" ({'adaptive' if adaptive else 'exhaustive'})",
+            ],
+        )
+
+    return run
+
+
 def _build_manifest(
-    args,
-    argv: Optional[List[str]],
+    spec: RunSpec,
     selected: List[str],
     results: Dict[str, ExperimentResult],
     tracer,
@@ -83,6 +266,8 @@ def _build_manifest(
     analysis: Optional[dict] = None,
     queue_backend: str = "heap",
     macro: bool = True,
+    cache_key: str = "",
+    request: Optional[dict] = None,
 ):
     """Assemble the RunManifest for this invocation."""
     import os
@@ -98,9 +283,11 @@ def _build_manifest(
         host_cpus=os.cpu_count() or 1,
         run_id=run_id,
         created_unix=int(time.time()),
-        argv=list(argv) if argv is not None else sys.argv[1:],
+        argv=(
+            list(spec.argv) if spec.argv is not None else sys.argv[1:]
+        ),
         experiments=selected,
-        fast=args.fast,
+        fast=spec.fast,
         platforms={
             name: platform_manifest(hpu) for name, hpu in PLATFORMS.items()
         },
@@ -127,7 +314,275 @@ def _build_manifest(
         analysis=analysis or {},
         queue_backend=queue_backend,
         macro=macro,
+        cache_key=cache_key,
+        request=request or {},
     )
+
+
+def _canonical_for_spec(
+    spec: RunSpec, selected: List[str], traced: bool
+) -> Dict[str, object]:
+    """The canonical request (and with it the cache identity) of a spec.
+
+    Shared with the service: a job submitted through ``repro-serve``
+    and the same configuration run directly through this module reduce
+    to identical canonical dicts, so their manifests carry identical
+    ``cache_key``/``request`` blocks and either one warms the cache for
+    the other.
+    """
+    from repro.serve.protocol import JobRequest, canonical_request
+
+    sweep = spec.sweep or {}
+    if sweep:
+        request = JobRequest(
+            kind="sweep",
+            fast=spec.fast,
+            platform=sweep.get("platform"),
+            n=tuple(int(n) for n in sweep.get("n", ())),
+            alphas=(
+                tuple(float(a) for a in sweep["alphas"])
+                if sweep.get("alphas") is not None
+                else None
+            ),
+            levels=(
+                tuple(int(v) for v in sweep["levels"])
+                if sweep.get("levels") is not None
+                else None
+            ),
+            adaptive=sweep.get("adaptive"),
+            include_cpu_fallback=bool(
+                sweep.get("include_cpu_fallback", True)
+            ),
+            noise_amplitude=sweep.get("noise_amplitude"),
+            seed=sweep.get("seed"),
+            queue_backend=spec.queue_backend,
+            macro=spec.macro,
+            check_model=spec.check_model,
+            report=spec.report,
+        )
+    else:
+        request = JobRequest(
+            kind="figure",
+            experiments=tuple(selected),
+            fast=spec.fast,
+            queue_backend=spec.queue_backend,
+            macro=spec.macro,
+            check_model=spec.check_model,
+            report=spec.report,
+        )
+    return canonical_request(
+        request,
+        traced=traced,
+        resilient=spec.resilience is not None,
+    )
+
+
+def run_request(
+    spec: RunSpec,
+    on_result: Optional[Callable[[str, ExperimentResult], None]] = None,
+) -> RunOutcome:
+    """Execute one runner invocation described by ``spec``.
+
+    The argv-free core of :func:`main` — what the ``repro.serve``
+    daemon calls instead of shelling out.  Runs the selected
+    experiments (or the custom sweep), with the same environment
+    handling, engine configuration, tracing, conformance checking and
+    manifest/report emission as the CLI, but never prints: progress
+    goes through ``on_result(key, result)`` (called as each experiment
+    completes) and everything else comes back in the
+    :class:`RunOutcome`.
+
+    Raises ``ValueError`` for an invalid spec (unknown experiment ids,
+    bad queue backend, a sweep spec without platform/n).
+    """
+    import os
+
+    from repro.core.schedule.macro import NO_MACRO_ENV
+    from repro.sim.events import BACKEND_ENV, QUEUE_BACKENDS, default_backend
+
+    sweep = spec.sweep
+    if sweep is not None:
+        for key in ("platform", "n"):
+            if not sweep.get(key):
+                raise ValueError(f"sweep spec needs {key!r}")
+        selected = ["sweep"]
+        runners: Dict[str, Callable[[bool], ExperimentResult]] = {
+            "sweep": _sweep_run(sweep)
+        }
+    else:
+        selected = list(spec.experiments) or list(EXPERIMENTS)
+        unknown = [e for e in selected if e not in EXPERIMENTS]
+        if unknown:
+            raise ValueError(
+                f"unknown experiment(s): {', '.join(unknown)}; "
+                f"available: {', '.join(EXPERIMENTS)}"
+            )
+        runners = {key: EXPERIMENTS[key] for key in selected}
+
+    # -- event-core selection ------------------------------------------
+    # The resolved choice is exported so sweep worker processes inherit
+    # it, and recorded in the manifest; prior values are restored.
+    saved_env = {
+        name: os.environ.get(name) for name in (BACKEND_ENV, NO_MACRO_ENV)
+    }
+    if spec.queue_backend is not None:
+        if spec.queue_backend not in QUEUE_BACKENDS:
+            raise ValueError(
+                f"unknown queue backend {spec.queue_backend!r}; "
+                f"available: {', '.join(sorted(QUEUE_BACKENDS))}"
+            )
+        os.environ[BACKEND_ENV] = spec.queue_backend
+    queue_backend = default_backend()
+    if queue_backend not in QUEUE_BACKENDS:
+        for name, value in saved_env.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        raise ValueError(
+            f"{BACKEND_ENV}={queue_backend!r} is not a known queue "
+            f"backend; available: {', '.join(sorted(QUEUE_BACKENDS))}"
+        )
+    if not spec.macro:
+        os.environ[NO_MACRO_ENV] = "1"
+    macro_enabled = not os.environ.get(NO_MACRO_ENV)
+
+    # -- parallel sweep engine -----------------------------------------
+    from repro.parallel import configure as _configure_engine
+    from repro.parallel import deconfigure as _deconfigure_engine
+
+    engine = _configure_engine(spec.jobs)
+
+    # -- observability setup -------------------------------------------
+    tracing_on = (
+        spec.trace
+        or spec.trace_out is not None
+        or spec.metrics_out is not None
+        or spec.check_model is not None
+        or spec.report
+    )
+    emit_manifest = (
+        tracing_on or spec.manifest or spec.resilience is not None
+    )
+    tracer = None
+    if tracing_on:
+        from repro.obs import Tracer, activate
+
+        tracer = activate(Tracer(name="repro-experiments"))
+
+    # -- cache identity ------------------------------------------------
+    # Computed before running: a pure function of the spec.  Runs under
+    # fault injection are behaviourally unique, hence uncacheable.
+    from repro.serve.cache import cache_key as _cache_key
+
+    canonical = _canonical_for_spec(spec, selected, traced=tracing_on)
+    key = "" if spec.resilience is not None else _cache_key(canonical)
+
+    session = None
+    if spec.resilience is not None:
+        from repro.resilience import install
+
+        session = install(spec.resilience)
+
+    results: Dict[str, ExperimentResult] = {}
+    try:
+        for exp_key in selected:
+            result = runners[exp_key](spec.fast)
+            results[exp_key] = result
+            if on_result is not None:
+                on_result(exp_key, result)
+    finally:
+        if session is not None:
+            from repro.resilience import uninstall
+
+            uninstall()
+        if tracer is not None:
+            from repro.obs import deactivate
+
+            deactivate()
+        _deconfigure_engine()
+        for name, value in saved_env.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+    # -- observability artifacts ---------------------------------------
+    outputs: Dict[str, Optional[str]] = {}
+    if tracer is not None and spec.trace_out is not None:
+        from repro.obs import write_chrome_trace
+
+        outputs["trace"] = str(write_chrome_trace(spec.trace_out, tracer))
+    if tracer is not None and spec.metrics_out is not None:
+        from repro.obs import write_metrics
+
+        outputs["metrics"] = str(write_metrics(spec.metrics_out, tracer))
+    ascii_timeline = None
+    if tracer is not None and spec.trace_ascii:
+        from repro.obs import ascii_report
+
+        ascii_timeline = ascii_report(tracer)
+
+    # -- conformance + trace analysis ----------------------------------
+    conformance = None
+    analysis = None
+    if tracer is not None:
+        from repro.core.model.oracle import (
+            DEFAULT_RESIDUAL_BAND,
+            conformance_from_attrs,
+        )
+        from repro.obs.analysis import analyze, longest_run
+
+        conformance = conformance_from_attrs(
+            ((record.label, record.attrs) for record in tracer.runs),
+            band=(
+                spec.check_model
+                if spec.check_model is not None
+                else DEFAULT_RESIDUAL_BAND
+            ),
+        )
+        headline = longest_run(tracer)
+        if headline is not None:
+            analysis = analyze(tracer, run=headline).summary()
+
+    run_id = spec.run_id or unique_run_id(
+        spec.results_dir,
+        time.strftime("%Y%m%d-%H%M%S") + "-" + "+".join(selected),
+    )
+    outcome = RunOutcome(
+        run_id=run_id,
+        results=results,
+        cache_key=key,
+        request=canonical,
+        conformance=conformance,
+        engine_notes=list(engine.notes),
+        outputs=outputs,
+        trace_spans=len(tracer.spans) if tracer is not None else 0,
+        trace_runs=len(tracer.runs) if tracer is not None else 0,
+        metric_families=len(tracer.metrics) if tracer is not None else 0,
+        ascii_timeline=ascii_timeline,
+    )
+    if emit_manifest:
+        run_dir = Path(spec.results_dir) / run_id
+        if spec.report:
+            # Recorded in the manifest, so written before it.
+            outputs["report"] = str(run_dir / "report.md")
+        manifest = _build_manifest(
+            spec, selected, results, tracer, run_id, outputs,
+            session=session, jobs=engine.jobs,
+            conformance=conformance, analysis=analysis,
+            queue_backend=queue_backend, macro=macro_enabled,
+            cache_key=key, request=canonical,
+        )
+        outcome.manifest = manifest
+        outcome.manifest_path = manifest.write(run_dir / "manifest.json")
+        if spec.report:
+            from repro.obs.report import write_report
+
+            outcome.report_path = write_report(
+                manifest, run_dir / "report.md"
+            )
+    return outcome
 
 
 def _resilience_config(args, parser):
@@ -355,41 +810,16 @@ def main(argv=None) -> int:
             f"available: {', '.join(EXPERIMENTS)}"
         )
 
-    # -- event-core selection ------------------------------------------
-    # Flags win over the environment; the resolved choice is exported so
-    # sweep worker processes inherit it, and recorded in the manifest.
-    import os
+    jobs: Union[int, str] = args.jobs
+    if jobs != "auto":
+        try:
+            jobs = int(args.jobs)
+            if jobs < 1:
+                raise ValueError(jobs)
+        except ValueError:
+            parser.error(f"--jobs: expected a positive integer or 'auto', "
+                         f"got {args.jobs!r}")
 
-    from repro.core.schedule.macro import NO_MACRO_ENV
-    from repro.sim.events import BACKEND_ENV, default_backend
-
-    saved_env = {
-        name: os.environ.get(name) for name in (BACKEND_ENV, NO_MACRO_ENV)
-    }
-    if args.queue_backend is not None:
-        os.environ[BACKEND_ENV] = args.queue_backend
-    queue_backend = default_backend()
-    if queue_backend not in QUEUE_BACKENDS:
-        parser.error(
-            f"{BACKEND_ENV}={queue_backend!r} is not a known queue "
-            f"backend; available: {', '.join(sorted(QUEUE_BACKENDS))}"
-        )
-    if args.no_macro:
-        os.environ[NO_MACRO_ENV] = "1"
-    macro_enabled = not os.environ.get(NO_MACRO_ENV)
-
-    # -- parallel sweep engine -----------------------------------------
-    from repro.parallel import configure as _configure_engine
-
-    try:
-        engine = _configure_engine(
-            args.jobs if args.jobs == "auto" else int(args.jobs)
-        )
-    except ValueError:
-        parser.error(f"--jobs: expected a positive integer or 'auto', "
-                     f"got {args.jobs!r}")
-
-    # -- observability setup -------------------------------------------
     residual_band = None
     if args.check_model is not None:
         if args.check_model == "default":
@@ -404,27 +834,40 @@ def main(argv=None) -> int:
                     f"--check-model: expected a number, "
                     f"got {args.check_model!r}"
                 )
-    tracing_on = (
-        args.trace_out is not None
-        or args.metrics_out is not None
-        or args.check_model is not None
-        or args.report
+
+    spec = RunSpec(
+        experiments=selected,
+        fast=args.fast,
+        jobs=jobs,
+        queue_backend=args.queue_backend,
+        macro=not args.no_macro,
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
+        trace_ascii=args.trace_ascii,
+        check_model=residual_band,
+        report=args.report,
+        manifest=args.manifest,
+        run_id=args.run_id,
+        results_dir=args.results_dir,
+        resilience=_resilience_config(args, parser),
+        argv=list(argv) if argv is not None else None,
     )
-    emit_manifest = tracing_on or args.manifest
-    tracer = None
-    if tracing_on:
-        from repro.obs import Tracer, activate
 
-        tracer = activate(Tracer(name="repro-experiments"))
+    def emit(key: str, result: ExperimentResult) -> None:
+        if args.json:
+            import json
 
-    # -- resilience setup ----------------------------------------------
-    resilience_config = _resilience_config(args, parser)
-    session = None
-    if resilience_config is not None:
-        from repro.resilience import install
+            print(json.dumps(result.to_dict()))
+            return
+        print(result.render())
+        if args.plot:
+            from repro.experiments.plots import PLOTTERS
 
-        session = install(resilience_config)
-        emit_manifest = True
+            plotter = PLOTTERS.get(key)
+            if plotter is not None:
+                print()
+                print(plotter(result))
+        print()
 
     profiler = None
     if args.profile:
@@ -433,126 +876,49 @@ def main(argv=None) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
 
-    results: Dict[str, ExperimentResult] = {}
     try:
-        for key in selected:
-            result = EXPERIMENTS[key](args.fast)
-            results[key] = result
-            if args.json:
-                import json
-
-                print(json.dumps(result.to_dict()))
-                continue
-            print(result.render())
-            if args.plot:
-                from repro.experiments.plots import PLOTTERS
-
-                plotter = PLOTTERS.get(key)
-                if plotter is not None:
-                    print()
-                    print(plotter(result))
-            print()
+        outcome = run_request(spec, on_result=emit)
+    except ValueError as exc:
+        parser.error(str(exc))
     finally:
-        if session is not None:
-            from repro.resilience import uninstall
+        if profiler is not None:
+            profiler.disable()
 
-            uninstall()
-        if tracer is not None:
-            from repro.obs import deactivate
-
-            deactivate()
-        from repro.parallel import deconfigure as _deconfigure_engine
-
-        _deconfigure_engine()
-        for name, value in saved_env.items():
-            if value is None:
-                os.environ.pop(name, None)
-            else:
-                os.environ[name] = value
-
-    for note in engine.notes:
+    for note in outcome.engine_notes:
         # Fallback-to-serial diagnostics; stderr keeps --json parseable.
         print(f"jobs: {note}", file=sys.stderr)
 
     if profiler is not None:
         import pstats
 
-        profiler.disable()
         stats = pstats.Stats(profiler, stream=sys.stdout)
         stats.sort_stats("cumulative").print_stats(20)
 
     # -- observability artifacts ---------------------------------------
-    outputs: Dict[str, Optional[str]] = {}
-    if tracer is not None and args.trace_out is not None:
-        from repro.obs import write_chrome_trace
-
-        path = write_chrome_trace(args.trace_out, tracer)
-        outputs["trace"] = str(path)
-        print(f"trace: {path} ({len(tracer.spans)} spans, "
-              f"{len(tracer.runs)} runs)")
-    if tracer is not None and args.metrics_out is not None:
-        from repro.obs import write_metrics
-
-        path = write_metrics(args.metrics_out, tracer)
-        outputs["metrics"] = str(path)
-        print(f"metrics: {path} ({len(tracer.metrics)} metric families)")
-    if tracer is not None and args.trace_ascii:
-        from repro.obs import ascii_report
-
+    if outcome.outputs.get("trace"):
+        print(f"trace: {outcome.outputs['trace']} "
+              f"({outcome.trace_spans} spans, {outcome.trace_runs} runs)")
+    if outcome.outputs.get("metrics"):
+        print(f"metrics: {outcome.outputs['metrics']} "
+              f"({outcome.metric_families} metric families)")
+    if outcome.ascii_timeline is not None:
         print()
-        print(ascii_report(tracer))
+        print(outcome.ascii_timeline)
 
-    # -- conformance + trace analysis ----------------------------------
-    conformance = None
-    analysis = None
-    if tracer is not None:
-        from repro.core.model.oracle import (
-            DEFAULT_RESIDUAL_BAND,
-            conformance_from_attrs,
+    if args.check_model is not None and outcome.conformance is not None:
+        conformance = outcome.conformance
+        print(
+            f"conformance: {conformance['verdict']} — "
+            f"{conformance['checks']} runs checked, mean rel "
+            f"residual {conformance['mean_rel_residual']:.4g} "
+            f"(band {conformance['band']:.4g}), max signed "
+            f"{conformance['max_signed_rel_residual']:.4g}"
         )
-        from repro.obs.analysis import analyze, longest_run
 
-        conformance = conformance_from_attrs(
-            ((record.label, record.attrs) for record in tracer.runs),
-            band=(
-                residual_band
-                if residual_band is not None
-                else DEFAULT_RESIDUAL_BAND
-            ),
-        )
-        headline = longest_run(tracer)
-        if headline is not None:
-            analysis = analyze(tracer, run=headline).summary()
-        if args.check_model is not None:
-            print(
-                f"conformance: {conformance['verdict']} — "
-                f"{conformance['checks']} runs checked, mean rel "
-                f"residual {conformance['mean_rel_residual']:.4g} "
-                f"(band {conformance['band']:.4g}), max signed "
-                f"{conformance['max_signed_rel_residual']:.4g}"
-            )
-
-    if emit_manifest:
-        run_id = args.run_id or (
-            time.strftime("%Y%m%d-%H%M%S") + "-" + "+".join(selected)
-        )
-        run_dir = args.results_dir / run_id
-        if args.report:
-            # Recorded in the manifest, so written before it.
-            outputs["report"] = str(run_dir / "report.md")
-        manifest = _build_manifest(
-            args, argv, selected, results, tracer, run_id, outputs,
-            session=session, jobs=engine.jobs,
-            conformance=conformance, analysis=analysis,
-            queue_backend=queue_backend, macro=macro_enabled,
-        )
-        path = manifest.write(run_dir / "manifest.json")
-        if args.report:
-            from repro.obs.report import write_report
-
-            report_path = write_report(manifest, run_dir / "report.md")
-            print(f"report: {report_path}")
-        print(f"manifest: {path}")
+    if outcome.report_path is not None:
+        print(f"report: {outcome.report_path}")
+    if outcome.manifest_path is not None:
+        print(f"manifest: {outcome.manifest_path}")
     return 0
 
 

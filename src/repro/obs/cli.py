@@ -3,8 +3,10 @@
 Subcommands operate on the results tree the experiment runner writes
 (``results/<run-id>/manifest.json`` plus ``results/index.jsonl``):
 
-- ``list`` — the run index (id, when, what, verdict).
-- ``show RUN`` — the full report for one run, on stdout.
+- ``list`` — the run index (id, when, what, verdict); ``--json`` emits
+  the raw index entries for scripting.
+- ``show RUN`` — the full report for one run, on stdout; ``--json``
+  emits the manifest object instead.
 - ``check RUN`` — re-evaluate the conformance verdict; exit 0 for
   ``ok``, 1 for ``warn``, 2 when the run carries no conformance data.
 - ``diff A B`` — semantic manifest diff between two runs: makespan /
@@ -22,6 +24,7 @@ manifest path — whichever is convenient.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -31,8 +34,10 @@ from repro.obs.manifest import RunManifest
 from repro.obs.report import render_markdown, write_report
 
 #: Manifest keys that legitimately differ between two otherwise
-#: identical runs: identity, wall-clock, command line, artifact paths
-#: and the host fingerprint.  Everything else is behaviour.
+#: identical runs: identity, wall-clock, command line, artifact paths,
+#: the host fingerprint, and execution-resource knobs (``jobs`` — sweep
+#: results are bit-identical at any worker count).  Everything else is
+#: behaviour.
 VOLATILE_KEYS = frozenset(
     {
         "run_id",
@@ -42,6 +47,7 @@ VOLATILE_KEYS = frozenset(
         "machine",
         "python_version",
         "host_cpus",
+        "jobs",
     }
 )
 
@@ -159,6 +165,9 @@ def _cmd_list(args) -> int:
                     "schema_version": m.schema_version,
                 }
             )
+    if args.json:
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
     if not entries:
         print(f"(no runs indexed under {args.results_dir}/{INDEX_NAME})")
         return 0
@@ -188,6 +197,9 @@ def _cmd_list(args) -> int:
 
 def _cmd_show(args) -> int:
     manifest, _path = _load(args.results_dir, args.run)
+    if args.json:
+        print(json.dumps(manifest.to_dict(), indent=2, sort_keys=True))
+        return 0
     print(render_markdown(manifest), end="")
     return 0
 
@@ -267,12 +279,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list indexed runs").set_defaults(
-        fn=_cmd_list
+    p_list = sub.add_parser("list", help="list indexed runs")
+    p_list.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the index entries as JSON instead of a table",
     )
+    p_list.set_defaults(fn=_cmd_list)
 
     p_show = sub.add_parser("show", help="print one run's full report")
     p_show.add_argument("run", help="run id, run directory or manifest")
+    p_show.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full manifest as JSON instead of the report",
+    )
     p_show.set_defaults(fn=_cmd_show)
 
     p_check = sub.add_parser(

@@ -8,10 +8,17 @@ ids against.
 
 Lines are append-only and self-contained: re-running a run id appends a
 *new* line (the loader keeps the last one per id) rather than rewriting
-history, which keeps concurrent appends safe-ish (one ``O_APPEND``
-write per run) and the file useful as a plain audit log.  Every line is
-key-sorted compact JSON, so identical runs produce byte-identical lines
-and CI can compare indexes with ``cmp``.
+history, which keeps the file useful as a plain audit log.  Every line
+is key-sorted compact JSON, so identical runs produce byte-identical
+lines and CI can compare indexes with ``cmp``.
+
+Appends are atomic and crash-safe for concurrent writers (the
+``repro.serve`` daemon runs many jobs against one tree): each entry is
+one ``os.write`` to an ``O_APPEND`` descriptor — never a buffered
+multi-write that another process could interleave — taken under the
+advisory :func:`index_lock` the daemon shares, with an optional
+``fsync`` (the ``REPRO_INDEX_FSYNC`` environment variable, or the
+``fsync=`` argument) for callers that must survive power loss.
 
 Process-parallel sweeps stay deterministic by construction: workers
 never write manifests — the parent process writes exactly one manifest
@@ -21,12 +28,21 @@ so ``--jobs N`` and ``--jobs 1`` append the same line.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 #: File name of the index, created next to the run directories.
 INDEX_NAME = "index.jsonl"
+
+#: Sidecar lock file taken around index appends (and by the serve
+#: daemon around its own read-modify cycles).
+LOCK_NAME = INDEX_NAME + ".lock"
+
+#: Set (to anything non-empty) to fsync the index after every append.
+FSYNC_ENV = "REPRO_INDEX_FSYNC"
 
 
 def index_path_for(manifest_path: Union[str, Path]) -> Path:
@@ -50,6 +66,7 @@ def index_line(manifest, manifest_path: Union[str, Path]) -> dict:
         rel = manifest_path
     conformance = manifest.conformance or {}
     return {
+        "cache_key": getattr(manifest, "cache_key", ""),
         "conformance": conformance.get("verdict", ""),
         "created_unix": manifest.created_unix,
         "experiments": list(manifest.experiments),
@@ -68,13 +85,78 @@ def dumps_line(entry: dict) -> str:
     return json.dumps(entry, sort_keys=True, separators=(",", ":"))
 
 
-def append_entry(manifest, manifest_path: Union[str, Path]) -> Path:
+@contextlib.contextmanager
+def index_lock(index_path: Union[str, Path]) -> Iterator[None]:
+    """Advisory exclusive lock guarding one index file.
+
+    A sidecar ``index.jsonl.lock`` is flocked for the duration — shared
+    by every writer of the tree (the runner via :func:`append_entry`,
+    the serve daemon around its read-modify cycles), so concurrent jobs
+    serialize their appends.  On platforms without ``fcntl`` the lock
+    degrades to a no-op; the single ``O_APPEND`` write in
+    :func:`append_entry` still keeps lines whole there.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    index_path = Path(index_path)
+    index_path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(
+        index_path.parent / LOCK_NAME,
+        os.O_WRONLY | os.O_CREAT,
+        0o644,
+    )
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+    finally:
+        os.close(fd)
+
+
+def append_line(
+    index_path: Union[str, Path],
+    line: str,
+    fsync: Optional[bool] = None,
+) -> None:
+    """Atomically append one already-rendered line to an index file.
+
+    The entire line (newline included) goes down in a single
+    ``os.write`` on an ``O_APPEND`` descriptor under :func:`index_lock`,
+    so two processes appending concurrently can never interleave
+    partial lines.  ``fsync=None`` consults :data:`FSYNC_ENV`.
+    """
+    if fsync is None:
+        fsync = bool(os.environ.get(FSYNC_ENV))
+    index_path = Path(index_path)
+    data = (line.rstrip("\n") + "\n").encode("utf-8")
+    with index_lock(index_path):
+        fd = os.open(
+            index_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, data)
+            if fsync:
+                os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+def append_entry(
+    manifest,
+    manifest_path: Union[str, Path],
+    fsync: Optional[bool] = None,
+) -> Path:
     """Append the manifest's index line; returns the index path."""
     index_path = index_path_for(manifest_path)
-    index_path.parent.mkdir(parents=True, exist_ok=True)
-    line = dumps_line(index_line(manifest, manifest_path))
-    with open(index_path, "a") as fh:
-        fh.write(line + "\n")
+    append_line(
+        index_path, dumps_line(index_line(manifest, manifest_path)),
+        fsync=fsync,
+    )
     return index_path
 
 

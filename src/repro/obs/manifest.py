@@ -30,7 +30,9 @@ MANIFEST_FORMAT = "repro.obs.manifest/v1"
 #: manifests.  v2: adds ``schema_version``, ``conformance``,
 #: ``analysis``; writes are key-sorted and append an index line.
 #: v3: adds ``queue_backend`` and ``macro`` (event-core selection).
-SCHEMA_VERSION = 3
+#: v4: adds ``cache_key`` and ``request`` (the canonical request and
+#: its content hash — what ``repro.serve`` answers repeats from).
+SCHEMA_VERSION = 4
 
 
 def platform_manifest(hpu) -> dict:
@@ -103,6 +105,14 @@ class RunManifest:
     #: Whether the macro fast path was permitted (False when the run
     #: forced the DES with ``--no-macro`` / ``REPRO_NO_MACRO=1``).
     macro: bool = True
+    #: Content address of the run's canonical request
+    #: (``repro.serve.cache.cache_key``); empty for uncacheable runs
+    #: (active fault injection) and pre-v4 manifests.
+    cache_key: str = ""
+    #: The canonical request this run answers
+    #: (``repro.serve.protocol.canonical_request``): every behavioural
+    #: knob with defaults resolved.  Empty for pre-v4 manifests.
+    request: Dict[str, object] = field(default_factory=dict)
     #: Additive schema evolution counter (see :data:`SCHEMA_VERSION`).
     schema_version: int = SCHEMA_VERSION
     #: Model-conformance block (``repro.core.model.oracle.
@@ -139,6 +149,8 @@ class RunManifest:
             "recovery": self.recovery,
             "queue_backend": self.queue_backend,
             "macro": self.macro,
+            "cache_key": self.cache_key,
+            "request": self.request,
             "schema_version": self.schema_version,
             "conformance": self.conformance,
             "analysis": self.analysis,
@@ -181,6 +193,8 @@ class RunManifest:
             recovery=data.get("recovery", []),
             queue_backend=data.get("queue_backend", "heap"),
             macro=data.get("macro", True),
+            cache_key=data.get("cache_key", ""),
+            request=data.get("request", {}),
             schema_version=data.get("schema_version", 1),
             conformance=data.get("conformance", {}),
             analysis=data.get("analysis", {}),

@@ -1,0 +1,78 @@
+"""repro.serve — simulation-as-a-service.
+
+A long-lived asyncio job daemon in front of the experiment runner:
+typed JSON job requests (:mod:`repro.serve.protocol`), a priority job
+queue with bounded concurrency (:mod:`repro.serve.daemon`), a
+content-addressed result cache over the persistent run index
+(:mod:`repro.serve.cache`), a plain JSON-lines TCP / unix-socket
+transport with no third-party web framework
+(:mod:`repro.serve.transport`), and the ``repro-serve`` CLI
+(:mod:`repro.serve.cli`).
+
+Quick tour::
+
+    # terminal 1: the daemon
+    repro-serve serve --socket /tmp/repro.sock
+
+    # terminal 2: clients
+    repro-serve submit --socket /tmp/repro.sock fig8 --fast --wait
+    repro-serve submit --socket /tmp/repro.sock fig8 --fast --wait
+    #   -> second submission is a cache hit, served from results/
+    repro-serve status --socket /tmp/repro.sock JOB_ID
+    repro-serve shutdown --socket /tmp/repro.sock
+
+Repeat requests are free: every run's manifest records a canonical
+content hash of the request (platform, workload, n, noise, seed,
+schedule, queue backend, macro flag, ...), the run index carries it,
+and the daemon answers a matching submission from ``results/`` with a
+``cache_hit`` marker instead of re-simulating.  See
+``docs/SERVICE.md`` for the full protocol and operational notes.
+"""
+
+from repro.serve.cache import ResultCache, cache_key
+from repro.serve.daemon import JobDaemon
+from repro.serve.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    PriorityJobQueue,
+)
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    JobRequest,
+    ProtocolError,
+    canonical_request,
+    decode_message,
+    encode_message,
+    validate_request,
+)
+from repro.serve.transport import ServeServer, handle_message
+from repro.serve.client import ServeClient
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "TERMINAL_STATES",
+    "Job",
+    "JobDaemon",
+    "JobRequest",
+    "PriorityJobQueue",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ResultCache",
+    "ServeClient",
+    "ServeServer",
+    "cache_key",
+    "canonical_request",
+    "decode_message",
+    "encode_message",
+    "handle_message",
+    "validate_request",
+]

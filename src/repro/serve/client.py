@@ -1,0 +1,131 @@
+"""Synchronous stdlib-socket client for the serve daemon.
+
+One TCP or unix-socket connection per call: open, send one JSON line,
+read one JSON line, close.  That keeps the client trivially usable
+from scripts, tests, and the CLI without an event loop, and makes a
+long-poll (``status --wait`` / ``result``) just a connection with a
+longer socket timeout.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional
+
+from repro.serve.protocol import ProtocolError, decode_message, encode_message
+
+#: Extra socket headroom on top of a long-poll's own timeout.
+_POLL_SLACK_S = 10.0
+
+
+class ServeError(RuntimeError):
+    """The daemon answered ``ok: false``."""
+
+
+class ServeClient:
+    """Talk to a running daemon over TCP or a unix socket.
+
+    Exactly one of ``socket_path`` or ``host``/``port`` is used;
+    ``socket_path`` wins when both are given (mirrors the server).
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout_s: float = 30.0,
+    ) -> None:
+        if socket_path is None and not port:
+            raise ValueError("need a unix socket path or a TCP port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    def _connect(self, timeout_s: float) -> socket.socket:
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout_s)
+            sock.connect(self.socket_path)
+        else:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=timeout_s
+            )
+        return sock
+
+    def call(self, message: dict, timeout_s: Optional[float] = None) -> dict:
+        """One request/response round trip; raises ServeError on
+        ``ok: false`` and ProtocolError on an unparsable reply."""
+        budget = timeout_s if timeout_s is not None else self.timeout_s
+        with self._connect(budget) as sock:
+            sock.sendall(encode_message(message))
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                if chunk.endswith(b"\n"):
+                    break
+        raw = b"".join(chunks)
+        if not raw:
+            raise ProtocolError("connection closed without a response")
+        response = decode_message(raw)
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "unknown daemon error"))
+        return response
+
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        return self.call({"op": "ping"})
+
+    def submit(self, request: dict) -> dict:
+        """Submit a job request; returns the job snapshot."""
+        return self.call({"op": "submit", "request": request})["job"]
+
+    def status(
+        self,
+        job_id: str,
+        wait: bool = False,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        message = {"op": "status", "job_id": job_id}
+        if wait:
+            message["wait"] = True
+            if timeout is not None:
+                message["timeout"] = timeout
+        budget = self.timeout_s
+        if wait:
+            budget = (timeout or 3600.0) + _POLL_SLACK_S
+        return self.call(message, timeout_s=budget)["job"]
+
+    def result(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        include_manifest: bool = True,
+    ) -> dict:
+        """Long-poll for the terminal snapshot (+ inlined manifest)."""
+        message = {
+            "op": "result",
+            "job_id": job_id,
+            "include_manifest": include_manifest,
+        }
+        if timeout is not None:
+            message["timeout"] = timeout
+        budget = (timeout or 3600.0) + _POLL_SLACK_S
+        return self.call(message, timeout_s=budget)
+
+    def cancel(self, job_id: str) -> dict:
+        return self.call({"op": "cancel", "job_id": job_id})["job"]
+
+    def list_jobs(self) -> dict:
+        return self.call({"op": "list"})
+
+    def stats(self) -> dict:
+        return self.call({"op": "stats"})["stats"]
+
+    def shutdown(self, drain: bool = False) -> dict:
+        return self.call({"op": "shutdown", "drain": drain})

@@ -1,0 +1,154 @@
+"""Jobs and the priority queue the daemon schedules from.
+
+A :class:`Job` is one accepted request plus its whole lifecycle:
+``queued -> running -> done | failed | cancelled``, with timestamps at
+every transition, the cache verdict, run artifacts, and an
+:class:`asyncio.Event` that long-polling clients await.
+
+:class:`PriorityJobQueue` orders by ``(-priority, seq)``: higher
+priority first, FIFO among equals (the same tie rule as the simulator's
+event queue).  Cancellation of a queued job is lazy — the entry stays
+in the heap, marked terminal, and :meth:`~PriorityJobQueue.pop` skips
+it — so cancel is O(1) and never re-heapifies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.serve.protocol import JobRequest
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+_SEQ = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One submitted job and everything a client may ask about it."""
+
+    job_id: str
+    request: JobRequest
+    canonical: dict
+    cache_key: str
+    seq: int = field(default_factory=lambda: next(_SEQ))
+    state: str = QUEUED
+    submitted_unix: float = field(default_factory=time.time)
+    started_unix: Optional[float] = None
+    finished_unix: Optional[float] = None
+    #: Execution attempts so far (retries included).
+    attempts: int = 0
+    #: Served from the content-addressed cache without running.
+    cache_hit: bool = False
+    run_id: Optional[str] = None
+    manifest_path: Optional[str] = None
+    report_path: Optional[str] = None
+    error: Optional[str] = None
+    #: Set when a client asked to cancel a running job (best effort:
+    #: an executor task already on a worker cannot be interrupted).
+    cancel_requested: bool = False
+    _done_event: Optional[asyncio.Event] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def priority(self) -> int:
+        return self.request.priority
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    # ------------------------------------------------------------------
+    def done_event(self) -> asyncio.Event:
+        """The event long-pollers await; created lazily on first use so
+        a Job can exist before any event loop does."""
+        if self._done_event is None:
+            self._done_event = asyncio.Event()
+        return self._done_event
+
+    def finish(self, state: str) -> None:
+        """Transition into a terminal state and wake long-pollers."""
+        self.state = state
+        self.finished_unix = time.time()
+        self.done_event().set()
+
+    @property
+    def wait_s(self) -> float:
+        """Seconds spent queued before starting (or so far)."""
+        end = self.started_unix
+        if end is None:
+            end = self.finished_unix or time.time()
+        return max(0.0, end - self.submitted_unix)
+
+    def snapshot(self) -> dict:
+        """JSON-able view served to clients."""
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "kind": self.request.kind,
+            "priority": self.priority,
+            "cache_hit": self.cache_hit,
+            "cache_key": self.cache_key,
+            "submitted_unix": self.submitted_unix,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "attempts": self.attempts,
+            "run_id": self.run_id,
+            "manifest": self.manifest_path,
+            "report": self.report_path,
+            "error": self.error,
+            "request": self.request.to_dict(),
+        }
+
+
+class PriorityJobQueue:
+    """Higher priority first, FIFO among equals, lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+
+    def __len__(self) -> int:
+        return sum(1 for *_k, job in self._heap if job.state == QUEUED)
+
+    def push(self, job: Job) -> None:
+        heapq.heappush(self._heap, (-job.priority, job.seq, job))
+
+    def pop(self) -> Optional[Job]:
+        """The next queued job, or None; skips cancelled entries."""
+        while self._heap:
+            *_key, job = heapq.heappop(self._heap)
+            if job.state == QUEUED:
+                return job
+        return None
+
+    def drain(self) -> List[Job]:
+        """Remove and return every still-queued job (shutdown path)."""
+        jobs = []
+        while True:
+            job = self.pop()
+            if job is None:
+                return jobs
+            jobs.append(job)
+
+
+def job_table(jobs: Dict[str, Job]) -> List[dict]:
+    """Compact listing of jobs, newest submission first."""
+    return [
+        job.snapshot()
+        for job in sorted(
+            jobs.values(), key=lambda j: j.seq, reverse=True
+        )
+    ]

@@ -1,0 +1,220 @@
+"""JSON-lines transport: plain asyncio TCP / unix-socket serving.
+
+No third-party web framework: a client connects, writes one JSON
+object per line, and reads one JSON object per line back.  Operations
+(the ``op`` field):
+
+=============  ========================================================
+``ping``       liveness + protocol version
+``submit``     ``{"op": "submit", "request": {...}}`` — returns the job
+               snapshot (instantly ``done`` with ``cache_hit`` on a
+               cache hit)
+``status``     job snapshot; ``wait``/``timeout`` long-poll until the
+               job is terminal
+``result``     long-poll for the terminal snapshot, manifest inlined
+               (``include_manifest: false`` to skip)
+``cancel``     cancel a queued (or best-effort a running) job
+``list``       all job snapshots, newest first
+``stats``      queue depth / cache hit rate / metrics summary
+``shutdown``   stop the daemon (``drain: true`` finishes queued work
+               first) and the server loop
+=============  ========================================================
+
+Every response carries ``ok`` plus ``protocol``; failures are
+``{"ok": false, "error": ...}`` with the connection left open — a
+malformed line must not take down a shared daemon.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.serve.daemon import JobDaemon
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_message,
+)
+
+#: Refuse absurd frames before json-parsing them (1 GiB submit lines
+#: are a client bug, not a workload).
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+
+def _ok(**fields) -> dict:
+    fields.update(ok=True, protocol=PROTOCOL_VERSION)
+    return fields
+
+
+def _err(message: str) -> dict:
+    return {"ok": False, "error": message, "protocol": PROTOCOL_VERSION}
+
+
+async def handle_message(
+    daemon: JobDaemon, message: dict, server: Optional["ServeServer"] = None
+) -> dict:
+    """Dispatch one decoded client message against the daemon."""
+    op = message.get("op")
+    try:
+        if op == "ping":
+            return _ok(pong=True)
+        if op == "submit":
+            job = await daemon.submit(message.get("request"))
+            return _ok(job=job.snapshot())
+        if op == "status":
+            job_id = message.get("job_id", "")
+            if message.get("wait"):
+                job = await daemon.wait(
+                    job_id, timeout=message.get("timeout")
+                )
+            else:
+                job = daemon.get(job_id)
+            return _ok(job=job.snapshot())
+        if op == "result":
+            job = await daemon.wait(
+                message.get("job_id", ""), timeout=message.get("timeout")
+            )
+            snapshot = job.snapshot()
+            manifest = None
+            if (
+                message.get("include_manifest", True)
+                and job.manifest_path
+                and Path(job.manifest_path).is_file()
+            ):
+                manifest = json.loads(Path(job.manifest_path).read_text())
+            return _ok(job=snapshot, manifest=manifest)
+        if op == "cancel":
+            job = await daemon.cancel(message.get("job_id", ""))
+            return _ok(job=job.snapshot())
+        if op == "list":
+            return _ok(jobs=daemon.list_jobs(), stats=daemon.stats())
+        if op == "stats":
+            return _ok(stats=daemon.stats())
+        if op == "shutdown":
+            if server is not None:
+                server.request_shutdown(drain=bool(message.get("drain")))
+                return _ok(stopping=True)
+            stats = await daemon.shutdown(drain=bool(message.get("drain")))
+            return _ok(stopping=True, stats=stats)
+        return _err(f"unknown op {op!r}")
+    except ProtocolError as exc:
+        return _err(str(exc))
+    except KeyError as exc:
+        return _err(str(exc.args[0]) if exc.args else "not found")
+    except RuntimeError as exc:
+        return _err(str(exc))
+
+
+class ServeServer:
+    """One daemon behind one listening socket.
+
+    ``socket_path`` selects a unix socket; otherwise ``host``/``port``
+    bind TCP (port 0 = ephemeral, see :attr:`port` after start).
+    """
+
+    def __init__(
+        self,
+        daemon: JobDaemon,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.daemon = daemon
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._drain = False
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the daemon and bind the socket."""
+        self._stop = asyncio.Event()
+        await self.daemon.start()
+        if self.socket_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.socket_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def endpoint(self) -> str:
+        if self.socket_path is not None:
+            return f"unix:{self.socket_path}"
+        return f"tcp:{self.host}:{self.port}"
+
+    def request_shutdown(self, drain: bool = False) -> None:
+        """Ask the serve loop to wind down (returns immediately)."""
+        self._drain = drain
+        if self._stop is not None:
+            self._stop.set()
+
+    async def serve_until_shutdown(self) -> dict:
+        """Block until a ``shutdown`` op (or :meth:`request_shutdown`),
+        then stop the listener and the daemon; returns final stats."""
+        assert self._stop is not None, "call start() first"
+        await self._stop.wait()
+        return await self.stop()
+
+    async def stop(self) -> dict:
+        """Close the listener and shut the daemon down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        stats = await self.daemon.shutdown(drain=self._drain)
+        if self.socket_path is not None:
+            try:
+                Path(self.socket_path).unlink()
+            except OSError:
+                pass
+        return stats
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if len(line) > MAX_LINE_BYTES:
+                    response = _err("message too large")
+                else:
+                    try:
+                        message = decode_message(line)
+                    except ProtocolError as exc:
+                        response = _err(str(exc))
+                    else:
+                        response = await handle_message(
+                            self.daemon, message, server=self
+                        )
+                writer.write(encode_message(response))
+                try:
+                    await writer.drain()
+                except ConnectionResetError:
+                    break
+        except asyncio.CancelledError:
+            # Event-loop teardown cancels handlers parked on readline();
+            # swallowing it here lets the task finish cleanly instead of
+            # tripping the loop's exception handler during shutdown.
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError, asyncio.CancelledError):
+                pass

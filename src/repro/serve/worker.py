@@ -1,0 +1,95 @@
+"""Executor-side job execution for the serve daemon.
+
+The daemon never simulates in its own event loop: each job becomes one
+:func:`execute_job` call on an executor — a process-pool worker by
+default (clean ambient tracer/engine/resilience state per job, true
+concurrency) or the single-threaded fallback executor.  Everything
+crossing the boundary is picklable: the payload is a plain dict around
+a :class:`~repro.experiments.runner.RunSpec`, and the result is the
+:class:`~repro.experiments.runner.RunOutcome` digest plus the fresh
+tuner-cache entries for the daemon's job-scoped merge-back
+(:func:`repro.experiments.common.export_tuner_state`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.runner import RunSpec, run_request
+
+
+def build_spec(
+    canonical: dict,
+    request,
+    results_dir: str,
+    run_id: Optional[str] = None,
+    jobs="auto",
+) -> RunSpec:
+    """The RunSpec executing one validated request.
+
+    Built from the *validated* request (grids, flags) with the
+    daemon-chosen run id and results tree.  ``jobs`` is the daemon's
+    per-job sweep-engine width — an operational knob, deliberately not
+    part of the request (results are bit-identical at any width).
+    """
+    if request.kind == "sweep":
+        sweep = {
+            "platform": request.platform,
+            "n": list(request.n),
+            "alphas": (
+                list(request.alphas) if request.alphas is not None else None
+            ),
+            "levels": (
+                list(request.levels) if request.levels is not None else None
+            ),
+            "adaptive": request.adaptive,
+            "include_cpu_fallback": request.include_cpu_fallback,
+            "noise_amplitude": request.noise_amplitude,
+            "seed": request.seed,
+        }
+        experiments = ()
+    else:
+        sweep = None
+        experiments = tuple(request.experiments)
+    return RunSpec(
+        experiments=experiments,
+        fast=request.fast,
+        jobs=jobs,
+        queue_backend=request.queue_backend,
+        macro=request.macro,
+        check_model=request.check_model,
+        report=request.report,
+        manifest=True,
+        run_id=run_id,
+        results_dir=Path(results_dir),
+        sweep=sweep,
+        argv=["repro-serve", request.kind],
+    )
+
+
+def execute_job(payload: dict) -> dict:
+    """Run one job; the single entry point shipped to the executor.
+
+    ``payload`` carries ``spec`` (a :func:`build_spec` result) and
+    optionally ``tuner_state`` (the daemon's accumulated memo).  The
+    reply carries the outcome digest and the tuner entries this job
+    added — pool workers are reused across jobs, so the baseline
+    snapshot keeps the reply incremental rather than re-shipping the
+    whole warm cache every time.
+    """
+    from repro.experiments.common import (
+        export_tuner_state,
+        seed_tuner_state,
+        snapshot_tuner_keys,
+    )
+
+    tuner_state = payload.get("tuner_state")
+    if tuner_state:
+        seed_tuner_state(tuner_state)
+    baseline = snapshot_tuner_keys()
+    outcome = run_request(payload["spec"])
+    return {
+        "outcome": outcome.to_dict(),
+        "tuner_state": export_tuner_state(baseline),
+    }

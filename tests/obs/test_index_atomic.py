@@ -1,0 +1,98 @@
+"""Atomic, crash-safe index appends under concurrent writers."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.obs.index import (
+    FSYNC_ENV,
+    LOCK_NAME,
+    append_line,
+    dumps_line,
+    index_lock,
+    load_index,
+)
+
+
+class TestAppendLine:
+    def test_append_creates_file_and_lock(self, tmp_path):
+        index = tmp_path / "index.jsonl"
+        append_line(index, dumps_line({"run_id": "a"}))
+        assert index.read_text() == '{"run_id":"a"}\n'
+        assert (tmp_path / LOCK_NAME).exists()
+
+    def test_appends_accumulate(self, tmp_path):
+        index = tmp_path / "index.jsonl"
+        for i in range(3):
+            append_line(index, dumps_line({"run_id": f"r{i}"}))
+        lines = index.read_text().splitlines()
+        assert [json.loads(l)["run_id"] for l in lines] == ["r0", "r1", "r2"]
+
+    def test_trailing_newline_not_duplicated(self, tmp_path):
+        index = tmp_path / "index.jsonl"
+        append_line(index, dumps_line({"run_id": "a"}) + "\n")
+        append_line(index, dumps_line({"run_id": "b"}))
+        assert index.read_text().count("\n") == 2
+
+    def test_fsync_env_accepted(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FSYNC_ENV, "1")
+        index = tmp_path / "index.jsonl"
+        append_line(index, dumps_line({"run_id": "a"}))
+        assert json.loads(index.read_text())["run_id"] == "a"
+
+    def test_fsync_argument_accepted(self, tmp_path):
+        index = tmp_path / "index.jsonl"
+        append_line(index, dumps_line({"run_id": "a"}), fsync=True)
+        assert json.loads(index.read_text())["run_id"] == "a"
+
+    def test_lock_is_reentrant_across_calls(self, tmp_path):
+        index = tmp_path / "index.jsonl"
+        with index_lock(index):
+            pass  # released
+        append_line(index, dumps_line({"run_id": "a"}))
+        assert load_index(tmp_path)
+
+
+class TestConcurrentWriters:
+    def test_parallel_processes_never_corrupt_the_index(self, tmp_path):
+        """N processes each appending K lines concurrently: every line
+        in the final file must be complete, parseable JSON, and all
+        N*K entries must be present exactly once."""
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        index = tmp_path / "index.jsonl"
+        writers, lines_each = 4, 25
+        script = (
+            "import sys\n"
+            "from repro.obs.index import append_line, dumps_line\n"
+            "writer, path = sys.argv[1], sys.argv[2]\n"
+            "for i in range(%d):\n"
+            "    append_line(path, dumps_line("
+            "{'run_id': f'{writer}-{i}', 'payload': 'x' * 200}))\n"
+            % lines_each
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, f"w{w}", str(index)],
+                env={**os.environ, "PYTHONPATH": src},
+            )
+            for w in range(writers)
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+
+        raw_lines = index.read_text().splitlines()
+        assert len(raw_lines) == writers * lines_each
+        run_ids = [json.loads(line)["run_id"] for line in raw_lines]
+        assert len(set(run_ids)) == writers * lines_each
+
+    def test_load_index_keeps_last_entry_per_run_id(self, tmp_path):
+        index = tmp_path / "index.jsonl"
+        append_line(index, dumps_line({"run_id": "a", "v": 1}))
+        append_line(index, dumps_line({"run_id": "a", "v": 2}))
+        entries = load_index(tmp_path)
+        assert len(entries) == 1
+        assert entries[0]["v"] == 2

@@ -1,0 +1,154 @@
+"""Cache-key canonicalization: stable across processes and dict
+orderings, distinct across anything that changes results."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.serve.cache import ResultCache, cache_key
+from repro.serve.protocol import canonical_request, validate_request
+
+
+def key_of(data, **canonical_kwargs):
+    return cache_key(
+        canonical_request(validate_request(data), **canonical_kwargs)
+    )
+
+
+FIGURE = {"kind": "figure", "experiments": ["fig8", "table2"], "fast": True}
+SWEEP = {
+    "kind": "sweep",
+    "platform": "HPU1",
+    "n": [1 << 17, 1 << 20],
+    "alphas": [0.25, 0.5],
+}
+
+
+class TestStability:
+    def test_dict_ordering_is_irrelevant(self):
+        shuffled = {
+            "fast": True,
+            "experiments": ["fig8", "table2"],
+            "kind": "figure",
+        }
+        assert key_of(FIGURE) == key_of(shuffled)
+
+    def test_defaults_resolve_to_same_key_as_explicit_values(self):
+        from repro.sim.events import default_backend
+        from repro.util.rng import DEFAULT_SEED
+
+        explicit = dict(
+            FIGURE, seed=DEFAULT_SEED, queue_backend=default_backend()
+        )
+        assert key_of(FIGURE) == key_of(explicit)
+
+    def test_key_is_stable_across_processes(self):
+        """Same request, fresh interpreter (fresh PYTHONHASHSEED) —
+        byte-identical key."""
+        script = (
+            "import json, sys\n"
+            "from repro.serve.cache import cache_key\n"
+            "from repro.serve.protocol import canonical_request, "
+            "validate_request\n"
+            "data = json.loads(sys.stdin.read())\n"
+            "print(cache_key(canonical_request(validate_request(data))))\n"
+        )
+        import os
+        from pathlib import Path
+
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        keys = set()
+        for hashseed in ("0", "1", "42"):
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                input=json.dumps(FIGURE),
+                capture_output=True,
+                text=True,
+                env={
+                    **os.environ,
+                    "PYTHONPATH": src,
+                    "PYTHONHASHSEED": hashseed,
+                },
+                check=True,
+            )
+            keys.add(result.stdout.strip())
+        assert len(keys) == 1
+        assert keys == {key_of(FIGURE)}
+
+    def test_key_shape(self):
+        key = key_of(FIGURE)
+        assert len(key) == 32
+        int(key, 16)  # hex
+
+
+class TestDistinctness:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            (FIGURE, dict(FIGURE, experiments=["fig8"])),
+            (FIGURE, dict(FIGURE, fast=False)),
+            (FIGURE, dict(FIGURE, macro=False)),
+            (FIGURE, dict(FIGURE, queue_backend="array")),
+            (FIGURE, dict(FIGURE, report=True)),
+            (FIGURE, dict(FIGURE, check_model=True)),
+            (SWEEP, dict(SWEEP, seed=7)),
+            (SWEEP, dict(SWEEP, noise_amplitude=0.05)),
+            (SWEEP, dict(SWEEP, n=[1 << 17])),
+            (SWEEP, dict(SWEEP, alphas=[0.25, 0.75])),
+            (SWEEP, dict(SWEEP, platform="HPU2")),
+            (SWEEP, dict(SWEEP, include_cpu_fallback=False)),
+        ],
+    )
+    def test_different_requests_different_keys(self, a, b):
+        assert key_of(a) != key_of(b)
+
+    def test_kind_differs(self):
+        assert key_of(FIGURE) != key_of(SWEEP)
+
+    def test_priority_and_policies_do_not_change_the_key(self):
+        """Scheduling knobs change *when* a job runs, never what it
+        produces — they must not fragment the cache."""
+        decorated = dict(
+            FIGURE,
+            priority=9,
+            retry={"max_retries": 3, "backoff": 1.0},
+            timeout_s=120,
+        )
+        assert key_of(FIGURE) == key_of(decorated)
+
+    def test_traced_profile_changes_the_key(self):
+        assert key_of(FIGURE) != key_of(FIGURE, traced=True)
+
+    def test_resilient_runs_key_differently(self):
+        assert key_of(FIGURE) != key_of(FIGURE, resilient=True)
+
+
+class TestResultCache:
+    def test_empty_key_never_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.record({"cache_key": "", "run_id": "r", "manifest": "x"})
+        assert cache.lookup("") is None
+
+    def test_lookup_requires_existing_manifest(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.record(
+            {"cache_key": "k1", "run_id": "r1", "manifest": "r1/manifest.json"}
+        )
+        # Manifest file was deleted (or never copied): entry is evicted.
+        assert cache.lookup("k1") is None
+
+    def test_record_then_lookup(self, tmp_path):
+        run = tmp_path / "r1"
+        run.mkdir()
+        (run / "manifest.json").write_text("{}")
+        cache = ResultCache(tmp_path)
+        cache.record(
+            {"cache_key": "k1", "run_id": "r1", "manifest": "r1/manifest.json"}
+        )
+        entry = cache.lookup("k1")
+        assert entry is not None and entry["run_id"] == "r1"
+        assert cache.manifest_path(entry) == run / "manifest.json"

@@ -1,0 +1,247 @@
+"""Transport round trips: JSON-lines framing over sockets, op
+dispatch, error isolation, shutdown."""
+
+import asyncio
+import json
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import JobDaemon
+from repro.serve.protocol import PROTOCOL_VERSION, decode_message, encode_message
+from repro.serve.transport import ServeServer, handle_message
+
+TINY = {
+    "kind": "sweep",
+    "platform": "HPU1",
+    "n": [4096],
+    "alphas": [0.5],
+    "adaptive": False,
+    "include_cpu_fallback": False,
+}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def request(server, message):
+    """One framed round trip against a running TCP server."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+    writer.write(encode_message(message))
+    await writer.drain()
+    line = await reader.readline()
+    writer.close()
+    await writer.wait_closed()
+    return decode_message(line)
+
+
+async def with_server(tmp_path, body, **daemon_kwargs):
+    daemon_kwargs.setdefault("executor", "thread")
+    server = ServeServer(JobDaemon(results_dir=tmp_path, **daemon_kwargs))
+    await server.start()
+    try:
+        return await body(server)
+    finally:
+        await server.stop()
+
+
+class TestOps:
+    def test_ping(self, tmp_path):
+        async def body(server):
+            response = await request(server, {"op": "ping"})
+            assert response["ok"] and response["pong"]
+            assert response["protocol"] == PROTOCOL_VERSION
+
+        run(with_server(tmp_path, body))
+
+    def test_submit_status_result_roundtrip(self, tmp_path):
+        async def body(server):
+            submitted = await request(
+                server, {"op": "submit", "request": TINY}
+            )
+            assert submitted["ok"]
+            job_id = submitted["job"]["job_id"]
+            # Long-poll result: terminal snapshot plus inlined manifest.
+            result = await request(
+                server, {"op": "result", "job_id": job_id, "timeout": 60}
+            )
+            assert result["job"]["state"] == "done"
+            assert result["manifest"]["schema_version"] >= 4
+            assert result["manifest"]["cache_key"] == submitted["job"]["cache_key"]
+            status = await request(server, {"op": "status", "job_id": job_id})
+            assert status["job"]["state"] == "done"
+
+        run(with_server(tmp_path, body))
+
+    def test_duplicate_submit_hits_cache_over_the_wire(self, tmp_path):
+        async def body(server):
+            first = await request(server, {"op": "submit", "request": TINY})
+            await request(
+                server,
+                {"op": "result", "job_id": first["job"]["job_id"],
+                 "timeout": 60, "include_manifest": False},
+            )
+            second = await request(server, {"op": "submit", "request": TINY})
+            assert second["job"]["state"] == "done"
+            assert second["job"]["cache_hit"] is True
+            stats = (await request(server, {"op": "stats"}))["stats"]
+            assert stats["cache_hits"] == 1
+
+        run(with_server(tmp_path, body))
+
+    def test_list_and_cancel(self, tmp_path):
+        async def body(server):
+            submitted = await request(
+                server, {"op": "submit", "request": TINY}
+            )
+            job_id = submitted["job"]["job_id"]
+            cancelled = await request(
+                server, {"op": "cancel", "job_id": job_id}
+            )
+            assert cancelled["job"]["state"] in ("cancelled", "running", "done")
+            listing = await request(server, {"op": "list"})
+            assert [j["job_id"] for j in listing["jobs"]] == [job_id]
+
+        run(with_server(tmp_path, body))
+
+
+class TestErrorIsolation:
+    def test_malformed_line_keeps_connection_open(self, tmp_path):
+        async def body(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            error = decode_message(await reader.readline())
+            assert error["ok"] is False and "malformed" in error["error"]
+            # Same connection still serves valid requests.
+            writer.write(encode_message({"op": "ping"}))
+            await writer.drain()
+            assert decode_message(await reader.readline())["pong"]
+            writer.close()
+            await writer.wait_closed()
+
+        run(with_server(tmp_path, body))
+
+    def test_unknown_op(self, tmp_path):
+        async def body(server):
+            response = await request(server, {"op": "frobnicate"})
+            assert response["ok"] is False
+            assert "unknown op" in response["error"]
+
+        run(with_server(tmp_path, body))
+
+    def test_invalid_request_reports_protocol_error(self, tmp_path):
+        async def body(server):
+            response = await request(
+                server, {"op": "submit", "request": {"kind": "nope"}}
+            )
+            assert response["ok"] is False
+            assert "kind" in response["error"]
+
+        run(with_server(tmp_path, body))
+
+    def test_unknown_job_id_is_an_error_not_a_crash(self, tmp_path):
+        async def body(server):
+            response = await request(
+                server, {"op": "status", "job_id": "missing"}
+            )
+            assert response["ok"] is False
+            assert "missing" in response["error"]
+
+        run(with_server(tmp_path, body))
+
+
+class TestUnixSocketAndClient:
+    def test_unix_socket_round_trip_with_sync_client(self, tmp_path):
+        sock = str(tmp_path / "serve.sock")
+
+        async def body():
+            server = ServeServer(
+                JobDaemon(results_dir=tmp_path, executor="thread"),
+                socket_path=sock,
+            )
+            await server.start()
+            client = ServeClient(socket_path=sock)
+            loop = asyncio.get_running_loop()
+            try:
+                assert (await loop.run_in_executor(None, client.ping))["pong"]
+                job = await loop.run_in_executor(
+                    None, client.submit, TINY
+                )
+                final = await loop.run_in_executor(
+                    None, lambda: client.status(job["job_id"], wait=True,
+                                                timeout=60)
+                )
+                assert final["state"] == "done"
+                stats = await loop.run_in_executor(None, client.stats)
+                assert stats["cache_misses"] == 1
+            finally:
+                await server.stop()
+            # Socket file is cleaned up on stop.
+            assert not (tmp_path / "serve.sock").exists()
+
+        run(body())
+
+    def test_client_raises_serve_error(self, tmp_path):
+        sock = str(tmp_path / "serve.sock")
+
+        async def body():
+            server = ServeServer(
+                JobDaemon(results_dir=tmp_path, executor="thread"),
+                socket_path=sock,
+            )
+            await server.start()
+            client = ServeClient(socket_path=sock)
+            loop = asyncio.get_running_loop()
+            try:
+                try:
+                    await loop.run_in_executor(
+                        None, client.status, "missing"
+                    )
+                    raise AssertionError("expected ServeError")
+                except ServeError as exc:
+                    assert "missing" in str(exc)
+            finally:
+                await server.stop()
+
+        run(body())
+
+
+class TestShutdownOp:
+    def test_shutdown_op_stops_the_server(self, tmp_path):
+        async def body():
+            server = ServeServer(
+                JobDaemon(results_dir=tmp_path, executor="thread")
+            )
+            await server.start()
+            waiter = asyncio.create_task(server.serve_until_shutdown())
+            response = await request(server, {"op": "shutdown"})
+            assert response["ok"] and response["stopping"]
+            stats = await asyncio.wait_for(waiter, timeout=30)
+            assert stats["accepting"] is False
+
+        run(body())
+
+
+class TestHandleMessageDirect:
+    def test_dispatch_without_a_socket(self, tmp_path):
+        async def body():
+            daemon = JobDaemon(results_dir=tmp_path, executor="thread")
+            await daemon.start()
+            try:
+                pong = await handle_message(daemon, {"op": "ping"})
+                assert pong["pong"]
+                job = (await handle_message(
+                    daemon, {"op": "submit", "request": TINY}
+                ))["job"]
+                final = await handle_message(
+                    daemon,
+                    {"op": "status", "job_id": job["job_id"],
+                     "wait": True, "timeout": 60},
+                )
+                assert final["job"]["state"] == "done"
+            finally:
+                await daemon.shutdown()
+
+        run(body())

@@ -101,6 +101,20 @@ PUBLIC_IMPORTS = [
             "mergesort_spec",
         ],
     ),
+    (
+        "repro.serve",
+        [
+            "JobDaemon",
+            "JobRequest",
+            "PriorityJobQueue",
+            "ResultCache",
+            "ServeClient",
+            "ServeServer",
+            "cache_key",
+            "canonical_request",
+            "validate_request",
+        ],
+    ),
 ]
 
 
@@ -135,6 +149,11 @@ class TestPublicSurface:
 
     def test_cli_entry_point_importable(self):
         from repro.experiments.runner import main
+
+        assert callable(main)
+
+    def test_serve_cli_entry_point_importable(self):
+        from repro.serve.cli import main
 
         assert callable(main)
 
