@@ -41,10 +41,10 @@ def _closest(pts: np.ndarray) -> float:
     mid = n // 2
     mid_x = pts[mid, 0]
     best = min(_closest(pts[:mid]), _closest(pts[mid:]))
-    return min(best, _strip_best(pts, mid_x, best))
+    return min(best, strip_best(pts, mid_x, best))
 
 
-def _strip_best(pts: np.ndarray, mid_x: float, best: float) -> float:
+def strip_best(pts: np.ndarray, mid_x: float, best: float) -> float:
     """Scan the vertical strip of half-width ``best`` around ``mid_x``."""
     strip = pts[np.abs(pts[:, 0] - mid_x) < best]
     strip = strip[np.argsort(strip[:, 1], kind="stable")]
@@ -70,7 +70,7 @@ def closest_pair_spec() -> DCSpec:
         best = min(d_left, d_right)
         mid_x = float(right[0, 0]) if right.shape[0] else float("inf")
         merged = np.vstack([left, right])
-        best = min(best, _strip_best(merged, mid_x, best) if best < float("inf") else brute_force_closest(merged))
+        best = min(best, strip_best(merged, mid_x, best) if best < float("inf") else brute_force_closest(merged))
         return (best, merged)
 
     return DCSpec(

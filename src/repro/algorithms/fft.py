@@ -40,6 +40,13 @@ def fft_recursive(signal: np.ndarray) -> np.ndarray:
     return recurse(data)
 
 
+def butterfly(even: np.ndarray, odd: np.ndarray) -> np.ndarray:
+    """One radix-2 DIT butterfly pass combining two half-spectra."""
+    size = even.size + odd.size
+    twiddle = np.exp(-2j * np.pi * np.arange(size // 2) / size) * odd
+    return np.concatenate([even + twiddle, even - twiddle])
+
+
 def fft_spec() -> DCSpec:
     """Cooley–Tukey through the generic framework: a=b=2, f(n)=Θ(n).
 
@@ -52,9 +59,7 @@ def fft_spec() -> DCSpec:
 
     def combine(subs, view: np.ndarray):
         even, odd = subs
-        n = view.size
-        twiddle = np.exp(-2j * np.pi * np.arange(n // 2) / n) * odd
-        return np.concatenate([even + twiddle, even - twiddle])
+        return butterfly(even, odd)
 
     return DCSpec(
         name="fft",

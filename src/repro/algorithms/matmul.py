@@ -60,38 +60,46 @@ def matmul_recursive(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return recurse(np.asarray(a), np.asarray(b))
 
 
-def matmul_spec() -> DCSpec:
-    """Classical blocked matmul through the generic framework.
+def divide_step(x: np.ndarray, y: np.ndarray):
+    """The eight quadrant products of one classical block product.
 
-    The eight subproblems are the quadrant products in the fixed order
-    (A11B11, A12B21, A11B12, A12B22, A21B11, A22B21, A21B12, A22B22);
-    combine adds consecutive pairs into the four output quadrants.
+    Fixed order (A11B11, A12B21, A11B12, A12B22, A21B11, A22B21,
+    A21B12, A22B22): consecutive pairs sum into one output quadrant.
     """
+    h = x.shape[0] // 2
+    a11, a12, a21, a22 = x[:h, :h], x[:h, h:], x[h:, :h], x[h:, h:]
+    b11, b12, b21, b22 = y[:h, :h], y[:h, h:], y[h:, :h], y[h:, h:]
+    return (
+        (a11, b11),
+        (a12, b21),
+        (a11, b12),
+        (a12, b22),
+        (a21, b11),
+        (a22, b21),
+        (a21, b12),
+        (a22, b22),
+    )
+
+
+def combine_step(subs) -> np.ndarray:
+    """Assemble one product from its eight quadrant-product solutions."""
+    h = subs[0].shape[0]
+    out = np.empty((2 * h, 2 * h), dtype=subs[0].dtype)
+    out[:h, :h] = subs[0] + subs[1]
+    out[:h, h:] = subs[2] + subs[3]
+    out[h:, :h] = subs[4] + subs[5]
+    out[h:, h:] = subs[6] + subs[7]
+    return out
+
+
+def matmul_spec() -> DCSpec:
+    """Classical blocked matmul through the generic framework."""
 
     def divide(problem: Problem):
-        x, y = problem
-        h = x.shape[0] // 2
-        a11, a12, a21, a22 = x[:h, :h], x[:h, h:], x[h:, :h], x[h:, h:]
-        b11, b12, b21, b22 = y[:h, :h], y[:h, h:], y[h:, :h], y[h:, h:]
-        return (
-            (a11, b11),
-            (a12, b21),
-            (a11, b12),
-            (a12, b22),
-            (a21, b11),
-            (a22, b21),
-            (a21, b12),
-            (a22, b22),
-        )
+        return divide_step(*problem)
 
     def combine(subs, problem: Problem):
-        h = subs[0].shape[0]
-        out = np.empty((2 * h, 2 * h), dtype=subs[0].dtype)
-        out[:h, :h] = subs[0] + subs[1]
-        out[:h, h:] = subs[2] + subs[3]
-        out[h:, :h] = subs[4] + subs[5]
-        out[h:, h:] = subs[6] + subs[7]
-        return out
+        return combine_step(subs)
 
     return DCSpec(
         name="matmul",
@@ -107,35 +115,33 @@ def matmul_spec() -> DCSpec:
     )
 
 
-def make_matmul_workload(dim: int, element_bytes: int = 4):
-    """Timing workload for a ``dim × dim`` classical D&C product.
+class _MatmulParallelSteps:
+    """One work-item per output element at a combine level (§7).
 
-    The per-subproblem GPU step follows the generic translation (one
-    divergent thread doing its quadrant additions); the *parallel*
-    steps — one work-item per output element — implement §7's
-    observation that for dense matrix operations the combine is
-    trivially parallel, enabling the parallel-tail extension.
+    Module-level class with value equality (keyed on the matrix
+    dimension) so matmul workloads pickle — and compare — across
+    process-parallel sweeps, per the mergesort adapter's convention.
     """
-    from repro.core.schedule.workload import (
-        LEAVES,
-        DCWorkload,
-        KernelStep,
-    )
-    from repro.errors import ScheduleError
-    from repro.opencl.kernel import AccessPattern
-    from repro.util.intmath import ilog2
 
-    if not is_power_of_two(dim) or dim < 4 * BASE_DIM:
-        raise ScheduleError(
-            f"matmul workload needs a power-of-two dim >= {4 * BASE_DIM}, "
-            f"got {dim}"
-        )
-    k = ilog2(dim) - ilog2(BASE_DIM)
+    __slots__ = ("dim",)
 
-    def parallel_steps(workload, level, tasks, offset):
+    def __init__(self, dim: int) -> None:
+        self.dim = dim
+
+    def __eq__(self, other) -> bool:
+        return type(other) is _MatmulParallelSteps and other.dim == self.dim
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.dim))
+
+    def __call__(self, workload, level, tasks, offset):
+        from repro.core.schedule.workload import LEAVES, KernelStep
+        from repro.errors import ScheduleError
+        from repro.opencl.kernel import AccessPattern
+
         if level == LEAVES:
             raise ScheduleError("parallel kernels apply to combine levels")
-        size = dim >> int(level)  # output dimension at this level
+        size = self.dim >> int(level)  # output dimension at this level
         return [
             KernelStep(
                 name=f"quadrant-add:{level}",
@@ -146,6 +152,32 @@ def make_matmul_workload(dim: int, element_bytes: int = 4):
             )
         ]
 
+
+def make_matmul_workload(dim: int, element_bytes: int = 4, host=None):
+    """Timing workload for a ``dim × dim`` classical D&C product.
+
+    The per-subproblem GPU step follows the generic translation (one
+    divergent thread doing its quadrant additions); the *parallel*
+    steps — one work-item per output element — implement §7's
+    observation that for dense matrix operations the combine is
+    trivially parallel, enabling the parallel-tail extension.
+
+    ``host`` (an object exposing the ``DCWorkload`` functional-hook
+    surface as ``host.execute``) makes runs really multiply its
+    matrices; ``None`` keeps the timing-only workload the experiment
+    sweeps use.
+    """
+    from repro.core.schedule.workload import DCWorkload
+    from repro.errors import ScheduleError
+    from repro.util.intmath import ilog2
+
+    if not is_power_of_two(dim) or dim < 4 * BASE_DIM:
+        raise ScheduleError(
+            f"matmul workload needs a power-of-two dim >= {4 * BASE_DIM}, "
+            f"got {dim}"
+        )
+    k = ilog2(dim) - ilog2(BASE_DIM)
+
     return DCWorkload(
         name=f"matmul[{dim}]",
         level_tasks=[8**i for i in range(k)],
@@ -155,7 +187,8 @@ def make_matmul_workload(dim: int, element_bytes: int = 4):
         total_elements=dim * dim,  # the output matrix C
         element_bytes=element_bytes,
         working_set_factor=3.0,  # A, B and C resident
-        gpu_parallel_steps_fn=parallel_steps,
+        execute=host.execute if host is not None else None,
+        gpu_parallel_steps_fn=_MatmulParallelSteps(dim),
         rec_a=8,
         rec_b=2,
     )

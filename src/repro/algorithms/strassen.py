@@ -49,33 +49,42 @@ def strassen_multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return recurse(np.asarray(a), np.asarray(b))
 
 
+def divide_step(x: np.ndarray, y: np.ndarray):
+    """The seven Strassen subproblems of one product (M1 … M7)."""
+    h = x.shape[0] // 2
+    a11, a12, a21, a22 = x[:h, :h], x[:h, h:], x[h:, :h], x[h:, h:]
+    b11, b12, b21, b22 = y[:h, :h], y[:h, h:], y[h:, :h], y[h:, h:]
+    return (
+        (a11 + a22, b11 + b22),
+        (a21 + a22, b11.copy()),
+        (a11.copy(), b12 - b22),
+        (a22.copy(), b21 - b11),
+        (a11 + a12, b22.copy()),
+        (a21 - a11, b11 + b12),
+        (a12 - a22, b21 + b22),
+    )
+
+
+def combine_step(subs) -> np.ndarray:
+    """Assemble one product from its seven subproblem solutions."""
+    m1, m2, m3, m4, m5, m6, m7 = subs
+    h = m1.shape[0]
+    out = np.empty((2 * h, 2 * h), dtype=m1.dtype)
+    out[:h, :h] = m1 + m4 - m5 + m7
+    out[:h, h:] = m3 + m5
+    out[h:, :h] = m2 + m4
+    out[h:, h:] = m1 - m2 + m3 + m6
+    return out
+
+
 def strassen_spec() -> DCSpec:
     """Strassen through the generic framework: a=7, b=2, f(n)=Θ(n²)."""
 
     def divide(problem: Problem):
-        x, y = problem
-        h = x.shape[0] // 2
-        a11, a12, a21, a22 = x[:h, :h], x[:h, h:], x[h:, :h], x[h:, h:]
-        b11, b12, b21, b22 = y[:h, :h], y[:h, h:], y[h:, :h], y[h:, h:]
-        return (
-            (a11 + a22, b11 + b22),
-            (a21 + a22, b11.copy()),
-            (a11.copy(), b12 - b22),
-            (a22.copy(), b21 - b11),
-            (a11 + a12, b22.copy()),
-            (a21 - a11, b11 + b12),
-            (a12 - a22, b21 + b22),
-        )
+        return divide_step(*problem)
 
     def combine(subs, problem: Problem):
-        m1, m2, m3, m4, m5, m6, m7 = subs
-        h = m1.shape[0]
-        out = np.empty((2 * h, 2 * h), dtype=m1.dtype)
-        out[:h, :h] = m1 + m4 - m5 + m7
-        out[:h, h:] = m3 + m5
-        out[h:, :h] = m2 + m4
-        out[h:, h:] = m1 - m2 + m3 + m6
-        return out
+        return combine_step(subs)
 
     return DCSpec(
         name="strassen",

@@ -9,8 +9,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.algorithms.mergesort.hybrid import make_mergesort_workload
-from repro.core.schedule import AdvancedSchedule, ScheduleExecutor
 from repro.core.schedule.executor import HybridRunResult
 from repro.hpu.hpu import HPU
 from repro.obs.tracer import active as _obs_active
@@ -98,18 +96,22 @@ class BestPoint:
 #: sweep points and experiments: Fig. 10 re-searches the same
 #: (platform, n) grids Fig. 8 already ran, so in a full-runner
 #: invocation its sweeps are nearly free.  Keyed by values only —
-#: NoiseModel is frozen — so identical sweeps always coincide.
+#: NoiseModel is frozen, the workload by its registry id — so
+#: identical sweeps always coincide.
 _TUNERS: Dict[tuple, object] = {}
 
 
-def _tuner_for(hpu: HPU, n: int, noise: NoiseModel):
+def _tuner_for(
+    hpu: HPU, n: int, noise: NoiseModel, workload: str = "mergesort"
+):
     from repro.core.autotune import AutoTuner
+    from repro.workloads import get as get_workload
 
-    key = (hpu.name, n, noise)
+    key = (hpu.name, workload, n, noise)
     tuner = _TUNERS.get(key)
     if tuner is None:
         _TUNERS[key] = tuner = AutoTuner(
-            hpu, make_mergesort_workload(n), noise=noise
+            hpu, get_workload(workload).workload(n), noise=noise
         )
     return tuner
 
@@ -136,12 +138,14 @@ def export_tuner_state(
 ) -> Dict[tuple, dict]:
     """Picklable snapshot of tuner memos, minus an earlier baseline.
 
-    Keyed like :data:`_TUNERS` — ``(platform name, n, noise)`` — with
-    each value carrying the platform name (an HPU is rebuilt from its
-    preset on the other side), the new evaluation-cache entries, and
-    the CPU-fallback result.  ``baseline`` (a
-    :func:`snapshot_tuner_keys` result) limits the export to entries
-    evaluated *after* the snapshot, keeping job payloads incremental.
+    Keyed like :data:`_TUNERS` — ``(platform name, workload id, n,
+    noise)`` — with each value carrying the platform name (an HPU is
+    rebuilt from its preset on the other side), the workload id (the
+    workload is rebuilt through the registry), the new
+    evaluation-cache entries, and the CPU-fallback result.
+    ``baseline`` (a :func:`snapshot_tuner_keys` result) limits the
+    export to entries evaluated *after* the snapshot, keeping job
+    payloads incremental.
     """
     baseline = baseline or {}
     state: Dict[tuple, dict] = {}
@@ -152,9 +156,10 @@ def export_tuner_state(
         }
         if not fresh and (key in baseline or tuner._cpu_fallback is None):
             continue
-        name, n, noise = key
+        name, workload, n, noise = key
         state[key] = {
             "platform": name,
+            "workload": workload,
             "n": n,
             "noise": noise,
             "cache": fresh,
@@ -168,16 +173,21 @@ def seed_tuner_state(state: Dict[tuple, dict]) -> None:
 
     Existing memo entries always win (``setdefault``), so seeding is
     idempotent and can never change what a warm process would have
-    computed anyway.  Unknown platform names are skipped: a snapshot
-    from a newer library must not crash an older worker.
+    computed anyway.  Unknown platform names and workload ids are
+    skipped: a snapshot from a newer library must not crash an older
+    worker.
     """
     from repro.hpu.platforms import PLATFORMS
+    from repro.workloads import is_registered
 
     for payload in state.values():
         hpu = PLATFORMS.get(payload["platform"])
-        if hpu is None:
+        workload = payload.get("workload", "mergesort")
+        if hpu is None or not is_registered(workload):
             continue
-        tuner = _tuner_for(hpu, payload["n"], payload["noise"])
+        tuner = _tuner_for(
+            hpu, payload["n"], payload["noise"], workload=workload
+        )
         for key, value in payload["cache"].items():
             tuner._cache.setdefault(key, value)
         if tuner._cpu_fallback is None:
@@ -192,6 +202,7 @@ def sweep_best_operating_point(
     noise: NoiseModel = NO_NOISE,
     include_cpu_fallback: bool = True,
     adaptive: bool = False,
+    workload: str = "mergesort",
 ) -> BestPoint:
     """Grid-search (α, y) for the best measured advanced-hybrid speedup.
 
@@ -199,15 +210,18 @@ def sweep_best_operating_point(
     run the implementation across transfer ratios and levels, keep the
     fastest.  ``include_cpu_fallback`` also tries the CPU-only path,
     which wins for small inputs where transfers dominate.  Thin wrapper
-    over :class:`repro.core.autotune.AutoTuner` for the mergesort
-    workload.  ``adaptive=True`` replaces the exhaustive grid with the
-    tuner's coarse-to-fine search (used by the ``--fast`` sweeps).
+    over :class:`repro.core.autotune.AutoTuner` for any registered
+    workload (``workload`` is a :mod:`repro.workloads` id; the default
+    keeps the historical mergesort behaviour).  ``adaptive=True``
+    replaces the exhaustive grid with the tuner's coarse-to-fine
+    search (used by the ``--fast`` sweeps).
     """
-    tuner = _tuner_for(hpu, n, noise)
+    tuner = _tuner_for(hpu, n, noise, workload=workload)
     tracer = _obs_active()
     if tracer is not None:
         # Sweep boundary marker: everything until the next marker on the
-        # trace timeline belongs to this (platform, n) grid search.
+        # trace timeline belongs to this (platform, workload, n) grid
+        # search.
         tracer.instant(
             f"sweep:{hpu.name}:n={n}",
             "autotune.sweep",
@@ -215,6 +229,7 @@ def sweep_best_operating_point(
             platform=hpu.name,
             n=n,
             adaptive=adaptive,
+            workload=workload,
         )
     if levels is None:
         levels = range(max(2, tuner.workload.k - 18), tuner.workload.k + 1)
@@ -248,10 +263,11 @@ def _sweep_point_task(payload):
         noise,
         include_cpu_fallback,
         adaptive,
+        workload,
         cache_seed,
         fallback_seed,
     ) = payload
-    tuner = _tuner_for(hpu, n, noise)
+    tuner = _tuner_for(hpu, n, noise, workload=workload)
     if fallback_seed is not None and tuner._cpu_fallback is None:
         tuner._cpu_fallback = fallback_seed
     for key, value in cache_seed.items():
@@ -266,6 +282,7 @@ def _sweep_point_task(payload):
         noise=noise,
         include_cpu_fallback=include_cpu_fallback,
         adaptive=adaptive,
+        workload=workload,
     )
     fresh = {k: v for k, v in tuner._cache.items() if k not in known}
     return (
@@ -284,6 +301,7 @@ def sweep_best_operating_points(
     noise: NoiseModel = NO_NOISE,
     include_cpu_fallback: bool = True,
     adaptive: bool = False,
+    workload: str = "mergesort",
 ) -> List[BestPoint]:
     """Batch form of :func:`sweep_best_operating_point` over many points.
 
@@ -313,12 +331,13 @@ def sweep_best_operating_points(
                 noise=noise,
                 include_cpu_fallback=include_cpu_fallback,
                 adaptive=adaptive,
+                workload=workload,
             )
             for hpu, n in points
         ]
     payloads = []
     for hpu, n in points:
-        tuner = _TUNERS.get((hpu.name, n, noise))
+        tuner = _TUNERS.get((hpu.name, workload, n, noise))
         payloads.append(
             (
                 hpu,
@@ -328,6 +347,7 @@ def sweep_best_operating_points(
                 noise,
                 include_cpu_fallback,
                 adaptive,
+                workload,
                 dict(tuner._cache) if tuner is not None else {},
                 tuner._cpu_fallback if tuner is not None else None,
             )
@@ -343,7 +363,7 @@ def sweep_best_operating_points(
             # The engine fell back to running the task in-process, so
             # the parent tuner was mutated directly — nothing to merge.
             continue
-        tuner = _tuner_for(hpu, n, noise)
+        tuner = _tuner_for(hpu, n, noise, workload=workload)
         for key, value in fresh.items():
             tuner._cache.setdefault(key, value)
         if tuner._cpu_fallback is None:

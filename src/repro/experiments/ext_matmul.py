@@ -14,8 +14,7 @@ ceiling by 2× once the matrices amortize the transfers.
 
 from __future__ import annotations
 
-from repro.algorithms.matmul import make_matmul_workload
-from repro.core.model import AdvancedModel, ModelContext
+from repro.core.model import AdvancedModel
 from repro.core.schedule import (
     AdvancedSchedule,
     ScheduleExecutor,
@@ -26,19 +25,18 @@ from repro.hpu import HPU1
 
 
 def run(fast: bool = False) -> ExperimentResult:
+    from repro.workloads import get
+
+    entry = get("matmul")
     dims = (64, 128, 256, 1024) if fast else (64, 128, 256, 512, 1024, 2048)
     rows = []
     for dim in dims:
-        workload = make_matmul_workload(dim)
+        workload = entry.workload(dim)
         executor = ScheduleExecutor(HPU1, workload, noise=MEASUREMENT_NOISE)
-        ctx = ModelContext(
-            a=8,
-            b=2,
-            n=dim // 2,  # model tree: k = log2(dim) - 1 levels
-            f=lambda m: float((2 * m) ** 2),
-            params=HPU1.parameters,
-            leaf_cost=workload.leaf_cost,
-        )
+        # The generic recursion→model translation the planner itself
+        # uses (identical to the historical hand-built context: a=8,
+        # b=2, n=dim/2, f(m)=(2m)²).
+        ctx = AdvancedSchedule._context(workload, HPU1.parameters)
         solution = AdvancedModel(ctx).optimize()
         plan = AdvancedSchedule().plan(workload, HPU1.parameters)
         cpu_only = executor.run_cpu_only()

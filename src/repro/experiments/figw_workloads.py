@@ -1,0 +1,113 @@
+"""Figure W: best hybrid speedup vs problem size, per registered workload.
+
+The registry's cross-workload counterpart of Fig. 8: for every entry
+in :mod:`repro.workloads` (or a single selected one), grid-search the
+advanced strategy's operating point (α, y) at each size in the entry's
+default grid and report the best measured speedup alongside the
+GPU/CPU balance ratio.  This is the paper's §7 claim made measurable —
+the same planner, executor, autotuner and model run unchanged across
+recursions from ``a = 2`` sorts to the ``a = 8`` matrix product.
+
+Not a figure from the paper (hence the ``figw`` id): it extends the
+Fig. 8 protocol to the workload registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.experiments.common import (
+    MEASUREMENT_NOISE,
+    ExperimentResult,
+    default_alpha_grid,
+    fmt_ratio,
+    sweep_best_operating_points,
+)
+from repro.hpu import HPU1
+
+
+def _rows_for_entry(entry, fast: bool, alphas) -> tuple:
+    """Sweep one registry entry's size grid; rows plus a peak note."""
+    sizes = entry.default_sizes(fast)
+    bests = sweep_best_operating_points(
+        [(HPU1, n) for n in sizes],
+        alphas,
+        noise=MEASUREMENT_NOISE,
+        adaptive=fast,
+        workload=entry.workload_id,
+    )
+    rows = []
+    peak = (0.0, sizes[0])
+    for n, best in zip(sizes, bests):
+        rows.append(
+            [
+                entry.workload_id,
+                HPU1.name,
+                str(n),  # as text: the table must not render 65536 as 6.5e4
+                fmt_ratio(best.alpha),
+                "-" if best.transfer_level is None else best.transfer_level,
+                round(best.speedup, 3),
+                fmt_ratio(best.result.gpu_cpu_ratio),
+            ]
+        )
+        if best.speedup > peak[0]:
+            peak = (best.speedup, n)
+    note = (
+        f"{entry.workload_id}: {entry.recurrence}; best {peak[0]:.2f}x at "
+        f"{entry.size_label}={peak[1]}"
+    )
+    return rows, note
+
+
+def _result(rows, notes) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="figw",
+        title="Best hybrid speedup vs size per registered workload "
+        "(advanced strategy, HPU1)",
+        headers=[
+            "workload",
+            "platform",
+            "n",
+            "alpha*",
+            "y*",
+            "measured",
+            "GPU/CPU",
+        ],
+        rows=rows,
+        notes=notes,
+        paper_expectation=(
+            "§7: the generic translation should carry every regular "
+            "T(n)=a·T(n/b)+f(n) recursion; leaf-heavy recursions "
+            "(matmul, strassen) lean on the GPU hardest, balanced ones "
+            "peak near the mergesort operating points"
+        ),
+    )
+
+
+def run(
+    fast: bool = False, workload_ids: Optional[Sequence[str]] = None
+) -> ExperimentResult:
+    """Sweep every registered workload (or the ids given, in order)."""
+    from repro import workloads
+
+    alphas = default_alpha_grid(fast)
+    selected = (
+        workloads.entries()
+        if workload_ids is None
+        else tuple(workloads.get(w) for w in workload_ids)
+    )
+    rows, notes = [], []
+    for entry in selected:
+        entry_rows, note = _rows_for_entry(entry, fast, alphas)
+        rows.extend(entry_rows)
+        notes.append(note)
+    return _result(rows, notes)
+
+
+def run_for(workload_id: str) -> Callable[[bool], ExperimentResult]:
+    """A single-workload variant, shaped like an EXPERIMENTS entry."""
+
+    def _run(fast: bool = False) -> ExperimentResult:
+        return run(fast, workload_ids=[workload_id])
+
+    return _run

@@ -49,6 +49,7 @@ from repro.experiments import (
     fig8_speedup_vs_n,
     fig9_parallel_gpu,
     fig10_optimal_params,
+    figw_workloads,
     table1_platforms,
     table2_parameters,
 )
@@ -65,6 +66,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
     "fig8": fig8_speedup_vs_n.run,
     "fig9": fig9_parallel_gpu.run,
     "fig10": fig10_optimal_params.run,
+    "figw": figw_workloads.run,
     "ext1": ext_future_work.run,
     "ext2": ext_matmul.run,
 }
@@ -112,6 +114,9 @@ class RunSpec:
     #: A ``repro.resilience.ResilienceConfig`` to install for the run.
     #: Resilient runs are uncacheable (their cache_key is empty).
     resilience: Optional[object] = None
+    #: Registered workload id (``repro.workloads``): retargets the
+    #: ``figw`` experiment or a custom sweep; None = mergesort.
+    workload: Optional[str] = None
     #: Render the ASCII per-device timeline into the outcome.
     trace_ascii: bool = False
     #: Recorded in the manifest's (volatile) argv field.
@@ -191,6 +196,7 @@ def _sweep_run(sweep: dict) -> Callable[[bool], ExperimentResult]:
 
     def run(fast: bool) -> ExperimentResult:
         hpu = get_platform(sweep["platform"])
+        workload = sweep.get("workload") or "mergesort"
         sizes = [int(n) for n in sweep["n"]]
         alphas = sweep.get("alphas")
         if alphas is None:
@@ -225,6 +231,7 @@ def _sweep_run(sweep: dict) -> Callable[[bool], ExperimentResult]:
                 sweep.get("include_cpu_fallback", True)
             ),
             adaptive=bool(adaptive),
+            workload=workload,
         )
         rows = []
         for n, best in zip(sizes, bests):
@@ -239,9 +246,12 @@ def _sweep_run(sweep: dict) -> Callable[[bool], ExperimentResult]:
                     fmt_ratio(best.speedup),
                 ]
             )
+        # The workload suffix only for non-default workloads: mergesort
+        # sweep titles predate the registry and stay byte-stable.
+        suffix = "" if workload == "mergesort" else f" ({workload})"
         return ExperimentResult(
             experiment_id="sweep",
-            title=f"Custom operating-point sweep on {hpu.name}",
+            title=f"Custom operating-point sweep on {hpu.name}{suffix}",
             headers=["platform", "n", "alpha*", "y*", "speedup"],
             rows=rows,
             notes=[
@@ -268,6 +278,7 @@ def _build_manifest(
     macro: bool = True,
     cache_key: str = "",
     request: Optional[dict] = None,
+    workload: str = "mergesort",
 ):
     """Assemble the RunManifest for this invocation."""
     import os
@@ -316,6 +327,7 @@ def _build_manifest(
         macro=macro,
         cache_key=cache_key,
         request=request or {},
+        workload=workload,
     )
 
 
@@ -359,6 +371,7 @@ def _canonical_for_spec(
             macro=spec.macro,
             check_model=spec.check_model,
             report=spec.report,
+            workload=sweep.get("workload") or spec.workload,
         )
     else:
         request = JobRequest(
@@ -369,6 +382,7 @@ def _canonical_for_spec(
             macro=spec.macro,
             check_model=spec.check_model,
             report=spec.report,
+            workload=spec.workload,
         )
     return canonical_request(
         request,
@@ -400,8 +414,18 @@ def run_request(
     from repro.core.schedule.macro import NO_MACRO_ENV
     from repro.sim.events import BACKEND_ENV, QUEUE_BACKENDS, default_backend
 
+    if spec.workload is not None:
+        from repro.workloads import WorkloadError, get as _get_workload
+
+        try:
+            _get_workload(spec.workload)
+        except WorkloadError as exc:
+            raise ValueError(str(exc))
+
     sweep = spec.sweep
     if sweep is not None:
+        if spec.workload is not None and not sweep.get("workload"):
+            sweep = {**sweep, "workload": spec.workload}
         for key in ("platform", "n"):
             if not sweep.get(key):
                 raise ValueError(f"sweep spec needs {key!r}")
@@ -418,6 +442,13 @@ def run_request(
                 f"available: {', '.join(EXPERIMENTS)}"
             )
         runners = {key: EXPERIMENTS[key] for key in selected}
+        if spec.workload is not None:
+            if "figw" not in selected:
+                raise ValueError(
+                    "--workload retargets the figw experiment (or a "
+                    "sweep); add figw to the selection"
+                )
+            runners["figw"] = figw_workloads.run_for(spec.workload)
 
     # -- event-core selection ------------------------------------------
     # The resolved choice is exported so sweep worker processes inherit
@@ -573,6 +604,11 @@ def run_request(
             conformance=conformance, analysis=analysis,
             queue_backend=queue_backend, macro=macro_enabled,
             cache_key=key, request=canonical,
+            workload=(
+                spec.workload
+                or (spec.sweep or {}).get("workload")
+                or "mergesort"
+            ),
         )
         outcome.manifest = manifest
         outcome.manifest_path = manifest.write(run_dir / "manifest.json")
@@ -793,6 +829,14 @@ def main(argv=None) -> int:
         "REPRO_NO_MACRO=1; results are bit-identical either way)",
     )
     parser.add_argument(
+        "--workload",
+        default=None,
+        metavar="ID",
+        help="registered workload id (repro.workloads) to retarget the "
+        "figw experiment at — e.g. quicksort, strassen, fft; see "
+        "docs/WORKLOADS.md",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list available experiments"
     )
     args = parser.parse_args(argv)
@@ -850,6 +894,7 @@ def main(argv=None) -> int:
         run_id=args.run_id,
         results_dir=args.results_dir,
         resilience=_resilience_config(args, parser),
+        workload=args.workload,
         argv=list(argv) if argv is not None else None,
     )
 

@@ -32,7 +32,9 @@ MANIFEST_FORMAT = "repro.obs.manifest/v1"
 #: v3: adds ``queue_backend`` and ``macro`` (event-core selection).
 #: v4: adds ``cache_key`` and ``request`` (the canonical request and
 #: its content hash — what ``repro.serve`` answers repeats from).
-SCHEMA_VERSION = 4
+#: v5: adds ``workload`` (the registered :mod:`repro.workloads` id the
+#: run swept; pre-registry manifests read back as ``"mergesort"``).
+SCHEMA_VERSION = 5
 
 
 def platform_manifest(hpu) -> dict:
@@ -113,6 +115,9 @@ class RunManifest:
     #: (``repro.serve.protocol.canonical_request``): every behavioural
     #: knob with defaults resolved.  Empty for pre-v4 manifests.
     request: Dict[str, object] = field(default_factory=dict)
+    #: Registered workload id the run's sweeps targeted (v5; earlier
+    #: manifests predate the registry and were all mergesort).
+    workload: str = "mergesort"
     #: Additive schema evolution counter (see :data:`SCHEMA_VERSION`).
     schema_version: int = SCHEMA_VERSION
     #: Model-conformance block (``repro.core.model.oracle.
@@ -151,6 +156,7 @@ class RunManifest:
             "macro": self.macro,
             "cache_key": self.cache_key,
             "request": self.request,
+            "workload": self.workload,
             "schema_version": self.schema_version,
             "conformance": self.conformance,
             "analysis": self.analysis,
@@ -195,6 +201,7 @@ class RunManifest:
             macro=data.get("macro", True),
             cache_key=data.get("cache_key", ""),
             request=data.get("request", {}),
+            workload=data.get("workload", "mergesort"),
             schema_version=data.get("schema_version", 1),
             conformance=data.get("conformance", {}),
             analysis=data.get("analysis", {}),

@@ -156,6 +156,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         request["check_model"] = args.check_model
     if args.report:
         request["report"] = True
+    if args.workload:
+        request["workload"] = args.workload
     _policy_fields(args, request)
     client = _client(args)
     return _finish(client, client.submit(request), args)
@@ -185,6 +187,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         request["queue_backend"] = args.queue_backend
     if args.no_macro:
         request["macro"] = False
+    if args.workload:
+        request["workload"] = args.workload
     _policy_fields(args, request)
     client = _client(args)
     return _finish(client, client.submit(request), args)
@@ -299,6 +303,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the analytic-model conformance oracle",
     )
     p.add_argument("--report", action="store_true")
+    p.add_argument(
+        "--workload",
+        default=None,
+        metavar="ID",
+        help="registered workload id for the figw experiment "
+        "(quicksort, strassen, fft, ...; see docs/WORKLOADS.md)",
+    )
     _add_job_policy_args(p)
     _add_wait_args(p)
     p.set_defaults(func=_cmd_submit)
@@ -327,6 +338,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full", action="store_true", help="full-size grids")
     p.add_argument("--queue-backend", default=None)
     p.add_argument("--no-macro", action="store_true")
+    p.add_argument(
+        "--workload",
+        default=None,
+        metavar="ID",
+        help="registered workload id to sweep instead of mergesort",
+    )
     _add_job_policy_args(p)
     _add_wait_args(p)
     p.set_defaults(func=_cmd_sweep)

@@ -66,6 +66,7 @@ _ALLOWED_FIELDS = frozenset(
         "priority",
         "retry",
         "timeout_s",
+        "workload",
     }
 )
 
@@ -108,6 +109,9 @@ class JobRequest:
     #: Job-level wall-clock deadline in seconds (validated through
     #: TimeoutPolicy's kernel-deadline rule: > 0 or absent).
     timeout_s: Optional[float] = None
+    #: Registered workload id (:mod:`repro.workloads`); ``None`` keeps
+    #: the historical mergesort default.
+    workload: Optional[str] = None
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -145,6 +149,8 @@ class JobRequest:
             data["retry"] = dict(self.retry)
         if self.timeout_s is not None:
             data["timeout_s"] = self.timeout_s
+        if self.workload is not None:
+            data["workload"] = self.workload
         return data
 
 
@@ -289,6 +295,20 @@ def validate_request(data: object) -> JobRequest:
     if retry == {"max_retries": 0, "backoff": 0.0}:
         retry = {}
 
+    workload = data.get("workload")
+    entry = None
+    if workload is not None:
+        _require(
+            isinstance(workload, str),
+            f"workload must be a string, got {workload!r}",
+        )
+        from repro.workloads import WorkloadError, get as _get_workload
+
+        try:
+            entry = _get_workload(workload)
+        except WorkloadError as exc:
+            raise ProtocolError(str(exc)) from exc
+
     if kind == "figure":
         for key in ("platform", "n", "alphas", "levels", "adaptive"):
             _require(
@@ -323,6 +343,11 @@ def validate_request(data: object) -> JobRequest:
             "figure runs are pinned to the library noise model; use "
             "kind='sweep' for custom noise",
         )
+        _require(
+            workload is None or "figw" in experiments,
+            "'workload' on a figure request retargets the figw "
+            "experiment; include 'figw' in 'experiments'",
+        )
         return JobRequest(
             kind="figure",
             experiments=tuple(str(e) for e in experiments),
@@ -335,6 +360,7 @@ def validate_request(data: object) -> JobRequest:
             priority=priority,
             retry=retry,
             timeout_s=timeout_s,
+            workload=workload,
         )
 
     # kind == "sweep"
@@ -350,12 +376,20 @@ def validate_request(data: object) -> JobRequest:
         f"platform must be one of {sorted(PLATFORMS)}, got {platform!r}",
     )
     n = _as_number_tuple(data.get("n"), "n", int)
-    # The hybrid mergesort follows the paper in requiring power-of-two
+    # The hybrid workloads follow the paper in requiring power-of-two
     # inputs; reject at submit time instead of failing on a worker.
     _require(
         all(v > 0 and (v & (v - 1)) == 0 for v in n),
         "'n' entries must be positive powers of two",
     )
+    if entry is not None:
+        from repro.workloads import WorkloadError
+
+        try:
+            for v in n:
+                entry.validate_n(v)
+        except WorkloadError as exc:
+            raise ProtocolError(str(exc)) from exc
     alphas = data.get("alphas")
     if alphas is not None:
         alphas = _as_number_tuple(alphas, "alphas", float)
@@ -388,6 +422,7 @@ def validate_request(data: object) -> JobRequest:
         priority=priority,
         retry=retry,
         timeout_s=timeout_s,
+        workload=workload,
     )
 
 
@@ -465,7 +500,10 @@ def canonical_request(
         "traced": bool(
             traced or request.check_model is not None or request.report
         ),
-        "workload": "mergesort",
+        # Resolved default: requests predating the workload registry
+        # canonicalize (and hence cache) identically to explicit
+        # mergesort ones.
+        "workload": request.workload or "mergesort",
     }
     return canonical
 

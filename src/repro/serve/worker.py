@@ -47,6 +47,7 @@ def build_spec(
             "include_cpu_fallback": request.include_cpu_fallback,
             "noise_amplitude": request.noise_amplitude,
             "seed": request.seed,
+            "workload": request.workload,
         }
         experiments = ()
     else:
@@ -64,6 +65,7 @@ def build_spec(
         run_id=run_id,
         results_dir=Path(results_dir),
         sweep=sweep,
+        workload=request.workload,
         argv=["repro-serve", request.kind],
     )
 

@@ -1,0 +1,94 @@
+"""Synthetic workloads: arbitrary regular recursions for testing.
+
+Property suites need workloads at geometries no concrete algorithm
+provides (``a = 5``, fractional cost coefficients, shallow trees).
+:func:`make_synthetic_workload` builds a well-formed
+:class:`~repro.core.schedule.workload.DCWorkload` straight from the
+recursion constants ``(a, b, depth, coeff, leaf_cost)``, and
+:class:`CoverageRecorder` is an :data:`~repro.core.schedule.workload.
+ExecuteHook` that records every scheduled batch so tests can assert
+the schedule-execution contract (each task placed exactly once,
+children before parents) without any algorithm-specific state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.schedule.workload import LEAVES, DCWorkload, LevelRef
+from repro.errors import ScheduleError
+
+
+class CoverageRecorder:
+    """Execute hook recording ``(phase, level, offset, count)`` batches.
+
+    ``level`` is normalised to an ``int`` for internal levels and the
+    workload's depth for leaves, so coverage maps index uniformly.
+    """
+
+    def __init__(self, depth: int) -> None:
+        self.depth = depth
+        self.calls: List[Tuple[str, int, int, int]] = []
+
+    def __call__(
+        self, phase: str, level: LevelRef, offset: int, count: int
+    ) -> None:
+        idx = self.depth if level == LEAVES else int(level)
+        self.calls.append((phase, idx, offset, count))
+
+    def coverage(self, a: int) -> List[List[int]]:
+        """Times each task was executed, per level (leaves last)."""
+        counts = [[0] * (a**i) for i in range(self.depth + 1)]
+        for _phase, level, offset, count in self.calls:
+            for j in range(offset, offset + count):
+                counts[level][j] += 1
+        return counts
+
+    def first_execution_order(self) -> dict:
+        """Map ``(level, task)`` → index of the call that first ran it."""
+        order = {}
+        for pos, (_phase, level, offset, count) in enumerate(self.calls):
+            for j in range(offset, offset + count):
+                order.setdefault((level, j), pos)
+        return order
+
+
+def make_synthetic_workload(
+    a: int,
+    b: int,
+    depth: int,
+    coeff: float = 1.0,
+    leaf_cost: float = 1.0,
+    execute: Optional[CoverageRecorder] = None,
+    name: Optional[str] = None,
+) -> DCWorkload:
+    """A ``T(n) = a·T(n/b) + coeff·n`` workload of the given tree depth.
+
+    The root size is ``b**depth`` elements, so level ``i`` carries
+    ``a**i`` tasks of cost ``coeff · b**(depth - i)`` and the base
+    phase has ``a**depth`` leaves of cost ``leaf_cost``.
+    """
+    if a < 2 or b < 2 or depth < 1:
+        raise ScheduleError(
+            f"synthetic workload needs a >= 2, b >= 2, depth >= 1, got "
+            f"a={a}, b={b}, depth={depth}"
+        )
+    if coeff <= 0 or leaf_cost <= 0:
+        raise ScheduleError(
+            f"synthetic workload needs positive costs, got coeff={coeff}, "
+            f"leaf_cost={leaf_cost}"
+        )
+    return DCWorkload(
+        name=name or f"synthetic[a={a},b={b},d={depth}]",
+        level_tasks=[a**i for i in range(depth)],
+        level_cost=[coeff * float(b ** (depth - i)) for i in range(depth)],
+        leaf_tasks=a**depth,
+        leaf_cost=float(leaf_cost),
+        total_elements=b**depth,
+        element_bytes=4,
+        working_set_factor=2.0,
+        execute=execute,
+        rec_a=a,
+        rec_b=b,
+        meta={"synthetic": True},
+    )

@@ -103,14 +103,14 @@ class TestCacheMergeBack:
         # cache hits, spending zero additional simulator runs.
         runs_before = {}
         for hpu, n in _POINTS:
-            tuner = common._TUNERS[(hpu.name, n, NO_NOISE)]
+            tuner = common._TUNERS[(hpu.name, "mergesort", n, NO_NOISE)]
             assert tuner._cache
             runs_before[hpu.name] = tuner.executor_runs
         rerun = common.sweep_best_operating_points(
             _POINTS, alphas=_ALPHAS, levels=_LEVELS
         )
         for hpu, n in _POINTS:
-            tuner = common._TUNERS[(hpu.name, n, NO_NOISE)]
+            tuner = common._TUNERS[(hpu.name, "mergesort", n, NO_NOISE)]
             assert tuner.executor_runs == runs_before[hpu.name]
         assert len(rerun) == len(_POINTS)
 

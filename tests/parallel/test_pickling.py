@@ -42,8 +42,8 @@ class TestNoiseModelPickling:
         assert clone.apply(1.0, *key) == MEASUREMENT_NOISE.apply(1.0, *key)
 
     def test_hashable_cache_key_survives(self):
-        # _TUNERS keys on (hpu.name, n, noise): the clone must land in
-        # the same dict slot as the original.
+        # _TUNERS keys on (hpu.name, workload, n, noise): the clone must
+        # land in the same dict slot as the original.
         assert hash(_roundtrip(NO_NOISE)) == hash(NO_NOISE)
 
 

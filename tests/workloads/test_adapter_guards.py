@@ -1,0 +1,106 @@
+"""The adapters' defensive surfaces: bad inputs and broken schedules.
+
+Host constructors must reject malformed data with ``SpecError``, and
+the execute hooks' run-order guards must raise ``VerificationError``
+when a combine is driven before its children — the failure mode a
+buggy scheduler would produce.  Also pins the pickling convention:
+GPU-step callables compare by value so workloads survive the
+process-pool boundary of multi-job sweeps.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecError
+from repro.workloads import VerificationError, get
+from repro.workloads.closest_pair import ClosestPairHost
+from repro.workloads.fft import FftHost, bit_reversal_permutation
+from repro.workloads.matmul import MatmulHost
+from repro.workloads.mergesort import _build_host as mergesort_host
+from repro.workloads.quicksort import QuicksortHost
+from repro.workloads.strassen import StrassenHost
+
+
+class TestHostInputValidation:
+    def test_quicksort_rejects_non_power_of_two(self):
+        with pytest.raises(SpecError, match="power-of-two"):
+            QuicksortHost(np.arange(100, dtype=np.int32))
+
+    def test_quicksort_rejects_2d(self):
+        with pytest.raises(SpecError, match="1-D"):
+            QuicksortHost(np.zeros((8, 8), dtype=np.int32))
+
+    def test_closest_pair_rejects_wrong_shape(self):
+        with pytest.raises(SpecError, match="\\(n, 2\\)"):
+            ClosestPairHost(np.zeros((64, 3)))
+
+    def test_strassen_rejects_non_square(self):
+        with pytest.raises(SpecError, match="square"):
+            StrassenHost(np.zeros((8, 16)), np.zeros((8, 16)))
+
+    def test_strassen_rejects_mismatched_shapes(self):
+        with pytest.raises(SpecError, match="square"):
+            StrassenHost(np.zeros((8, 8)), np.zeros((16, 16)))
+
+    def test_matmul_rejects_non_square(self):
+        with pytest.raises(SpecError, match="square"):
+            MatmulHost(np.zeros((8, 16)), np.zeros((8, 16)))
+
+    def test_fft_rejects_non_power_of_two(self):
+        with pytest.raises(SpecError, match="power-of-two"):
+            FftHost(np.zeros(100))
+
+
+class TestRunOrderGuards:
+    def test_strassen_combine_before_children_raises(self):
+        host = StrassenHost(np.eye(16), np.eye(16))
+        with pytest.raises(VerificationError, match="before its children"):
+            host.execute("combine", 0, 0, 1)
+
+    def test_matmul_combine_before_children_raises(self):
+        host = MatmulHost(np.eye(16), np.eye(16))
+        with pytest.raises(VerificationError, match="before its children"):
+            host.execute("combine", 0, 0, 1)
+
+    def test_quicksort_fence_violation_raises(self):
+        host = QuicksortHost(
+            np.random.default_rng(0)
+            .integers(0, 1 << 20, size=64)
+            .astype(np.int32)
+        )
+        # Corrupt the divide invariant: swap the global min into the
+        # top half of the root segment, then drive the root combine.
+        lo, hi = host.array.argmin(), host.array.argmax()
+        host.array[[lo, hi]] = host.array[[hi, lo]]
+        with pytest.raises(VerificationError, match="fence violated"):
+            host.execute("combine", 0, 0, 1)
+
+
+class TestBitReversal:
+    def test_permutation_is_an_involution(self):
+        perm = bit_reversal_permutation(64)
+        assert np.array_equal(perm[perm], np.arange(64))
+
+    def test_known_order_n8(self):
+        assert bit_reversal_permutation(8).tolist() == [
+            0, 4, 2, 6, 1, 5, 3, 7,
+        ]
+
+
+class TestPicklingConvention:
+    @pytest.mark.parametrize(
+        "workload_id",
+        ["mergesort", "quicksort", "closest_pair", "strassen", "fft", "matmul"],
+    )
+    def test_timing_workloads_pickle_to_equal_values(self, workload_id):
+        entry = get(workload_id)
+        workload = entry.workload(entry.min_n * 4)
+        clone = pickle.loads(pickle.dumps(workload))
+        assert clone == workload
+
+    def test_mergesort_host_builder_is_seeded(self):
+        run_a = mergesort_host(64, 123)
+        run_b = mergesort_host(64, 123)
+        assert np.array_equal(run_a.host.array, run_b.host.array)

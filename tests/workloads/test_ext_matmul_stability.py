@@ -1,0 +1,54 @@
+"""The ext2 figure survives its port onto the workload registry.
+
+``experiments/ext_matmul.py`` used to hand-build its own
+``ModelContext(a=8, b=2, n=dim/2, f(m)=(2m)²)`` instead of going
+through ``DCWorkload``; PR 8 ports it onto the registry's matmul
+entry and the planner's generic recursion→model translation.  These
+tests pin that the generic context is value-identical to the
+historical hand-built one, so the figure's numbers cannot move.
+"""
+
+import pytest
+
+from repro.algorithms.matmul import BASE_DIM
+from repro.core.model.context import ModelContext
+from repro.core.schedule import AdvancedSchedule
+from repro.experiments import ext_matmul
+from repro.hpu import HPU1
+from repro.workloads import get
+
+DIMS = (64, 256, 1024)
+
+
+class TestGenericContextMatchesHistorical:
+    @pytest.mark.parametrize("dim", DIMS)
+    def test_field_identity(self, dim):
+        workload = get("matmul").workload(dim)
+        generic = AdvancedSchedule._context(workload, HPU1.parameters)
+        historical = ModelContext(
+            a=8,
+            b=2,
+            n=dim // 2,
+            f=lambda m: (2 * m) ** 2,
+            params=HPU1.parameters,
+            leaf_cost=float(2 * BASE_DIM**3),
+        )
+        assert generic.a == historical.a
+        assert generic.b == historical.b
+        assert generic.n == historical.n
+        assert generic.k == historical.k
+        assert generic.leaf_cost == historical.leaf_cost
+        assert generic.level_tasks == historical.level_tasks
+        assert generic.level_cost == historical.level_cost
+        assert generic.num_leaves == historical.num_leaves
+
+
+class TestFigureOutput:
+    def test_fast_run_shape(self):
+        result = ext_matmul.run(fast=True)
+        assert result.experiment_id == "ext2"
+        assert [row[0] for row in result.rows] == [64, 128, 256, 1024]
+        # leaf-heavy recursion: the hybrid beats CPU-only once the
+        # transfers amortize (the figure's committed claim)
+        by_dim = {row[0]: row for row in result.rows}
+        assert by_dim[1024][4] > by_dim[1024][3]

@@ -1,0 +1,67 @@
+"""The registry's mergesort entry is the pre-registry path, bit for bit.
+
+PR 8 reroutes every sweep through the workload registry; this file
+pins the acceptance criterion that the reroute cannot move a golden
+number: the entry's build *is* ``make_mergesort_workload``, the
+executor's makespan on the default plan is the same float the
+pre-registry fig8 pipeline produced, and the generalized 4-tuple
+tuner key reproduces the legacy tuner's results.
+"""
+
+from repro.algorithms.mergesort.hybrid import make_mergesort_workload
+from repro.core.schedule import AdvancedSchedule, ScheduleExecutor
+from repro.experiments import common
+from repro.hpu import HPU1
+from repro.util.rng import NO_NOISE
+from repro.workloads import get
+
+#: Makespan of the default advanced plan at n = 2^20 on HPU1, NO_NOISE,
+#: recorded through the direct ``make_mergesort_workload`` path — the
+#: value every pre-registry experiment saw.  The registry entry must
+#: reproduce it exactly.
+GOLDEN_MAKESPAN_2_20 = 5562303.225263158
+
+
+class TestBuildIdentity:
+    def test_entry_build_is_the_algorithm_builder(self):
+        entry = get("mergesort")
+        for n in (1 << 10, 1 << 14, 1 << 20):
+            assert entry.workload(n) == make_mergesort_workload(n)
+
+    def test_golden_makespan_unmoved(self):
+        workload = get("mergesort").workload(1 << 20)
+        plan = AdvancedSchedule().plan(workload, HPU1.parameters)
+        result = ScheduleExecutor(HPU1, workload).run_advanced(plan)
+        assert result.makespan == GOLDEN_MAKESPAN_2_20
+
+
+class TestTunerPathIdentity:
+    def test_default_workload_key_matches_explicit(self):
+        common._TUNERS.clear()
+        try:
+            implicit = common._tuner_for(HPU1, 1 << 12, NO_NOISE)
+            explicit = common._TUNERS[
+                (HPU1.name, "mergesort", 1 << 12, NO_NOISE)
+            ]
+            assert implicit is explicit
+            assert implicit.workload == make_mergesort_workload(1 << 12)
+        finally:
+            common._TUNERS.clear()
+
+    def test_sweep_defaults_to_mergesort(self):
+        common._TUNERS.clear()
+        try:
+            default = common.sweep_best_operating_points(
+                [(HPU1, 1 << 12)], (0.1, 0.2), noise=NO_NOISE
+            )
+            common._TUNERS.clear()
+            explicit = common.sweep_best_operating_points(
+                [(HPU1, 1 << 12)],
+                (0.1, 0.2),
+                noise=NO_NOISE,
+                workload="mergesort",
+            )
+            assert default[0].alpha == explicit[0].alpha
+            assert default[0].result == explicit[0].result
+        finally:
+            common._TUNERS.clear()

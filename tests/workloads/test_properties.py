@@ -1,0 +1,173 @@
+"""Property suite: registry-built recursions always schedule correctly.
+
+Hypothesis draws random valid recursion geometries ``(a, b, depth,
+coeff, leaf_cost)``, builds a synthetic workload through the same
+surface the registry uses, and asserts the schedule-execution
+contract that every concrete adapter relies on:
+
+- every task in the tree is executed exactly once;
+- no combine runs before all of its children (level order);
+- the makespan dominates every busy trace and both side phases;
+- the analytic model's operating point is finite and its predicted
+  bottom-phase duration is positive (so conformance residuals are
+  always well-defined).
+
+``derandomize=True`` keeps CI deterministic; locally, shrinking still
+reports minimal failing geometries.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import AdvancedModel
+from repro.core.schedule import AdvancedSchedule, BasicSchedule, ScheduleExecutor
+from repro.errors import ScheduleError
+from repro.hpu import HPU1
+from repro.workloads import CoverageRecorder, make_synthetic_workload
+
+GEOMETRIES = st.tuples(
+    st.integers(min_value=2, max_value=6),  # a
+    st.integers(min_value=2, max_value=4),  # b
+    st.integers(min_value=2, max_value=5),  # depth
+    st.floats(min_value=0.25, max_value=4.0, allow_nan=False),  # coeff
+    st.floats(min_value=0.5, max_value=8.0, allow_nan=False),  # leaf_cost
+)
+
+SETTINGS = settings(max_examples=40, deadline=None, derandomize=True)
+
+
+def _plan_or_skip(workload):
+    """Plan the advanced strategy, assuming away degenerate geometries.
+
+    Trees with too few leaves to split across the CPU cores are
+    *rejected* by the planner (a clean ``ScheduleError``, itself part
+    of the contract) rather than scheduled; the properties quantify
+    over the geometries that plan.
+    """
+    try:
+        return AdvancedSchedule().plan(workload, HPU1.parameters)
+    except ScheduleError:
+        assume(False)
+
+
+def _run_advanced(a, b, depth, coeff, leaf_cost):
+    recorder = CoverageRecorder(depth)
+    workload = make_synthetic_workload(
+        a, b, depth, coeff=coeff, leaf_cost=leaf_cost, execute=recorder
+    )
+    plan = _plan_or_skip(workload)
+    result = ScheduleExecutor(HPU1, workload).run_advanced(plan)
+    return recorder, result
+
+
+class TestScheduleContract:
+    @given(geometry=GEOMETRIES)
+    @SETTINGS
+    def test_every_task_executed_exactly_once(self, geometry):
+        a, b, depth, coeff, leaf_cost = geometry
+        recorder, _ = _run_advanced(a, b, depth, coeff, leaf_cost)
+        for level, counts in enumerate(recorder.coverage(a)):
+            assert all(c == 1 for c in counts), (
+                f"level {level}: tasks executed "
+                f"{sorted(set(counts))} times (want exactly 1)"
+            )
+
+    @given(geometry=GEOMETRIES)
+    @SETTINGS
+    def test_children_execute_before_parents(self, geometry):
+        a, b, depth, coeff, leaf_cost = geometry
+        recorder, _ = _run_advanced(a, b, depth, coeff, leaf_cost)
+        order = recorder.first_execution_order()
+        for level in range(depth):  # internal levels only
+            for j in range(a**level):
+                parent = order[(level, j)]
+                for child in range(a * j, a * j + a):
+                    assert order[(level + 1, child)] < parent, (
+                        f"combine ({level}, {j}) ran before child "
+                        f"({level + 1}, {child})"
+                    )
+
+    @given(geometry=GEOMETRIES)
+    @SETTINGS
+    def test_makespan_dominates_busy_traces(self, geometry):
+        a, b, depth, coeff, leaf_cost = geometry
+        _, result = _run_advanced(a, b, depth, coeff, leaf_cost)
+        eps = 1e-9 * result.makespan
+        assert result.makespan > 0
+        assert result.cpu_busy <= result.makespan + eps
+        assert result.gpu_busy <= result.makespan + eps
+        assert result.cpu_side_time <= result.makespan + eps
+        assert result.gpu_side_time <= result.makespan + eps
+        assert result.overlap <= min(result.cpu_busy, result.gpu_busy) + eps
+
+    @given(geometry=GEOMETRIES)
+    @SETTINGS
+    def test_makespan_respects_work_conservation(self, geometry):
+        """No schedule beats all compute resources running flat out."""
+        a, b, depth, coeff, leaf_cost = geometry
+        _, result = _run_advanced(a, b, depth, coeff, leaf_cost)
+        params = HPU1.parameters
+        aggregate_rate = params.p + params.gpu_throughput
+        lower = result.sequential_ops / aggregate_rate
+        assert result.makespan >= lower * (1 - 1e-9)
+
+    @given(geometry=GEOMETRIES)
+    @SETTINGS
+    def test_basic_schedule_covers_the_tree_too(self, geometry):
+        a, b, depth, coeff, leaf_cost = geometry
+        recorder = CoverageRecorder(depth)
+        workload = make_synthetic_workload(
+            a, b, depth, coeff=coeff, leaf_cost=leaf_cost, execute=recorder
+        )
+        plan = BasicSchedule().plan(workload, HPU1.parameters)
+        ScheduleExecutor(HPU1, workload).run_basic(plan)
+        assert all(
+            c == 1 for counts in recorder.coverage(a) for c in counts
+        )
+
+
+class TestModelFiniteness:
+    @given(geometry=GEOMETRIES)
+    @SETTINGS
+    def test_oracle_inputs_always_finite(self, geometry):
+        """The model's operating point exists for every geometry."""
+        a, b, depth, coeff, leaf_cost = geometry
+        workload = make_synthetic_workload(
+            a, b, depth, coeff=coeff, leaf_cost=leaf_cost
+        )
+        ctx = AdvancedSchedule._context(workload, HPU1.parameters)
+        solution = AdvancedModel(ctx).optimize()
+        assert 0.0 < solution.alpha <= 1.0
+        assert math.isfinite(solution.tc) and solution.tc > 0
+        assert math.isfinite(solution.gpu_work) and solution.gpu_work >= 0
+        assert 0.0 <= solution.gpu_share <= 1.0
+
+    @given(geometry=GEOMETRIES)
+    @SETTINGS
+    def test_residual_well_defined_against_execution(self, geometry):
+        """|measured − predicted| / predicted is always finite."""
+        a, b, depth, coeff, leaf_cost = geometry
+        workload = make_synthetic_workload(
+            a, b, depth, coeff=coeff, leaf_cost=leaf_cost
+        )
+        ctx = AdvancedSchedule._context(workload, HPU1.parameters)
+        solution = AdvancedModel(ctx).optimize()
+        plan = _plan_or_skip(workload)
+        result = ScheduleExecutor(HPU1, workload).run_advanced(plan)
+        residual = abs(result.makespan - solution.tc) / solution.tc
+        assert math.isfinite(residual)
+
+
+class TestStrategyValidation:
+    def test_degenerate_geometries_rejected(self):
+        with pytest.raises(ScheduleError, match="a >= 2"):
+            make_synthetic_workload(1, 2, 3)
+        with pytest.raises(ScheduleError, match="depth >= 1"):
+            make_synthetic_workload(2, 2, 0)
+        with pytest.raises(ScheduleError, match="positive costs"):
+            make_synthetic_workload(2, 2, 3, coeff=0.0)
+        with pytest.raises(ScheduleError, match="positive costs"):
+            make_synthetic_workload(2, 2, 3, leaf_cost=-1.0)
