@@ -29,6 +29,11 @@ repo root so successive PRs can track the perf trajectory:
   path (tracing is defined in terms of the event stream, so traced
   runs pump the DES), not by span/metric recording itself — it prices
   what turning tracing on costs, which is mostly "the DES again";
+- ``fig8_fast_telemetry_s`` / ``telemetry_overhead_pct``: the untraced
+  pipeline with a live :class:`repro.obs.live.TelemetrySampler`
+  polling at 20 Hz — what leaving the service flight recorder on
+  costs.  ``--guard-telemetry-pct PCT`` turns that into an absolute
+  CI limit (the sampler only reads, so this should stay in the noise);
 - ``fig8_fast_parallel_s`` / ``sweep_parallel_speedup``: the same
   pipeline through the :mod:`repro.parallel` sweep engine with one
   worker per CPU (``sweep_jobs``), vs the serial number — the
@@ -45,6 +50,10 @@ pool can only lose — single-core reports also carry a
 ``sweep_parallel_note`` so the committed figure is not misread as a
 regression).  ``--guard-engine-pct PCT`` guards ``engine_events_per_s``
 against throughput drops the same way.
+
+Besides overwriting ``BENCH_perf.json`` (the committed baseline), each
+run appends one compact line to ``BENCH_history.jsonl`` so the perf
+trajectory across PRs accumulates instead of being overwritten.
 
 Numbers are wall-clock on whatever machine runs this, so compare
 trajectories on one machine, not absolute values across machines.
@@ -174,6 +183,37 @@ def bench_fig8_fast_traced(best_of: int = 3) -> float:
     return min(_fig8_once(traced=True) for _ in range(best_of))
 
 
+def bench_fig8_fast_telemetry(best_of: int = 3) -> float:
+    """The untraced fig8 --fast pipeline with a TelemetrySampler live.
+
+    The sampler thread polls a stats-shaped source on an aggressively
+    short interval (50 ms — 20x the daemon's default rate) for the whole
+    run.  The gap against :func:`bench_fig8_fast` is what "leaving the
+    flight recorder on" costs a busy service: it must stay within a few
+    percent (the sampler only reads, off the hot path), and the
+    simulated numbers must not move at all.
+    """
+    from repro.obs.live import TelemetrySampler
+
+    source_calls = [0]
+
+    def source() -> dict:
+        # Stats-shaped payload, like JobDaemon.telemetry_snapshot().
+        source_calls[0] += 1
+        return {"queue_depth": 0, "running": 1, "frames": source_calls[0]}
+
+    best = None
+    for _ in range(best_of):
+        sampler = TelemetrySampler(source, interval_s=0.05, capacity=256)
+        sampler.start()
+        try:
+            elapsed = _fig8_once()
+        finally:
+            sampler.stop()
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
 def bench_fig8_fast_parallel(best_of: int = 3) -> dict:
     """The fig8 --fast pipeline through the process-parallel engine.
 
@@ -195,6 +235,46 @@ def bench_fig8_fast_parallel(best_of: int = 3) -> dict:
     finally:
         parallel.deconfigure()
     return {"fig8_fast_parallel_s": round(elapsed, 3), "sweep_jobs": jobs}
+
+
+def append_history(path: Path, report: dict) -> None:
+    """Append one compact line per harness run to ``BENCH_history.jsonl``.
+
+    ``BENCH_perf.json`` is overwritten every run (it is the committed
+    baseline); the history file accumulates, so the perf trajectory
+    across PRs survives on one machine without digging through git.
+    """
+    bench = report.get("benchmarks", {})
+    line = {
+        "generated_unix": report.get("generated_unix"),
+        "python": report.get("python"),
+        "machine": report.get("machine"),
+        "engine_events_per_s": bench.get("engine_events_per_s"),
+        "fig8_fast_s": bench.get("fig8_fast_s"),
+        "trace_overhead_pct": bench.get("trace_overhead_pct"),
+        "telemetry_overhead_pct": bench.get("telemetry_overhead_pct"),
+        "sweep_parallel_speedup": bench.get("sweep_parallel_speedup"),
+        "cpu_count": bench.get("cpu_count"),
+    }
+    with path.open("a") as fh:
+        fh.write(json.dumps(line, sort_keys=True) + "\n")
+
+
+def guard_telemetry(overhead_pct: float, pct: float) -> int:
+    """Fail if the live sampler costs more than ``pct`` percent.
+
+    An absolute limit, not baseline-relative: the whole point of the
+    flight recorder is to be cheap enough to leave on, and "cheap" is a
+    property of the design, not of last week's number.
+    """
+    print(
+        f"telemetry guard: sampler overhead {overhead_pct:+.1f}% "
+        f"(limit +{pct:.0f}%)"
+    )
+    if overhead_pct > pct:
+        print("telemetry guard: FAIL — live sampling costs too much")
+        return 1
+    return 0
 
 
 def guard_fig8(measured_s: float, baseline: dict, pct: float) -> int:
@@ -305,6 +385,21 @@ def main(argv=None) -> int:
         "PCT%% below the recorded baseline (skipped under 2 cores)",
     )
     parser.add_argument(
+        "--guard-telemetry-pct",
+        type=float,
+        metavar="PCT",
+        help="exit non-zero if running with a live TelemetrySampler "
+        "costs more than PCT%% wall-clock over the unsampled pipeline "
+        "(an absolute limit, no baseline involved)",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=REPO_ROOT / "BENCH_history.jsonl",
+        help="append one compact JSON line per run here "
+        "(default: repo-root BENCH_history.jsonl)",
+    )
+    parser.add_argument(
         "--guard-baseline",
         type=Path,
         default=REPO_ROOT / "BENCH_perf.json",
@@ -344,6 +439,12 @@ def main(argv=None) -> int:
     results["trace_overhead_pct"] = round(
         (fig8_traced_s - fig8_s) / fig8_s * 100.0, 1
     )
+    fig8_telemetry_s = bench_fig8_fast_telemetry()
+    results["fig8_fast_telemetry_s"] = round(fig8_telemetry_s, 3)
+    telemetry_overhead_pct = round(
+        (fig8_telemetry_s - fig8_s) / fig8_s * 100.0, 1
+    )
+    results["telemetry_overhead_pct"] = telemetry_overhead_pct
     results.update(bench_fig8_fast_parallel())
     results["cpu_count"] = cpu_count
     parallel_speedup = round(fig8_s / results["fig8_fast_parallel_s"], 2)
@@ -366,11 +467,17 @@ def main(argv=None) -> int:
         "benchmarks": results,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
+    append_history(args.history, report)
     print(json.dumps(report, indent=2))
+    status = 0
+    if args.guard_telemetry_pct is not None:
+        # Absolute limit — runs even without a recorded baseline.
+        status |= guard_telemetry(
+            telemetry_overhead_pct, args.guard_telemetry_pct
+        )
     if guarding and guard_baseline is None:
         print(f"perf guard: no baseline at {args.guard_baseline}, skipping")
-        return 0
-    status = 0
+        return status
     if args.guard_fig8_pct is not None:
         status |= guard_fig8(fig8_s, guard_baseline, args.guard_fig8_pct)
     if args.guard_engine_pct is not None:

@@ -121,6 +121,17 @@ class RunSpec:
     trace_ascii: bool = False
     #: Recorded in the manifest's (volatile) argv field.
     argv: Optional[List[str]] = None
+    #: Cross-process correlation id (the serve daemon's job id):
+    #: threaded into the tracer name and every log event, never into
+    #: the canonical request or the manifest.
+    correlation_id: Optional[str] = None
+    #: Activate tracing and return the tracer's picklable snapshot in
+    #: :attr:`RunOutcome.trace_snapshot` (what a serve worker ships
+    #: back for daemon-side trace stitching).
+    collect_trace: bool = False
+    #: Append structured JSON-lines events (repro.obs.log) here; the
+    #: daemon, worker and runner share one file, correlated by id.
+    log_json: Optional[str] = None
 
 
 @dataclass
@@ -144,6 +155,10 @@ class RunOutcome:
     metric_families: int = 0
     #: ASCII timeline (only with ``RunSpec.trace_ascii``).
     ascii_timeline: Optional[str] = None
+    #: Picklable tracer snapshot (only with ``RunSpec.collect_trace``);
+    #: deliberately absent from :meth:`to_dict` — it is row data for
+    #: the serve daemon's trace stitcher, not part of the JSON digest.
+    trace_snapshot: Optional[dict] = None
 
     def to_dict(self) -> dict:
         """JSON-able digest (what the serve daemon ships around)."""
@@ -487,6 +502,7 @@ def run_request(
     # -- observability setup -------------------------------------------
     tracing_on = (
         spec.trace
+        or spec.collect_trace
         or spec.trace_out is not None
         or spec.metrics_out is not None
         or spec.check_model is not None
@@ -499,7 +515,25 @@ def run_request(
     if tracing_on:
         from repro.obs import Tracer, activate
 
-        tracer = activate(Tracer(name="repro-experiments"))
+        # A daemon-dispatched job threads its correlation id into the
+        # tracer name, so the engine trace is attributable to the job
+        # that triggered it even before the stitcher labels the rows.
+        name = (
+            f"job-{spec.correlation_id}"
+            if spec.correlation_id
+            else "repro-experiments"
+        )
+        tracer = activate(Tracer(name=name))
+    logger = None
+    if spec.log_json:
+        from repro.obs.log import JsonLogger
+
+        logger = JsonLogger(
+            spec.log_json, "runner", correlation_id=spec.correlation_id
+        )
+        logger.event(
+            "run.started", experiments=list(selected), fast=spec.fast
+        )
 
     # -- cache identity ------------------------------------------------
     # Computed before running: a pure function of the spec.  Runs under
@@ -520,6 +554,8 @@ def run_request(
         for exp_key in selected:
             result = runners[exp_key](spec.fast)
             results[exp_key] = result
+            if logger is not None:
+                logger.event("run.experiment_done", experiment=exp_key)
             if on_result is not None:
                 on_result(exp_key, result)
     finally:
@@ -592,7 +628,14 @@ def run_request(
         trace_runs=len(tracer.runs) if tracer is not None else 0,
         metric_families=len(tracer.metrics) if tracer is not None else 0,
         ascii_timeline=ascii_timeline,
+        trace_snapshot=(
+            tracer.snapshot()
+            if spec.collect_trace and tracer is not None
+            else None
+        ),
     )
+    if logger is not None:
+        logger.event("run.finished", run_id=run_id, cache_key=key)
     if emit_manifest:
         run_dir = Path(spec.results_dir) / run_id
         if spec.report:
@@ -837,6 +880,14 @@ def main(argv=None) -> int:
         "docs/WORKLOADS.md",
     )
     parser.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=None,
+        help="append structured JSON-lines events (repro.obs.log) for "
+        "this run to PATH; the serve daemon and its workers share the "
+        "same format, so one file can hold a whole fleet's logs",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list available experiments"
     )
     args = parser.parse_args(argv)
@@ -896,6 +947,7 @@ def main(argv=None) -> int:
         resilience=_resilience_config(args, parser),
         workload=args.workload,
         argv=list(argv) if argv is not None else None,
+        log_json=args.log_json,
     )
 
     def emit(key: str, result: ExperimentResult) -> None:

@@ -35,13 +35,29 @@ from repro.obs.export import (
     ascii_report,
     chrome_trace,
     metrics_json,
+    parse_prometheus_text,
+    prometheus_text,
     write_chrome_trace,
     write_metrics,
 )
 from repro.obs.index import append_entry, index_line, load_index
+from repro.obs.live import (
+    FlightRecorder,
+    TelemetrySampler,
+    sla_block,
+    stitch_chrome_trace,
+    write_stitched_trace,
+)
+from repro.obs.log import JsonLogger, read_log
 from repro.obs.manifest import RunManifest, platform_manifest
 from repro.obs.report import render_html, render_markdown, write_report
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    histogram_quantile,
+)
 from repro.obs.tracer import (
     Instant,
     RunRecord,
@@ -66,11 +82,21 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "histogram_quantile",
     "chrome_trace",
     "write_chrome_trace",
     "metrics_json",
     "write_metrics",
+    "prometheus_text",
+    "parse_prometheus_text",
     "ascii_report",
+    "FlightRecorder",
+    "TelemetrySampler",
+    "sla_block",
+    "stitch_chrome_trace",
+    "write_stitched_trace",
+    "JsonLogger",
+    "read_log",
     "RunManifest",
     "platform_manifest",
     "TraceAnalysis",

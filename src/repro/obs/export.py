@@ -12,6 +12,10 @@ Three ways to look at a :class:`~repro.obs.tracer.Tracer`:
 - :func:`metrics_json` / :func:`write_metrics` — a flat JSON snapshot
   of the metrics registry (per-device / per-level counters, gauges,
   histograms).
+- :func:`prometheus_text` — the same registry in Prometheus text
+  exposition format (stdlib only), served by the daemon's ``metrics``
+  op; :func:`parse_prometheus_text` is the strict format checker the
+  test suite and CI validate the rendering with.
 - :func:`ascii_report` — per-device occupancy lanes (via
   :func:`repro.sim.timeline.render_timeline`) plus a per-level busy-time
   chart (via :func:`repro.util.asciiplot.ascii_plot`), for terminals.
@@ -20,8 +24,9 @@ Three ways to look at a :class:`~repro.obs.tracer.Tracer`:
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer, expand_row as _expand_row
@@ -199,6 +204,298 @@ def write_metrics(
         json.dumps(metrics_json(source), indent=2, sort_keys=True) + "\n"
     )
     return path
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (stdlib only)
+# ----------------------------------------------------------------------
+#: Prefix applied to every exported family name.
+PROM_PREFIX = "repro_"
+
+_PROM_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_PROM_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_PROM_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+_PROM_LABEL_PAIR_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def _prom_name(name: str, prefix: str = PROM_PREFIX) -> str:
+    """Mangle a dotted repro metric name into a Prometheus one.
+
+    ``serve.wait_s`` → ``repro_serve_wait_s``.  Any character outside
+    the Prometheus name alphabet becomes ``_``.
+    """
+    mangled = prefix + re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not _PROM_NAME_RE.match(mangled):  # pragma: no cover - paranoia
+        raise ValueError(f"cannot mangle metric name {name!r}")
+    return mangled
+
+
+def _prom_escape(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _prom_value(value: float) -> str:
+    value = float(value)
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(value)
+
+
+def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
+    """Render a label dict as ``{k="v",...}`` (empty string if none)."""
+    parts = [
+        f'{key}="{_prom_escape(str(labels[key]))}"'
+        for key in sorted(labels)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(
+    source: Union[Tracer, MetricsRegistry], prefix: str = PROM_PREFIX
+) -> str:
+    """Render the registry in Prometheus text exposition format.
+
+    No dependencies: the classic ``text/plain; version=0.0.4`` format
+    is simple enough to emit by hand.  Counters gain the conventional
+    ``_total`` suffix; histograms expand to cumulative ``_bucket``
+    series (with the mandatory ``le="+Inf"``) plus ``_sum``/``_count``.
+    Families and label sets render sorted, so identical registries
+    produce byte-identical expositions.
+    """
+    registry = source.metrics if isinstance(source, Tracer) else source
+    # Snapshot first: rendering must not race concurrent merges.
+    snapshot = registry.to_dict()
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        kind = data["type"]
+        base = _prom_name(name, prefix)
+        help_text = data.get("help", "") or f"repro metric {name}"
+        if kind == "counter":
+            family = base + "_total"
+            lines.append(f"# HELP {family} {_prom_escape(help_text)}")
+            lines.append(f"# TYPE {family} counter")
+            for point in data["points"]:
+                lines.append(
+                    f"{family}{_prom_labels(point['labels'])} "
+                    f"{_prom_value(point['value'])}"
+                )
+        elif kind == "gauge":
+            lines.append(f"# HELP {base} {_prom_escape(help_text)}")
+            lines.append(f"# TYPE {base} gauge")
+            for point in data["points"]:
+                lines.append(
+                    f"{base}{_prom_labels(point['labels'])} "
+                    f"{_prom_value(point['value'])}"
+                )
+        elif kind == "histogram":
+            lines.append(f"# HELP {base} {_prom_escape(help_text)}")
+            lines.append(f"# TYPE {base} histogram")
+            bounds = data["buckets"]
+            for point in data["points"]:
+                labels = point["labels"]
+                cumulative = 0
+                for bound, n in zip(bounds, point["bucket_counts"]):
+                    cumulative += n
+                    lbl = _prom_labels(
+                        labels, f'le="{_prom_value(bound)}"'
+                    )
+                    lines.append(
+                        f"{base}_bucket{lbl} {_prom_value(cumulative)}"
+                    )
+                lbl = _prom_labels(labels, 'le="+Inf"')
+                lines.append(
+                    f"{base}_bucket{lbl} {_prom_value(point['count'])}"
+                )
+                lines.append(
+                    f"{base}_sum{_prom_labels(labels)} "
+                    f"{_prom_value(point['sum'])}"
+                )
+                lines.append(
+                    f"{base}_count{_prom_labels(labels)} "
+                    f"{_prom_value(point['count'])}"
+                )
+        else:  # pragma: no cover - future metric kinds
+            raise ValueError(f"cannot expose metric {name!r} of {kind!r}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_prom_value(token: str, lineno: int) -> float:
+    if token == "+Inf":
+        return float("inf")
+    if token == "-Inf":
+        return float("-inf")
+    try:
+        return float(token)
+    except ValueError:
+        raise ValueError(f"line {lineno}: bad sample value {token!r}")
+
+
+def _parse_prom_labels(raw: str, lineno: int) -> Tuple[Tuple[str, str], ...]:
+    if not raw:
+        return ()
+    pairs: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(raw):
+        match = _PROM_LABEL_PAIR_RE.match(raw, pos)
+        if not match:
+            raise ValueError(f"line {lineno}: bad label syntax {raw!r}")
+        value = match.group("value")
+        value = (
+            value.replace(r"\n", "\n").replace(r"\"", '"')
+            .replace(r"\\", "\\")
+        )
+        pairs.append((match.group("key"), value))
+        pos = match.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                raise ValueError(
+                    f"line {lineno}: expected ',' in labels {raw!r}"
+                )
+            pos += 1
+    return tuple(sorted(pairs))
+
+
+def parse_prometheus_text(text: str) -> Dict[str, dict]:
+    """Strictly parse a text exposition; raise ``ValueError`` on any
+    format violation.
+
+    Returns ``{family: {"type", "help", "samples"}}`` where ``samples``
+    maps ``(sample_name, sorted_label_tuple)`` → value.  Beyond the
+    line grammar, enforces the invariants a Prometheus scraper relies
+    on: ``TYPE`` declared at most once per family and before its
+    samples, histogram buckets cumulative (non-decreasing in ``le``
+    order), a ``le="+Inf"`` bucket present and equal to ``_count`` for
+    every labelled point.  This is the checker CI runs against the
+    daemon's ``metrics`` op.
+    """
+    families: Dict[str, dict] = {}
+    sampled: set = set()
+
+    def family_for(sample_name: str) -> str:
+        # Histogram samples carry _bucket/_sum/_count suffixes; map them
+        # to their declared family when one exists.
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                candidate = sample_name[: -len(suffix)]
+                if families.get(candidate, {}).get("type") == "histogram":
+                    return candidate
+        return sample_name
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 and parts[1] == "HELP":
+                parts.append("")
+            if len(parts) < 4:
+                raise ValueError(f"line {lineno}: malformed {parts[1]} line")
+            _, keyword, name, rest = parts
+            if not _PROM_NAME_RE.match(name):
+                raise ValueError(
+                    f"line {lineno}: bad metric name {name!r}"
+                )
+            family = families.setdefault(
+                name, {"type": None, "help": None, "samples": {}}
+            )
+            if keyword == "TYPE":
+                if rest not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    raise ValueError(
+                        f"line {lineno}: unknown metric type {rest!r}"
+                    )
+                if family["type"] is not None:
+                    raise ValueError(
+                        f"line {lineno}: duplicate TYPE for {name!r}"
+                    )
+                if name in sampled:
+                    raise ValueError(
+                        f"line {lineno}: TYPE for {name!r} after samples"
+                    )
+                family["type"] = rest
+            else:
+                if family["help"] is not None:
+                    raise ValueError(
+                        f"line {lineno}: duplicate HELP for {name!r}"
+                    )
+                family["help"] = rest
+            continue
+        if line.startswith("#"):
+            continue  # plain comments are legal
+        match = _PROM_SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: bad sample line {line!r}")
+        sample_name = match.group("name")
+        labels = _parse_prom_labels(match.group("labels") or "", lineno)
+        value = _parse_prom_value(match.group("value"), lineno)
+        family_name = family_for(sample_name)
+        family = families.setdefault(
+            family_name, {"type": None, "help": None, "samples": {}}
+        )
+        sampled.add(family_name)
+        key = (sample_name, labels)
+        if key in family["samples"]:
+            raise ValueError(
+                f"line {lineno}: duplicate sample {sample_name!r} "
+                f"{dict(labels)!r}"
+            )
+        family["samples"][key] = value
+
+    # Histogram invariants: cumulative buckets, +Inf present == _count.
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        by_point: Dict[tuple, List[Tuple[float, float]]] = {}
+        for (sample_name, labels), value in family["samples"].items():
+            if sample_name != name + "_bucket":
+                continue
+            le = dict(labels).get("le")
+            if le is None:
+                raise ValueError(
+                    f"{name}: bucket sample missing 'le' label"
+                )
+            base_labels = tuple(p for p in labels if p[0] != "le")
+            by_point.setdefault(base_labels, []).append(
+                (_parse_prom_value(le, 0), value)
+            )
+        for base_labels, buckets in by_point.items():
+            buckets.sort()
+            counts = [count for _le, count in buckets]
+            if counts != sorted(counts):
+                raise ValueError(
+                    f"{name}{dict(base_labels)}: bucket counts are not "
+                    f"cumulative: {counts}"
+                )
+            if buckets[-1][0] != float("inf"):
+                raise ValueError(
+                    f"{name}{dict(base_labels)}: no le=\"+Inf\" bucket"
+                )
+            count_key = (name + "_count", base_labels)
+            if count_key not in family["samples"]:
+                raise ValueError(
+                    f"{name}{dict(base_labels)}: missing _count sample"
+                )
+            if family["samples"][count_key] != buckets[-1][1]:
+                raise ValueError(
+                    f"{name}{dict(base_labels)}: _count "
+                    f"{family['samples'][count_key]} != +Inf bucket "
+                    f"{buckets[-1][1]}"
+                )
+    return families
 
 
 # ----------------------------------------------------------------------

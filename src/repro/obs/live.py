@@ -1,0 +1,391 @@
+"""Live operational telemetry: sampler, flight recorder, SLA, stitching.
+
+Everything in :mod:`repro.obs` up to this module is *post-hoc*: traces,
+metrics and manifests are written after a run finishes.  This module is
+the streaming counterpart the serve daemon (and, later, an adaptive
+scheduler) consumes **while** work is in flight:
+
+- :class:`FlightRecorder` — a bounded, thread-safe ring buffer of
+  telemetry snapshots: a rolling black box of the last N observations,
+  dumpable to JSON lines on crash or over RPC.
+- :class:`TelemetrySampler` — a daemon thread snapshotting a source
+  callable (the serve daemon's :meth:`~repro.serve.daemon.JobDaemon.
+  telemetry_snapshot`) on a fixed interval into a flight recorder.
+  Sampling is pure observation: it reads state, never mutates it, so it
+  cannot perturb simulated time or change any result.
+- :func:`sla_block` — per-workload p50/p95/p99 latency quantiles and
+  deadline-burn counts derived from the serve SLA histograms
+  (``serve.wait_s`` / ``serve.exec_s`` / ``serve.total_s``).
+- :func:`stitch_chrome_trace` — merges the daemon's wall-clock job
+  spans and each worker's simulated-time engine trace into **one**
+  Chrome/Perfetto document, with every event of a job carrying the
+  job's correlation id, so one canvas shows a request queueing in the
+  daemon *and* the simulation it triggered.
+
+The time axes differ on purpose: the daemon process lane is wall-clock
+seconds since daemon start, each job process lane is simulated ops.
+Perfetto renders them as separate process tracks of one trace, which is
+exactly the "same canvas" the stitching is for.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.obs.export import chrome_trace
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    _HistogramPoint,
+    histogram_quantile,
+)
+from repro.obs.tracer import Tracer
+
+#: Seconds-scale histogram buckets for service latencies (the default
+#: decade-spaced ops buckets are useless for wall-clock SLAs).
+SLA_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    120.0,
+    300.0,
+)
+
+#: The serve latency histogram families the SLA block summarizes,
+#: keyed by the short name they appear under in ``stats()["sla"]``.
+SLA_METRICS = (
+    ("wait_s", "serve.wait_s"),
+    ("exec_s", "serve.exec_s"),
+    ("total_s", "serve.total_s"),
+)
+
+#: Quantiles reported per workload in the SLA block.
+SLA_QUANTILES = (0.5, 0.95, 0.99)
+
+
+# ----------------------------------------------------------------------
+# SLA summarization
+# ----------------------------------------------------------------------
+def _merged_points_by_workload(
+    hist: Histogram,
+) -> Dict[str, _HistogramPoint]:
+    """Fold a histogram's labelled points into one point per workload.
+
+    The serve histograms label every observation with (kind, workload,
+    figure); the SLA block reports per *workload*, so points differing
+    only in the other labels merge (bucket counts are commutative
+    aggregates).
+    """
+    merged: Dict[str, _HistogramPoint] = {}
+    for key, point in hist._points.items():
+        labels = dict(key)
+        workload = labels.get("workload", "-")
+        acc = merged.get(workload)
+        if acc is None:
+            merged[workload] = acc = _HistogramPoint(len(hist.buckets))
+        acc.count += point.count
+        acc.sum += point.sum
+        if point.min < acc.min:
+            acc.min = point.min
+        if point.max > acc.max:
+            acc.max = point.max
+        for i, n in enumerate(point.bucket_counts):
+            acc.bucket_counts[i] += n
+    return merged
+
+
+def sla_block(
+    registry: MetricsRegistry,
+    quantiles: Sequence[float] = SLA_QUANTILES,
+) -> dict:
+    """The ``sla`` block of the daemon's ``stats()``: per-workload
+    latency quantiles plus deadline-burn counts.
+
+    Shape::
+
+        {
+          "wait_s":  {"mergesort": {"count": 12, "mean": ..., "p50": ...,
+                                    "p95": ..., "p99": ...}, ...},
+          "exec_s":  {...},
+          "total_s": {...},
+          "deadline_burn": {"mergesort": 2.0, ...},
+        }
+
+    Workloads with no observations are simply absent; an untouched
+    registry yields empty maps.  Quantiles come from
+    :func:`~repro.obs.metrics.histogram_quantile` (linear interpolation
+    within buckets).
+    """
+    out: Dict[str, dict] = {}
+    for short, family in SLA_METRICS:
+        summary: Dict[str, dict] = {}
+        metric = registry._metrics.get(family)
+        if isinstance(metric, Histogram):
+            for workload, point in sorted(
+                _merged_points_by_workload(metric).items()
+            ):
+                entry: Dict[str, object] = {
+                    "count": point.count,
+                    "mean": point.sum / point.count if point.count else 0.0,
+                    "max": point.max if point.count else None,
+                }
+                for q in quantiles:
+                    entry[f"p{round(q * 100):d}"] = histogram_quantile(
+                        metric.buckets, point, q
+                    )
+                summary[workload] = entry
+        out[short] = summary
+    burn: Dict[str, float] = {}
+    counter = registry._metrics.get("serve.deadline_burn")
+    if counter is not None:
+        for key, value in sorted(counter._points.items()):
+            workload = dict(key).get("workload", "-")
+            burn[workload] = burn.get(workload, 0.0) + value
+    out["deadline_burn"] = burn
+    return out
+
+
+# ----------------------------------------------------------------------
+# flight recorder
+# ----------------------------------------------------------------------
+class FlightRecorder:
+    """A bounded ring buffer of telemetry snapshots — the black box.
+
+    Thread-safe: the sampler thread appends while the asyncio transport
+    (or a crash handler) reads.  Every snapshot is stamped with a
+    monotonically increasing ``seq``, so long-pollers can ask for
+    "everything after seq N" and never miss or re-read a frame that is
+    still in the window; ``dropped()`` says how many frames have already
+    scrolled out.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buf: deque = deque(maxlen=capacity)
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buf)
+
+    def append(self, snapshot: dict) -> int:
+        """Stamp ``snapshot`` with the next ``seq`` and record it
+        (evicting the oldest frame once full).  Returns the seq."""
+        with self._lock:
+            self._seq += 1
+            frame = dict(snapshot)
+            frame["seq"] = self._seq
+            self._buf.append(frame)
+            return self._seq
+
+    @property
+    def last_seq(self) -> int:
+        """Seq of the newest frame (0 when nothing recorded yet)."""
+        with self._lock:
+            return self._seq
+
+    def dropped(self) -> int:
+        """Frames that have scrolled out of the window."""
+        with self._lock:
+            return self._seq - len(self._buf)
+
+    def last(self) -> Optional[dict]:
+        """The newest frame, or ``None``."""
+        with self._lock:
+            return dict(self._buf[-1]) if self._buf else None
+
+    def snapshots(self, after_seq: int = 0) -> List[dict]:
+        """All buffered frames with ``seq > after_seq``, oldest first."""
+        with self._lock:
+            return [dict(f) for f in self._buf if f["seq"] > after_seq]
+
+    def dump(self, path: Union[str, Path]) -> Path:
+        """Write the buffered frames as JSON lines — the crash dump.
+
+        One compact key-sorted object per line, oldest first, so the
+        file is greppable and diffs cleanly.  Returns the path.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        frames = self.snapshots()
+        with open(path, "w") as fh:
+            for frame in frames:
+                fh.write(
+                    json.dumps(frame, sort_keys=True, separators=(",", ":"))
+                    + "\n"
+                )
+        return path
+
+
+# ----------------------------------------------------------------------
+# sampler
+# ----------------------------------------------------------------------
+class TelemetrySampler:
+    """Samples a snapshot source on an interval into a flight recorder.
+
+    ``source`` is any zero-argument callable returning a JSON-able dict
+    (the serve daemon passes its ``telemetry_snapshot``).  The sampler
+    runs on its own daemon thread and **only reads**: it never touches
+    engine state, schedules events or draws randomness, so turning it
+    on cannot change any simulated result.  A source that raises is
+    recorded as an ``{"error": ...}`` frame instead of killing the
+    thread — the black box must outlive the thing it observes.
+    """
+
+    def __init__(
+        self,
+        source: Callable[[], dict],
+        interval_s: float = 1.0,
+        capacity: int = 256,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self.source = source
+        self.interval_s = interval_s
+        self.clock = clock
+        self.recorder = FlightRecorder(capacity)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def sample_once(self) -> dict:
+        """Take one sample synchronously; returns the recorded frame."""
+        try:
+            frame = dict(self.source())
+        except Exception as exc:  # noqa: BLE001 - observer must survive
+            frame = {"error": f"{type(exc).__name__}: {exc}"}
+        frame["unix"] = self.clock()
+        seq = self.recorder.append(frame)
+        frame["seq"] = seq
+        return frame
+
+    def start(self) -> None:
+        """Start the sampling thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-telemetry-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the thread and take one final sample (idempotent)."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout)
+        self._thread = None
+        self.sample_once()  # the terminal frame: state at shutdown
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _run(self) -> None:
+        # Sample immediately, then on the interval: a recorder is most
+        # useful when it also holds the "just started" frame.
+        self.sample_once()
+        while not self._stop.wait(self.interval_s):
+            self.sample_once()
+
+
+# ----------------------------------------------------------------------
+# cross-process trace stitching
+# ----------------------------------------------------------------------
+def stitch_chrome_trace(
+    daemon_tracer: Tracer, job_traces: Sequence[dict]
+) -> dict:
+    """One Chrome/Perfetto document: daemon timeline + per-job engine
+    timelines, correlated.
+
+    ``daemon_tracer`` holds the daemon's wall-clock job spans (lane per
+    queue/executor stage, seconds since daemon start).  ``job_traces``
+    is a list of ``{"correlation_id": ..., "snapshot": ...}`` entries,
+    each snapshot a :meth:`~repro.obs.tracer.Tracer.snapshot` shipped
+    back by a worker.  The daemon keeps pid 1; each job becomes its own
+    process track (pid 2, 3, ...) whose events all carry the job's
+    ``correlation_id`` in ``args`` — the same id the daemon spans carry
+    — so Perfetto's search/flow UI lines the two timelines up.
+    """
+    document = chrome_trace(daemon_tracer)
+    events = document["traceEvents"]
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            event["args"]["name"] = (
+                f"repro-serve daemon (ts in wall-clock s since start)"
+            )
+    correlations = []
+    for i, entry in enumerate(job_traces):
+        correlation_id = entry["correlation_id"]
+        correlations.append(correlation_id)
+        tracer = Tracer(name=f"job-{correlation_id}")
+        tracer.absorb(entry["snapshot"])
+        job_doc = chrome_trace(tracer)
+        pid = 2 + i
+        for event in job_doc["traceEvents"]:
+            event["pid"] = pid
+            if event.get("ph") == "M":
+                if event.get("name") == "process_name":
+                    event["args"]["name"] = (
+                        f"job {correlation_id} (ts in sim ops)"
+                    )
+            else:
+                args = event.setdefault("args", {})
+                args["correlation_id"] = correlation_id
+            events.append(event)
+    document["otherData"] = {
+        "stitched": True,
+        "daemon_time_unit": "wall-clock seconds since daemon start",
+        "job_time_unit": "simulated ops (1.0 == one CPU-core scalar op)",
+        "jobs": correlations,
+    }
+    return document
+
+
+def write_stitched_trace(
+    path: Union[str, Path],
+    daemon_tracer: Tracer,
+    job_traces: Sequence[dict],
+) -> Path:
+    """Serialize :func:`stitch_chrome_trace` to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(stitch_chrome_trace(daemon_tracer, job_traces)) + "\n"
+    )
+    return path
+
+
+__all__ = [
+    "SLA_BUCKETS",
+    "SLA_METRICS",
+    "SLA_QUANTILES",
+    "FlightRecorder",
+    "TelemetrySampler",
+    "sla_block",
+    "stitch_chrome_trace",
+    "write_stitched_trace",
+]

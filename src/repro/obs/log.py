@@ -1,0 +1,151 @@
+"""Structured JSON logging with run/job correlation ids.
+
+One event stream, many processes: the serve daemon, its worker
+processes and the experiment runner can all append to the **same**
+``.jsonl`` file, each event one compact key-sorted JSON object per
+line.  Appends reuse the crash-safe idiom of :mod:`repro.obs.index` —
+the whole line goes down in a single ``os.write`` on an ``O_APPEND``
+descriptor under an advisory sidecar lock — so concurrent writers can
+never interleave partial lines and a crash never leaves a torn record.
+
+Every record carries:
+
+- ``ts`` — wall-clock unix seconds (float),
+- ``event`` — a dotted event name (``serve.job.dispatched``,
+  ``run.finished``, ...),
+- ``component`` — who wrote it (``daemon`` / ``worker`` / ``runner``),
+- any *bound* correlation fields (``run_id``, ``job_id``,
+  ``correlation_id``) plus per-event fields.
+
+Correlation is by value, not by process: the daemon binds a job's
+``correlation_id`` (its job id) into the logger it uses for that job's
+lifecycle events, ships the same id to the worker, and the worker's
+runner binds it into *its* events — so ``grep correlation_id file.jsonl``
+reconstructs one job's full story across process boundaries.
+
+Logging is opt-in (``--log-json PATH``); nothing is written — and no
+logger is even constructed — by default, and log records never feed
+back into simulation state, so enabling logging cannot change any
+simulated result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.obs.index import index_lock
+
+#: Schema tag stamped on every record (bump on breaking change).
+LOG_FORMAT = "repro.obs.log/v1"
+
+
+class JsonLogger:
+    """Append structured events to one shared ``.jsonl`` file.
+
+    ``bound`` fields (run/job/correlation ids, component) are merged
+    into every record the logger emits; :meth:`bind` derives a child
+    logger with additional bound fields for a narrower scope (one job,
+    one run).  The logger is cheap enough to construct per event and
+    safe to share across threads: there is no internal mutable state —
+    each :meth:`event` call opens, writes and closes its own
+    descriptor, serialized by the sidecar lock.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        component: str,
+        clock: Callable[[], float] = time.time,
+        **bound: object,
+    ) -> None:
+        self.path = Path(path)
+        self.component = component
+        self.clock = clock
+        self.bound = {k: v for k, v in bound.items() if v is not None}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def bind(self, **fields: object) -> "JsonLogger":
+        """A child logger with ``fields`` added to every record."""
+        merged = dict(self.bound)
+        merged.update(
+            (k, v) for k, v in fields.items() if v is not None
+        )
+        return JsonLogger(
+            self.path, self.component, clock=self.clock, **merged
+        )
+
+    def event(self, event: str, **fields: object) -> dict:
+        """Append one record; returns the record that was written."""
+        record: Dict[str, object] = {
+            "ts": self.clock(),
+            "event": event,
+            "component": self.component,
+        }
+        record.update(self.bound)
+        record.update(
+            (k, v) for k, v in fields.items() if v is not None
+        )
+        line = (
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            + "\n"
+        ).encode("utf-8")
+        # Single O_APPEND write under the shared sidecar lock: the same
+        # torn-line-proof append the run index uses (obs/index.py).
+        with index_lock(self.path):
+            fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, line)
+            finally:
+                os.close(fd)
+        return record
+
+
+def read_log(path: Union[str, Path]) -> List[dict]:
+    """Parse a log file back into records, skipping unparseable lines.
+
+    Tolerant by design (a log is for post-mortems; one bad line must
+    not brick the reader), mirroring :func:`repro.obs.index.load_index`.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: List[dict] = []
+    for raw in path.read_text().splitlines():
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            record = json.loads(raw)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def events_for(
+    path: Union[str, Path],
+    correlation_id: Optional[str] = None,
+    event: Optional[str] = None,
+) -> List[dict]:
+    """Filter a log by correlation id and/or event name."""
+    out = []
+    for record in read_log(path):
+        if (
+            correlation_id is not None
+            and record.get("correlation_id") != correlation_id
+        ):
+            continue
+        if event is not None and record.get("event") != event:
+            continue
+        out.append(record)
+    return out
+
+
+__all__ = ["LOG_FORMAT", "JsonLogger", "read_log", "events_for"]

@@ -16,8 +16,9 @@ Everything serializes to plain JSON via :meth:`MetricsRegistry.to_dict`.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -172,6 +173,45 @@ class _HistogramPoint:
         self.bucket_counts = [0] * (n_buckets + 1)  # +1 for +inf overflow
 
 
+def histogram_quantile(
+    buckets: Sequence[float], point: Optional[_HistogramPoint], q: float
+) -> Optional[float]:
+    """Estimate the ``q``-quantile of one histogram point.
+
+    Linear interpolation within the bucket holding the target rank
+    (values are assumed uniform inside a bucket — the same estimator
+    Prometheus' ``histogram_quantile`` uses), sharpened by the exact
+    recorded ``min``/``max``: the first populated bucket interpolates
+    up from ``min`` instead of the bucket's nominal lower bound, and a
+    rank landing in the +Inf overflow slot returns the observed ``max``
+    rather than infinity.  Returns ``None`` for an empty point.
+    """
+    if point is None or point.count == 0:
+        return None
+    if q <= 0.0:
+        return point.min
+    if q >= 1.0:
+        return point.max
+    target = q * point.count
+    cumulative = 0
+    for i, n in enumerate(point.bucket_counts):
+        if n == 0:
+            continue
+        if cumulative + n < target:
+            cumulative += n
+            continue
+        if i >= len(buckets):
+            # Overflow slot: everything here exceeds the last bound,
+            # and the only finite statement we can make is the max.
+            return point.max
+        upper = min(buckets[i], point.max)
+        lower = buckets[i - 1] if i > 0 else point.min
+        lower = max(min(lower, upper), point.min)
+        fraction = (target - cumulative) / n
+        return lower + (upper - lower) * fraction
+    return point.max  # pragma: no cover - count implies a populated slot
+
+
 class Histogram(_Metric):
     """Count/sum/min/max plus cumulative bucket counts per label set."""
 
@@ -241,6 +281,17 @@ class Histogram(_Metric):
         """The raw accumulator for one labelled point, if it exists."""
         return self._points.get(_label_key(labels))
 
+    def quantile(self, q: float, **labels: object) -> Optional[float]:
+        """Estimated ``q``-quantile of one labelled point (or ``None``).
+
+        See :func:`histogram_quantile` for the estimator; the SLA block
+        (:func:`repro.obs.live.sla_block`) and ``repro-serve top`` are
+        the primary consumers.
+        """
+        return histogram_quantile(
+            self.buckets, self._points.get(_label_key(labels)), q
+        )
+
     def to_dict(self) -> dict:
         return {
             "type": self.kind,
@@ -266,10 +317,18 @@ class MetricsRegistry:
     ``registry.counter("gpu.kernel_launches").inc(device="gpu")`` —
     repeat calls with the same name return the same instance; asking for
     an existing name with a different metric type is an error.
+
+    Snapshots and merges are mutually serialized: :meth:`to_dict`,
+    :meth:`summary` and :meth:`merge_dict` share one lock, so a sampler
+    thread snapshotting the registry while another thread folds a
+    worker snapshot in can never observe a torn histogram (count
+    disagreeing with its bucket counts).  Hot-path recording
+    (``inc``/``observe``) deliberately stays lock-free.
     """
 
     def __init__(self) -> None:
         self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -311,10 +370,11 @@ class MetricsRegistry:
 
     def to_dict(self) -> dict:
         """JSON-serializable snapshot of every metric."""
-        return {
-            name: metric.to_dict()
-            for name, metric in sorted(self._metrics.items())
-        }
+        with self._lock:
+            return {
+                name: metric.to_dict()
+                for name, metric in sorted(self._metrics.items())
+            }
 
     def merge_dict(self, snapshot: dict) -> None:
         """Merge a :meth:`to_dict` snapshot into this registry.
@@ -325,6 +385,10 @@ class MetricsRegistry:
         families are created here on demand, so merging into an empty
         registry reproduces the snapshot exactly.
         """
+        with self._lock:
+            self._merge_dict_locked(snapshot)
+
+    def _merge_dict_locked(self, snapshot: dict) -> None:
         for name, data in snapshot.items():
             kind = data.get("type")
             if kind == "counter":
@@ -365,7 +429,9 @@ class MetricsRegistry:
         of current values; histograms ``{count, sum}``.
         """
         out: Dict[str, object] = {}
-        for name, metric in sorted(self._metrics.items()):
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        for name, metric in metrics:
             if isinstance(metric, Counter):
                 out[name] = metric.total()
             elif isinstance(metric, Gauge):

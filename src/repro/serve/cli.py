@@ -12,6 +12,8 @@ Client side (same ``--socket`` or ``--host``/``--port``)::
     repro-serve result JOB_ID
     repro-serve cancel JOB_ID
     repro-serve list / stats / ping
+    repro-serve metrics [--prometheus]
+    repro-serve top [--interval 2]
     repro-serve shutdown [--drain]
 
 Client commands print JSON (the job snapshot / stats object) so they
@@ -76,6 +78,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         concurrency=args.concurrency,
         executor=args.executor,
         jobs_per_run=args.jobs,
+        telemetry_interval=args.telemetry_interval,
+        telemetry_capacity=args.telemetry_capacity,
+        trace_jobs=args.trace_jobs,
+        log_json=args.log_json,
+        flight_dump=args.flight_dump,
     )
     server = ServeServer(
         daemon, socket_path=args.socket, host=args.host, port=args.port
@@ -105,6 +112,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.metrics_out:
         daemon.write_metrics(args.metrics_out)
         print(f"repro-serve: metrics: {args.metrics_out}", flush=True)
+    if args.trace_jobs:
+        print(f"repro-serve: trace: {args.trace_jobs}", flush=True)
+    if args.flight_dump:
+        print(f"repro-serve: flight: {args.flight_dump}", flush=True)
     completed = stats.get("states", {})
     print(
         f"repro-serve: stopped after {sum(completed.values())} job(s) "
@@ -232,6 +243,26 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    scraped = _client(args).metrics()
+    if args.prometheus:
+        sys.stdout.write(scraped["prometheus"])
+    else:
+        _print(scraped["metrics"])
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve.top import run_top
+
+    return run_top(
+        _client(args),
+        interval_s=args.interval,
+        iterations=args.iterations or None,
+        clear=not args.no_clear,
+    )
+
+
 def _cmd_ping(args: argparse.Namespace) -> int:
     _print(_client(args).ping())
     return 0
@@ -279,6 +310,42 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write service metrics JSON here on shutdown",
+    )
+    p.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="sample daemon stats into the flight recorder every "
+        "SECONDS (default: telemetry off)",
+    )
+    p.add_argument(
+        "--telemetry-capacity",
+        type=int,
+        default=256,
+        metavar="N",
+        help="flight-recorder ring size in frames (default: %(default)s)",
+    )
+    p.add_argument(
+        "--flight-dump",
+        metavar="PATH",
+        default=None,
+        help="dump the flight recorder here (JSON lines) on shutdown "
+        "or scheduler crash; needs --telemetry-interval",
+    )
+    p.add_argument(
+        "--trace-jobs",
+        metavar="PATH",
+        default=None,
+        help="collect per-job engine traces and write one stitched "
+        "Chrome/Perfetto trace here on shutdown",
+    )
+    p.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=None,
+        help="append structured JSON-lines events (daemon + workers + "
+        "runner, correlated by job id) to PATH",
     )
     p.set_defaults(func=_cmd_serve)
 
@@ -376,6 +443,42 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="queue/cache/latency stats")
     _add_endpoint_args(p)
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "metrics", help="scrape the metrics registry (JSON or Prometheus)"
+    )
+    _add_endpoint_args(p)
+    p.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print the Prometheus text exposition instead of JSON",
+    )
+    p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "top", help="live terminal dashboard of a running daemon"
+    )
+    _add_endpoint_args(p)
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period (default: %(default)s)",
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N refreshes (default: until interrupted)",
+    )
+    p.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen",
+    )
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser("ping", help="daemon liveness")
     _add_endpoint_args(p)

@@ -127,5 +127,31 @@ class ServeClient:
     def stats(self) -> dict:
         return self.call({"op": "stats"})["stats"]
 
+    def metrics(self) -> dict:
+        """Scrape the registry: ``{"metrics": ..., "prometheus": ...}``
+        — the full JSON snapshot plus the Prometheus text exposition."""
+        reply = self.call({"op": "metrics"})
+        return {
+            "metrics": reply["metrics"],
+            "prometheus": reply["prometheus"],
+        }
+
+    def telemetry(
+        self,
+        after_seq: int = 0,
+        wait: bool = False,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Flight-recorder frames newer than ``after_seq``; with
+        ``wait`` the daemon long-polls until a fresh frame lands."""
+        message: dict = {"op": "telemetry", "after_seq": after_seq}
+        budget = self.timeout_s
+        if wait:
+            message["wait"] = True
+            if timeout is not None:
+                message["timeout"] = timeout
+            budget = (timeout or 30.0) + _POLL_SLACK_S
+        return self.call(message, timeout_s=budget)
+
     def shutdown(self, drain: bool = False) -> dict:
         return self.call({"op": "shutdown", "drain": drain})

@@ -24,8 +24,24 @@
 
 Service metrics land in a :class:`~repro.obs.metrics.MetricsRegistry`
 (`serve.submitted`, `serve.completed`, `serve.cache` hit/miss,
-`serve.queue_depth`, `serve.wait_s`, `serve.run_s`), exported via
-:meth:`stats` and writable as the standard metrics JSON.
+`serve.queue_depth`, plus the SLA histograms `serve.wait_s` /
+`serve.exec_s` / `serve.total_s` and the `serve.deadline_burn`
+counter — `serve.run_s` is the deprecated pre-rename alias of
+`serve.exec_s`, still mirrored in :meth:`stats` output for one
+release), exported via :meth:`stats` (including a derived per-workload
+``sla`` quantile block) and writable as the standard metrics JSON.
+
+Live telemetry (all opt-in, see ``docs/OBSERVABILITY.md``):
+
+- ``telemetry_interval`` starts a :class:`~repro.obs.live.
+  TelemetrySampler` snapshotting :meth:`stats` into a flight recorder
+  (``flight_dump`` writes it on shutdown or scheduler crash, and the
+  transport's ``telemetry`` op streams it to clients).
+- ``trace_jobs`` opens daemon spans per job (queued → executing, wall
+  clock) carrying the job id as correlation id, has workers return
+  their engine traces, and stitches both into one Chrome export.
+- ``log_json`` appends structured events (shared with worker + runner
+  processes, correlated by job id) to one JSON-lines file.
 """
 
 from __future__ import annotations
@@ -37,7 +53,16 @@ import uuid
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.live import (
+    SLA_BUCKETS,
+    TelemetrySampler,
+    sla_block,
+    stitch_chrome_trace,
+    write_stitched_trace,
+)
+from repro.obs.log import JsonLogger
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.resilience.policies import RetryPolicy
 from repro.serve.cache import ResultCache, cache_key
 from repro.serve.jobs import (
@@ -68,6 +93,11 @@ class JobDaemon:
         executor: str = "process",
         jobs_per_run: Union[int, str] = 1,
         metrics: Optional[MetricsRegistry] = None,
+        telemetry_interval: Optional[float] = None,
+        telemetry_capacity: int = 256,
+        trace_jobs: Union[bool, str, Path, None] = None,
+        log_json: Union[str, Path, None] = None,
+        flight_dump: Union[str, Path, None] = None,
     ) -> None:
         if concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
@@ -84,6 +114,32 @@ class JobDaemon:
         self.cache = ResultCache(self.results_dir)
         #: Operational notes (executor fallbacks), newest last.
         self.notes: List[str] = []
+
+        # -- live telemetry (everything opt-in, no-op by default) ------
+        self.telemetry_interval = telemetry_interval
+        self.sampler: Optional[TelemetrySampler] = None
+        if telemetry_interval is not None:
+            self.sampler = TelemetrySampler(
+                self.telemetry_snapshot,
+                interval_s=telemetry_interval,
+                capacity=telemetry_capacity,
+            )
+        self.flight_dump = Path(flight_dump) if flight_dump else None
+        #: Collect per-job worker traces (truthy) and, when a path,
+        #: write the stitched daemon+jobs Chrome trace there on shutdown.
+        self.trace_jobs = bool(trace_jobs)
+        self.trace_path = (
+            Path(trace_jobs) if isinstance(trace_jobs, (str, Path)) else None
+        )
+        self.tracer: Optional[Tracer] = (
+            Tracer(name="repro-serve-daemon") if self.trace_jobs else None
+        )
+        self._job_traces: List[dict] = []
+        self.log_json = Path(log_json) if log_json else None
+        self.log: Optional[JsonLogger] = (
+            JsonLogger(self.log_json, "daemon") if self.log_json else None
+        )
+        self._t0 = time.time()
 
         self._queue = PriorityJobQueue()
         self._jobs: Dict[str, Job] = {}
@@ -108,6 +164,15 @@ class JobDaemon:
         self._executor = self._make_executor()
         self._accepting = True
         self._started = True
+        if self.sampler is not None:
+            self.sampler.start()
+        if self.log is not None:
+            self.log.event(
+                "serve.daemon.started",
+                concurrency=self.concurrency,
+                executor=self.executor_kind,
+                results_dir=str(self.results_dir),
+            )
         self._scheduler_task = asyncio.get_running_loop().create_task(
             self._scheduler()
         )
@@ -153,6 +218,7 @@ class JobDaemon:
                 self._complete_metrics(job)
             self._observe_queue_depth()
         if not self._started:
+            self._finalize_telemetry()
             return self.stats()
         while len(self._queue) or self._running_tasks:
             pending = [
@@ -175,7 +241,25 @@ class JobDaemon:
             self._executor.shutdown(wait=True)
             self._executor = None
         self._started = False
+        self._finalize_telemetry()
+        if self.log is not None:
+            self.log.event(
+                "serve.daemon.stopped",
+                jobs=len(self._jobs),
+                uptime_s=round(time.time() - self._t0, 3),
+            )
         return self.stats()
+
+    def _finalize_telemetry(self) -> None:
+        """Stop the sampler and write the opted-in artifacts (idempotent)."""
+        if self.sampler is not None:
+            self.sampler.stop()
+        if self.flight_dump is not None and self.sampler is not None:
+            self.sampler.recorder.dump(self.flight_dump)
+        if self.trace_path is not None and self.tracer is not None:
+            write_stitched_trace(
+                self.trace_path, self.tracer, self._job_traces
+            )
 
     # ------------------------------------------------------------------
     # client operations
@@ -189,7 +273,10 @@ class JobDaemon:
         if not self._accepting:
             raise RuntimeError("daemon is shutting down")
         request = validate_request(request_data)
-        canonical = canonical_request(request)
+        # Traced workers record the same canonical the runner computes
+        # for a traced run — keep the submit-time lookup key identical,
+        # or job tracing would turn every lookup into a cache miss.
+        canonical = canonical_request(request, traced=self.trace_jobs)
         key = cache_key(canonical)
         job = Job(
             job_id=uuid.uuid4().hex[:12],
@@ -201,6 +288,15 @@ class JobDaemon:
         self.metrics.counter(
             "serve.submitted", "jobs accepted by the daemon"
         ).inc(kind=request.kind)
+        if self.log is not None:
+            self.log.event(
+                "serve.job.submitted",
+                correlation_id=job.job_id,
+                kind=request.kind,
+                workload=request.workload or "mergesort",
+                cache_key=key,
+                priority=request.priority,
+            )
 
         entry = self.cache.lookup(key)
         if entry is not None:
@@ -278,6 +374,11 @@ class JobDaemon:
         hits = cache.value(outcome="hit")
         misses = cache.value(outcome="miss")
         total = hits + misses
+        metrics = self.metrics.summary()
+        if "serve.exec_s" in metrics:
+            # Deprecated alias: ``serve.run_s`` was renamed
+            # ``serve.exec_s``; mirrored here for one release.
+            metrics["serve.run_s"] = metrics["serve.exec_s"]
         return {
             "accepting": self._accepting,
             "concurrency": self.concurrency,
@@ -288,10 +389,47 @@ class JobDaemon:
             "cache_hits": hits,
             "cache_misses": misses,
             "cache_hit_rate": (hits / total) if total else 0.0,
+            "uptime_s": time.time() - self._t0,
+            "sla": sla_block(self.metrics),
+            "telemetry": self.telemetry_stats(),
             "notes": list(self.notes),
             "results_dir": str(self.results_dir),
-            "metrics": self.metrics.summary(),
+            "metrics": metrics,
         }
+
+    def telemetry_snapshot(self) -> dict:
+        """One sampler frame: the full :meth:`stats` block (reads only —
+        sampling cannot perturb any job or simulated result)."""
+        return self.stats()
+
+    def telemetry_stats(self) -> dict:
+        """Sampler/flight-recorder state for ``stats()`` and the
+        ``telemetry`` op."""
+        if self.sampler is None:
+            return {"enabled": False}
+        recorder = self.sampler.recorder
+        return {
+            "enabled": True,
+            "interval_s": self.sampler.interval_s,
+            "capacity": recorder.capacity,
+            "frames": len(recorder),
+            "last_seq": recorder.last_seq,
+            "dropped": recorder.dropped(),
+        }
+
+    def telemetry_frames(self, after_seq: int = 0) -> List[dict]:
+        """Buffered sampler frames newer than ``after_seq`` (empty when
+        the sampler is off)."""
+        if self.sampler is None:
+            return []
+        return self.sampler.recorder.snapshots(after_seq)
+
+    def stitched_trace(self) -> dict:
+        """The combined daemon + per-job Chrome trace document."""
+        tracer = self.tracer if self.tracer is not None else Tracer(
+            name="repro-serve-daemon"
+        )
+        return stitch_chrome_trace(tracer, self._job_traces)
 
     def write_metrics(self, path: Union[str, Path]) -> Path:
         """Dump the service metrics registry as standard metrics JSON."""
@@ -314,13 +452,125 @@ class JobDaemon:
             "serve.queue_depth", "jobs waiting for an executor slot"
         ).set(float(len(self._queue)))
 
+    @staticmethod
+    def _sla_labels(job: Job) -> Dict[str, str]:
+        """The (kind, workload, figure) label set of the SLA metrics."""
+        request = job.request
+        if request.kind == "figure":
+            figure = "+".join(request.experiments)
+        else:
+            figure = "sweep"
+        return {
+            "kind": request.kind,
+            "workload": request.workload or "mergesort",
+            "figure": figure,
+        }
+
+    def _sla_hist(self, name: str, help: str) -> Histogram:
+        """Seconds-scale SLA histogram (first creation pins the buckets)."""
+        return self.metrics.histogram(name, help, buckets=SLA_BUCKETS)
+
+    def _observe_sla(self, job: Job) -> None:
+        """Record wait/exec/total latencies for one completed job.
+
+        Cache hits count too (with ~zero wait and exec): the SLA a
+        client experiences includes the jobs the cache absorbed.
+        """
+        labels = self._sla_labels(job)
+        finished = job.finished_unix or time.time()
+        started = job.started_unix if job.started_unix is not None else finished
+        self._sla_hist(
+            "serve.wait_s", "seconds spent queued before starting"
+        ).observe(max(0.0, started - job.submitted_unix), **labels)
+        self._sla_hist(
+            "serve.exec_s", "executor seconds per completed job"
+        ).observe(max(0.0, finished - started), **labels)
+        self._sla_hist(
+            "serve.total_s", "submit-to-done seconds per completed job"
+        ).observe(max(0.0, finished - job.submitted_unix), **labels)
+
+    def _trace_job(self, job: Job) -> None:
+        """Record the daemon-side spans of one finished job.
+
+        Two wall-clock spans (seconds since daemon start): the queued
+        interval on the ``daemon.queue`` lane and the executing interval
+        on ``daemon.exec``, both carrying the job id as
+        ``correlation_id`` — the same id stamped into the worker's
+        engine trace, which is what the stitcher correlates on.
+        """
+        if self.tracer is None:
+            return
+        t0 = self._t0
+        finished = (job.finished_unix or time.time()) - t0
+        submitted = max(0.0, job.submitted_unix - t0)
+        started = (
+            job.started_unix - t0 if job.started_unix is not None else finished
+        )
+        attrs = {
+            "correlation_id": job.job_id,
+            "state": job.state,
+            "cache_hit": job.cache_hit,
+            **self._sla_labels(job),
+        }
+        self.tracer.span(
+            f"job {job.job_id} queued",
+            "daemon",
+            submitted,
+            max(started, submitted),
+            device="daemon.queue",
+            **attrs,
+        )
+        if job.started_unix is not None:
+            self.tracer.span(
+                f"job {job.job_id} executing",
+                "daemon",
+                started,
+                max(finished, started),
+                device="daemon.exec",
+                **attrs,
+            )
+
     def _complete_metrics(self, job: Job) -> None:
         self.metrics.counter(
             "serve.completed", "jobs reaching a terminal state"
         ).inc(state=job.state)
+        if job.state == DONE:
+            self._observe_sla(job)
+        self._trace_job(job)
+        if self.log is not None:
+            self.log.event(
+                "serve.job.finished",
+                correlation_id=job.job_id,
+                state=job.state,
+                cache_hit=job.cache_hit,
+                run_id=job.run_id,
+                attempts=job.attempts,
+                error=job.error,
+            )
 
     async def _scheduler(self) -> None:
-        """Drain the queue into the executor, bounded by the semaphore."""
+        """Drain the queue into the executor, bounded by the semaphore.
+
+        A scheduler crash dumps the flight recorder first — the black
+        box exists precisely for the runs that end badly."""
+        try:
+            await self._scheduler_loop()
+        except asyncio.CancelledError:
+            raise
+        except BaseException:
+            self.dump_flight()
+            raise
+
+    def dump_flight(self) -> Optional[Path]:
+        """Write the flight recorder to ``flight_dump`` now (one final
+        sample included); returns the path, or ``None`` when telemetry
+        or the dump path is off."""
+        if self.sampler is None or self.flight_dump is None:
+            return None
+        self.sampler.sample_once()
+        return self.sampler.recorder.dump(self.flight_dump)
+
+    async def _scheduler_loop(self) -> None:
         assert self._wakeup is not None and self._semaphore is not None
         while True:
             await self._wakeup.wait()
@@ -347,9 +597,12 @@ class JobDaemon:
             job.state = RUNNING
             job.started_unix = time.time()
             self._observe_queue_depth()
-            self.metrics.histogram(
-                "serve.wait_s", "seconds spent queued before starting"
-            ).observe(job.wait_s, kind=job.request.kind)
+            if self.log is not None:
+                self.log.event(
+                    "serve.job.dispatched",
+                    correlation_id=job.job_id,
+                    wait_s=round(job.wait_s, 6),
+                )
 
             retry = RetryPolicy(
                 max_retries=int(job.request.retry.get("max_retries", 0)),
@@ -363,6 +616,9 @@ class JobDaemon:
                 results_dir=str(self.results_dir),
                 run_id=f"{time.strftime('%Y%m%d-%H%M%S')}-{job.job_id}",
                 jobs=self.jobs_per_run,
+                correlation_id=job.job_id,
+                collect_trace=self.trace_jobs,
+                log_json=str(self.log_json) if self.log_json else None,
             )
             last_error: Optional[str] = None
             for attempt in range(retry.max_retries + 1):
@@ -392,16 +648,15 @@ class JobDaemon:
                         f"job exceeded its {job.request.timeout_s}s "
                         f"deadline (attempt {job.attempts})"
                     )
+                    self.metrics.counter(
+                        "serve.deadline_burn",
+                        "attempts that blew their wall-clock deadline",
+                    ).inc(**self._sla_labels(job))
                     continue
                 except Exception as exc:  # noqa: BLE001 - job isolation
                     last_error = f"{type(exc).__name__}: {exc}"
                     continue
                 self._absorb(job, reply)
-                self.metrics.histogram(
-                    "serve.run_s", "executor seconds per completed job"
-                ).observe(
-                    time.time() - job.started_unix, kind=job.request.kind
-                )
                 job.finish(DONE)
                 self._complete_metrics(job)
                 return
@@ -427,6 +682,10 @@ class JobDaemon:
         job.run_id = outcome["run_id"]
         job.manifest_path = outcome["manifest_path"]
         job.report_path = outcome["report_path"]
+        if self.trace_jobs and reply.get("trace") is not None:
+            self._job_traces.append(
+                {"correlation_id": job.job_id, "snapshot": reply["trace"]}
+            )
         fresh = reply.get("tuner_state") or {}
         for key, payload in fresh.items():
             slot = self._tuner_state.get(key)

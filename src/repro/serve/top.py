@@ -1,0 +1,192 @@
+"""``repro-serve top`` — a stdlib terminal dashboard for the daemon.
+
+Polls ``stats`` over the normal client transport and renders queue
+depth, cache hit ratio and per-workload throughput as
+:func:`repro.util.asciiplot.sparkline` history lines, plus the SLA
+latency percentile table the daemon derives from its histograms.  No
+curses, no external dependency: one ANSI clear per frame (``--no-clear``
+appends frames instead, which is what the tests drive).
+
+The rendering is split in two for testability: :class:`TopView` holds
+the rolling history and turns one stats dict into one frame string
+(pure, deterministic), and :func:`run_top` is the thin poll loop.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.util.asciiplot import sparkline
+
+#: One frame's sparkline width (and the history retained for it).
+SPARK_WIDTH = 48
+
+#: ANSI: clear screen, cursor home.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fmt_s(value: object) -> str:
+    """Seconds, compact: 12ms / 3.4s / 81s."""
+    if not isinstance(value, (int, float)):
+        return "-"
+    if value < 1.0:
+        return f"{value * 1000:.0f}ms"
+    return f"{value:.2f}s" if value < 10 else f"{value:.0f}s"
+
+
+class TopView:
+    """Rolling dashboard state: feed stats dicts, get frame strings."""
+
+    def __init__(self, width: int = SPARK_WIDTH) -> None:
+        self.width = width
+        self.queue_depth: Deque[float] = deque(maxlen=width)
+        self.hit_rate: Deque[float] = deque(maxlen=width)
+        self.running: Deque[float] = deque(maxlen=width)
+        #: Per-workload completed-job throughput between frames, derived
+        #: from the total_s histogram counts (monotone counters).
+        self.throughput: Dict[str, Deque[float]] = {}
+        self._last_counts: Dict[str, float] = {}
+        self.frames = 0
+
+    # ------------------------------------------------------------------
+    def feed(self, stats: dict) -> str:
+        """Absorb one stats snapshot and render the frame for it."""
+        self.frames += 1
+        self.queue_depth.append(float(stats.get("queue_depth", 0)))
+        self.hit_rate.append(float(stats.get("cache_hit_rate", 0.0)))
+        self.running.append(float(stats.get("running", 0)))
+        sla = stats.get("sla") or {}
+        totals = sla.get("total_s") or {}
+        for workload, block in totals.items():
+            count = float(block.get("count", 0))
+            delta = max(0.0, count - self._last_counts.get(workload, 0.0))
+            self._last_counts[workload] = count
+            history = self.throughput.setdefault(
+                workload, deque(maxlen=self.width)
+            )
+            # First sighting seeds the baseline without a spike.
+            history.append(0.0 if self.frames == 1 else delta)
+        return self.render(stats)
+
+    # ------------------------------------------------------------------
+    def render(self, stats: dict) -> str:
+        """One dashboard frame (pure: no I/O, no clock)."""
+        lines = []
+        states = stats.get("states") or {}
+        lines.append(
+            "repro-serve top — "
+            f"up {_fmt_s(stats.get('uptime_s', 0.0))}, "
+            f"executor {stats.get('executor', '?')}"
+            f" x{stats.get('concurrency', '?')}, "
+            f"{'accepting' if stats.get('accepting') else 'draining'}"
+        )
+        lines.append(
+            f"jobs: {sum(states.values())} total  "
+            + "  ".join(
+                f"{state}={count}" for state, count in sorted(states.items())
+            )
+        )
+        lines.append("")
+        lines.append(
+            f"queue depth {self.queue_depth[-1]:>4.0f}  "
+            f"|{sparkline(self.queue_depth, self.width)}|"
+        )
+        lines.append(
+            f"running     {self.running[-1]:>4.0f}  "
+            f"|{sparkline(self.running, self.width)}|"
+        )
+        lines.append(
+            f"cache hits  {self.hit_rate[-1]:>4.0%}  "
+            f"|{sparkline(self.hit_rate, self.width)}|"
+        )
+        for workload in sorted(self.throughput):
+            history = self.throughput[workload]
+            lines.append(
+                f"done/frame  {history[-1]:>4.0f}  "
+                f"|{sparkline(history, self.width)}| {workload}"
+            )
+        sla = stats.get("sla") or {}
+        rows = self._sla_rows(sla)
+        if rows:
+            lines.append("")
+            lines.append(
+                f"{'latency':<10} {'workload':<12} {'count':>6} "
+                f"{'p50':>8} {'p95':>8} {'p99':>8} {'max':>8}"
+            )
+            lines.extend(rows)
+        burn = sla.get("deadline_burn") or {}
+        if burn:
+            lines.append("")
+            lines.append(
+                "deadline burn: "
+                + "  ".join(
+                    f"{wl}={int(count)}" for wl, count in sorted(burn.items())
+                )
+            )
+        telemetry = stats.get("telemetry") or {}
+        if telemetry.get("enabled"):
+            lines.append("")
+            lines.append(
+                f"flight recorder: {telemetry.get('frames', 0)}"
+                f"/{telemetry.get('capacity', 0)} frames "
+                f"(seq {telemetry.get('last_seq', 0)}, "
+                f"dropped {telemetry.get('dropped', 0)})"
+            )
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _sla_rows(sla: dict) -> list:
+        rows = []
+        for metric in ("wait_s", "exec_s", "total_s"):
+            for workload, block in sorted((sla.get(metric) or {}).items()):
+                rows.append(
+                    f"{metric:<10} {workload:<12} "
+                    f"{int(block.get('count', 0)):>6} "
+                    f"{_fmt_s(block.get('p50')):>8} "
+                    f"{_fmt_s(block.get('p95')):>8} "
+                    f"{_fmt_s(block.get('p99')):>8} "
+                    f"{_fmt_s(block.get('max')):>8}"
+                )
+        return rows
+
+
+def render_top(stats: dict, view: Optional[TopView] = None) -> str:
+    """One-shot frame render (fresh view unless one is passed)."""
+    view = view if view is not None else TopView()
+    return view.feed(stats)
+
+
+def run_top(
+    client,
+    interval_s: float = 2.0,
+    iterations: Optional[int] = None,
+    clear: bool = True,
+    out=None,
+) -> int:
+    """Poll ``client.stats()`` and redraw until interrupted.
+
+    ``iterations`` bounds the loop (tests); ``clear=False`` appends
+    frames instead of overwriting the screen.  Returns 0 on a clean
+    exit, 1 once the daemon stops answering.
+    """
+    out = out if out is not None else sys.stdout
+    view = TopView()
+    count = 0
+    while iterations is None or count < iterations:
+        if count:
+            time.sleep(interval_s)
+        try:
+            stats = client.stats()
+        except (ConnectionRefusedError, FileNotFoundError, OSError) as exc:
+            print(f"repro-serve top: daemon gone: {exc}", file=sys.stderr)
+            return 1
+        frame = view.feed(stats)
+        if clear:
+            out.write(_CLEAR)
+        out.write(frame)
+        out.flush()
+        count += 1
+    return 0

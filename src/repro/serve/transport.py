@@ -16,6 +16,10 @@ object per line, and reads one JSON object per line back.  Operations
 ``cancel``     cancel a queued (or best-effort a running) job
 ``list``       all job snapshots, newest first
 ``stats``      queue depth / cache hit rate / metrics summary
+``metrics``    full metrics registry as JSON plus Prometheus text
+               exposition (scrape endpoint without HTTP)
+``telemetry``  flight-recorder frames after ``after_seq``;
+               ``wait``/``timeout`` long-poll until a new frame lands
 ``shutdown``   stop the daemon (``drain: true`` finishes queued work
                first) and the server loop
 =============  ========================================================
@@ -94,6 +98,33 @@ async def handle_message(
             return _ok(jobs=daemon.list_jobs(), stats=daemon.stats())
         if op == "stats":
             return _ok(stats=daemon.stats())
+        if op == "metrics":
+            from repro.obs.export import metrics_json, prometheus_text
+
+            return _ok(
+                metrics=metrics_json(daemon.metrics),
+                prometheus=prometheus_text(daemon.metrics),
+            )
+        if op == "telemetry":
+            after_seq = int(message.get("after_seq", 0) or 0)
+            frames = daemon.telemetry_frames(after_seq)
+            if not frames and message.get("wait"):
+                # Long-poll: park until the sampler lands a new frame
+                # (bounded — a dead sampler must not hold the socket).
+                interval = daemon.telemetry_interval or 1.0
+                step = min(max(interval / 2.0, 0.05), 1.0)
+                deadline = asyncio.get_event_loop().time() + min(
+                    float(message.get("timeout") or 30.0), 300.0
+                )
+                while (
+                    not frames
+                    and asyncio.get_event_loop().time() < deadline
+                ):
+                    await asyncio.sleep(step)
+                    frames = daemon.telemetry_frames(after_seq)
+            return _ok(
+                frames=frames, telemetry=daemon.telemetry_stats()
+            )
         if op == "shutdown":
             if server is not None:
                 server.request_shutdown(drain=bool(message.get("drain")))

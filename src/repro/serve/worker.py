@@ -25,6 +25,9 @@ def build_spec(
     results_dir: str,
     run_id: Optional[str] = None,
     jobs="auto",
+    correlation_id: Optional[str] = None,
+    collect_trace: bool = False,
+    log_json: Optional[str] = None,
 ) -> RunSpec:
     """The RunSpec executing one validated request.
 
@@ -32,6 +35,14 @@ def build_spec(
     daemon-chosen run id and results tree.  ``jobs`` is the daemon's
     per-job sweep-engine width — an operational knob, deliberately not
     part of the request (results are bit-identical at any width).
+    ``correlation_id`` / ``collect_trace`` / ``log_json`` are the live
+    telemetry knobs: the job id threaded into the runner's tracer and
+    log events, whether to ship the engine trace back for stitching,
+    and the shared JSON-lines log path.  None of them enters the
+    canonical request (``collect_trace`` maps onto the pre-existing
+    ``traced`` observability profile the daemon already resolved into
+    ``canonical``), so they never change a cache key the daemon didn't
+    already account for.
     """
     if request.kind == "sweep":
         sweep = {
@@ -67,6 +78,9 @@ def build_spec(
         sweep=sweep,
         workload=request.workload,
         argv=["repro-serve", request.kind],
+        correlation_id=correlation_id,
+        collect_trace=collect_trace,
+        log_json=log_json,
     )
 
 
@@ -86,12 +100,32 @@ def execute_job(payload: dict) -> dict:
         snapshot_tuner_keys,
     )
 
+    spec = payload["spec"]
+    log = None
+    if spec.log_json:
+        from repro.obs.log import JsonLogger
+
+        log = JsonLogger(
+            spec.log_json, "worker", correlation_id=spec.correlation_id
+        )
+        log.event("serve.worker.executing", run_id=spec.run_id)
     tuner_state = payload.get("tuner_state")
     if tuner_state:
         seed_tuner_state(tuner_state)
     baseline = snapshot_tuner_keys()
-    outcome = run_request(payload["spec"])
-    return {
+    outcome = run_request(spec)
+    if log is not None:
+        log.event(
+            "serve.worker.finished",
+            run_id=outcome.run_id,
+            cache_key=outcome.cache_key,
+        )
+    reply = {
         "outcome": outcome.to_dict(),
         "tuner_state": export_tuner_state(baseline),
     }
+    if outcome.trace_snapshot is not None:
+        # Shipped separately from the JSON-able digest: the snapshot is
+        # picklable row data for the daemon's trace stitcher only.
+        reply["trace"] = outcome.trace_snapshot
+    return reply

@@ -15,6 +15,38 @@ Series = Sequence[Tuple[float, float]]
 
 _MARKERS = "ox+*#@"
 
+#: Eight-level block ramp used by :func:`sparkline`.
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 0) -> str:
+    """One-line unicode sparkline of a numeric series.
+
+    The ``repro-serve top`` dashboard's building block: maps each value
+    onto the eight-level block ramp, scaled to the series' own min/max
+    (a flat series renders as a flat low line).  ``width`` > 0 keeps
+    only the most recent ``width`` values; an empty series renders as
+    an empty string.  Non-finite values draw as spaces.
+    """
+    values = list(values)
+    if width > 0:
+        values = values[-width:]
+    if not values:
+        return ""
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return " " * len(values)
+    lo, hi = min(finite), max(finite)
+    span = (hi - lo) or 1.0
+    top = len(_SPARK_CHARS) - 1
+    out = []
+    for v in values:
+        if not math.isfinite(v):
+            out.append(" ")
+            continue
+        out.append(_SPARK_CHARS[round((v - lo) / span * top)])
+    return "".join(out)
+
 
 def _transform(value: float, log: bool) -> float:
     if not log:

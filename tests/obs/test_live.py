@@ -1,0 +1,300 @@
+"""Live telemetry layer: quantiles, flight recorder, sampler, stitching.
+
+Unit coverage for :mod:`repro.obs.live` plus the histogram quantile
+estimator and the registry's concurrency contract — everything the
+serve daemon's streaming telemetry stands on.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.live import (
+    SLA_BUCKETS,
+    FlightRecorder,
+    TelemetrySampler,
+    sla_block,
+    stitch_chrome_trace,
+    write_stitched_trace,
+)
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    histogram_quantile,
+)
+from repro.obs.tracer import Tracer
+
+
+class TestHistogramQuantile:
+    def test_empty_point_is_none(self):
+        h = Histogram("lat")
+        assert h.quantile(0.5) is None
+        assert histogram_quantile(h.buckets, None, 0.5) is None
+
+    def test_single_observation(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        h.observe(3.0)
+        # One value: every quantile collapses onto it (min == max
+        # sharpen the interpolation to the exact observation).
+        assert h.quantile(0.0) == 3.0
+        assert h.quantile(0.5) == pytest.approx(3.0)
+        assert h.quantile(1.0) == 3.0
+
+    def test_single_bucket_interpolates(self):
+        h = Histogram("lat", buckets=(100.0,))
+        for v in (10.0, 20.0, 30.0, 40.0):
+            h.observe(v)
+        p50 = h.quantile(0.5)
+        assert 10.0 <= p50 <= 40.0
+
+    def test_overflow_bucket_returns_max_not_inf(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(500.0)
+        h.observe(900.0)
+        # p99 lands in the +Inf slot; the only finite answer is max.
+        assert h.quantile(0.99) == 900.0
+
+    def test_extreme_q_pins_to_min_max(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        h.observe(2.0)
+        h.observe(8.0)
+        assert h.quantile(0.0) == 2.0
+        assert h.quantile(1.0) == 8.0
+
+    def test_monotone_in_q(self):
+        h = Histogram("lat", buckets=tuple(SLA_BUCKETS))
+        for v in (0.002, 0.004, 0.02, 0.2, 2.0, 20.0, 200.0):
+            h.observe(v)
+        qs = [h.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)]
+        assert qs == sorted(qs)
+
+
+class TestSlaBlock:
+    def _registry(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("serve.wait_s", "", buckets=SLA_BUCKETS)
+        for v in (0.01, 0.02, 0.4):
+            h.observe(v, kind="figure", workload="mergesort", figure="fig8")
+        h.observe(1.5, kind="sweep", workload="quicksort", figure="sweep")
+        reg.histogram("serve.exec_s", "", buckets=SLA_BUCKETS).observe(
+            2.0, kind="figure", workload="mergesort", figure="fig8"
+        )
+        reg.histogram("serve.total_s", "", buckets=SLA_BUCKETS).observe(
+            2.4, kind="figure", workload="mergesort", figure="fig8"
+        )
+        reg.counter("serve.deadline_burn", "").inc(
+            2, kind="figure", workload="mergesort", figure="fig8"
+        )
+        return reg
+
+    def test_shape_and_workload_grouping(self):
+        block = sla_block(self._registry())
+        assert set(block) == {
+            "wait_s", "exec_s", "total_s", "deadline_burn",
+        }
+        assert set(block["wait_s"]) == {"mergesort", "quicksort"}
+        entry = block["wait_s"]["mergesort"]
+        assert entry["count"] == 3
+        assert entry["mean"] == pytest.approx((0.01 + 0.02 + 0.4) / 3)
+        assert entry["max"] == 0.4
+        assert {"p50", "p95", "p99"} <= set(entry)
+        assert block["deadline_burn"] == {"mergesort": 2.0}
+
+    def test_merges_points_differing_in_other_labels(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("serve.wait_s", "", buckets=SLA_BUCKETS)
+        h.observe(0.1, kind="figure", workload="mergesort", figure="fig8")
+        h.observe(0.2, kind="sweep", workload="mergesort", figure="sweep")
+        block = sla_block(reg)
+        assert block["wait_s"]["mergesort"]["count"] == 2
+
+    def test_empty_registry(self):
+        block = sla_block(MetricsRegistry())
+        assert block == {
+            "wait_s": {},
+            "exec_s": {},
+            "total_s": {},
+            "deadline_burn": {},
+        }
+
+    def test_json_serializable(self):
+        json.dumps(sla_block(self._registry()))
+
+
+class TestFlightRecorder:
+    def test_seq_monotone_and_wraparound(self):
+        rec = FlightRecorder(capacity=3)
+        for i in range(5):
+            rec.append({"i": i})
+        assert rec.last_seq == 5
+        assert rec.dropped() == 2
+        frames = rec.snapshots()
+        assert [f["seq"] for f in frames] == [3, 4, 5]
+        assert [f["i"] for f in frames] == [2, 3, 4]
+
+    def test_after_seq_filter(self):
+        rec = FlightRecorder(capacity=10)
+        for i in range(4):
+            rec.append({"i": i})
+        assert [f["i"] for f in rec.snapshots(after_seq=2)] == [2, 3]
+        assert rec.snapshots(after_seq=99) == []
+
+    def test_last_and_len(self):
+        rec = FlightRecorder(capacity=2)
+        assert rec.last() is None
+        rec.append({"i": 0})
+        rec.append({"i": 1})
+        rec.append({"i": 2})
+        assert len(rec) == 2
+        assert rec.last()["i"] == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_crash_dump_round_trips(self, tmp_path):
+        rec = FlightRecorder(capacity=3)
+        for i in range(5):
+            rec.append({"i": i})
+        path = rec.dump(tmp_path / "flight.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        frames = [json.loads(line) for line in lines]
+        assert [f["seq"] for f in frames] == [3, 4, 5]
+        # Compact key-sorted lines: byte-stable and greppable.
+        assert lines[0] == json.dumps(
+            frames[0], sort_keys=True, separators=(",", ":")
+        )
+
+
+class TestTelemetrySampler:
+    def test_sample_once_records_frame(self):
+        sampler = TelemetrySampler(
+            lambda: {"depth": 4}, interval_s=60.0, clock=lambda: 123.0
+        )
+        frame = sampler.sample_once()
+        assert frame["depth"] == 4
+        assert frame["unix"] == 123.0
+        assert frame["seq"] == 1
+        assert sampler.recorder.last()["depth"] == 4
+
+    def test_source_errors_become_error_frames(self):
+        def bad():
+            raise RuntimeError("boom")
+
+        sampler = TelemetrySampler(bad, interval_s=60.0)
+        frame = sampler.sample_once()
+        assert frame["error"] == "RuntimeError: boom"
+
+    def test_thread_lifecycle_and_terminal_sample(self):
+        sampler = TelemetrySampler(lambda: {"n": 1}, interval_s=0.01)
+        sampler.start()
+        assert sampler.running
+        sampler.start()  # idempotent
+        try:
+            deadline = threading.Event()
+            deadline.wait(0.08)
+        finally:
+            sampler.stop()
+        assert not sampler.running
+        # Immediate first sample + interval samples + terminal sample.
+        assert sampler.recorder.last_seq >= 2
+        sampler.stop()  # idempotent
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            TelemetrySampler(dict, interval_s=0.0)
+
+
+class TestStitchedTrace:
+    def _job_snapshot(self, name):
+        tracer = Tracer(name=name)
+        tracer.span("merge", "kernel", 0.0, 50.0, device="gpu0")
+        return tracer.snapshot()
+
+    def test_daemon_and_jobs_share_one_document(self, tmp_path):
+        daemon = Tracer(name="repro-serve-daemon")
+        daemon.span(
+            "job abc queued", "daemon", 0.0, 1.0,
+            device="daemon.queue", correlation_id="abc",
+        )
+        doc = stitch_chrome_trace(
+            daemon,
+            [
+                {"correlation_id": "abc", "snapshot": self._job_snapshot("a")},
+                {"correlation_id": "def", "snapshot": self._job_snapshot("b")},
+            ],
+        )
+        events = doc["traceEvents"]
+        pids = {e["pid"] for e in events}
+        assert pids == {1, 2, 3}
+        # Every non-metadata job event carries its correlation id.
+        for event in events:
+            if event["pid"] > 1 and event.get("ph") != "M":
+                assert event["args"]["correlation_id"] in ("abc", "def")
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e.get("ph") == "M" and e.get("name") == "process_name"
+        }
+        assert any("repro-serve daemon" in n for n in names)
+        assert any("job abc" in n for n in names)
+        assert doc["otherData"]["stitched"] is True
+        assert doc["otherData"]["jobs"] == ["abc", "def"]
+        path = write_stitched_trace(tmp_path / "stitched.json", daemon, [])
+        json.loads(path.read_text())
+
+    def test_no_jobs_still_valid(self):
+        doc = stitch_chrome_trace(Tracer(name="d"), [])
+        assert doc["otherData"]["jobs"] == []
+
+
+class TestRegistryConcurrency:
+    def test_merge_dict_races_to_dict_without_torn_state(self):
+        """Thread stress: concurrent merges and snapshots never produce
+        a torn histogram (count inconsistent with bucket totals)."""
+        donor = MetricsRegistry()
+        donor.counter("ops", "").inc(1, device="cpu")
+        h = donor.histogram("lat", "", buckets=(1.0, 10.0))
+        h.observe(0.5, device="cpu")
+        h.observe(5.0, device="cpu")
+        payload = donor.to_dict()
+
+        target = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def merger():
+            while not stop.is_set():
+                target.merge_dict(payload)
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    snap = target.to_dict()
+                except Exception as exc:  # noqa: BLE001 - fail the test
+                    errors.append(repr(exc))
+                    return
+                hist = snap.get("lat")
+                if not hist:
+                    continue
+                for point in hist["points"]:
+                    if point["count"] != sum(point["bucket_counts"]):
+                        errors.append(f"torn histogram point: {point}")
+                        return
+
+        threads = [threading.Thread(target=merger) for _ in range(3)]
+        threads += [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        threading.Event().wait(0.3)
+        stop.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert not errors
+        # Merges are additive: final count is a multiple of one payload.
+        final = target.to_dict()["lat"]["points"][0]
+        assert final["count"] % 2 == 0
+        assert final["count"] == sum(final["bucket_counts"])

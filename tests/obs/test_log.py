@@ -1,0 +1,105 @@
+"""Structured JSON logging: record schema, binding, concurrent appends."""
+
+import json
+import threading
+
+from repro.obs.log import JsonLogger, events_for, read_log
+
+
+class TestRecordSchema:
+    def test_core_fields_and_ordering(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = JsonLogger(path, "daemon", clock=lambda: 42.0)
+        record = log.event("serve.job.submitted", kind="figure")
+        assert record == {
+            "ts": 42.0,
+            "event": "serve.job.submitted",
+            "component": "daemon",
+            "kind": "figure",
+        }
+        (line,) = path.read_text().splitlines()
+        assert line == json.dumps(
+            record, sort_keys=True, separators=(",", ":")
+        )
+
+    def test_none_fields_dropped(self, tmp_path):
+        log = JsonLogger(
+            tmp_path / "e.jsonl", "worker", correlation_id=None
+        )
+        record = log.event("x", run_id=None, attempts=1)
+        assert "run_id" not in record
+        assert "correlation_id" not in record
+        assert record["attempts"] == 1
+
+    def test_bound_fields_on_every_record(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        log = JsonLogger(path, "runner", correlation_id="abc123")
+        log.event("run.started")
+        log.event("run.finished", run_id="r1")
+        records = read_log(path)
+        assert [r["correlation_id"] for r in records] == ["abc123"] * 2
+
+    def test_bind_derives_child_scope(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        root = JsonLogger(path, "daemon")
+        child = root.bind(correlation_id="job1", skipped=None)
+        child.event("serve.job.dispatched")
+        root.event("serve.daemon.stopped")
+        records = read_log(path)
+        assert records[0]["correlation_id"] == "job1"
+        assert "correlation_id" not in records[1]
+        assert "skipped" not in records[0]
+
+
+class TestReaders:
+    def test_read_log_tolerates_garbage(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        JsonLogger(path, "daemon").event("good")
+        with path.open("a") as fh:
+            fh.write("not json\n")
+            fh.write("[1, 2]\n")
+            fh.write("\n")
+        JsonLogger(path, "daemon").event("also-good")
+        events = [r["event"] for r in read_log(path)]
+        assert events == ["good", "also-good"]
+
+    def test_read_log_missing_file(self, tmp_path):
+        assert read_log(tmp_path / "nope.jsonl") == []
+
+    def test_events_for_filters(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        a = JsonLogger(path, "daemon", correlation_id="a")
+        b = JsonLogger(path, "worker", correlation_id="b")
+        a.event("serve.job.submitted")
+        b.event("serve.worker.executing")
+        a.event("serve.job.finished")
+        assert len(events_for(path, correlation_id="a")) == 2
+        assert len(events_for(path, event="serve.worker.executing")) == 1
+        assert (
+            events_for(path, correlation_id="b")[0]["component"] == "worker"
+        )
+
+
+class TestConcurrentAppends:
+    def test_no_torn_lines_across_threads(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+
+        def writer(tag):
+            log = JsonLogger(path, "daemon", correlation_id=tag)
+            for i in range(50):
+                log.event("tick", i=i, pad="x" * 200)
+
+        threads = [
+            threading.Thread(target=writer, args=(f"t{n}",))
+            for n in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Every line parses and every record arrived exactly once.
+        records = read_log(path)
+        assert len(records) == 200
+        assert len(path.read_text().splitlines()) == 200
+        for tag in ("t0", "t1", "t2", "t3"):
+            assert len(events_for(path, correlation_id=tag)) == 50

@@ -1,0 +1,152 @@
+"""Prometheus text exposition: rendering and the strict checker.
+
+The exposition is stdlib-rendered and CI validates it with
+:func:`repro.obs.export.parse_prometheus_text` — these tests pin both
+directions plus the invariants the checker enforces.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.export import (
+    parse_prometheus_text,
+    prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def seeded_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("serve.submitted", "jobs accepted").inc(3, kind="figure")
+    reg.counter("serve.submitted", "jobs accepted").inc(1, kind="sweep")
+    reg.gauge("serve.queue_depth", "jobs waiting").set(2.0)
+    h = reg.histogram("serve.wait_s", "queue seconds", buckets=(0.1, 1.0))
+    h.observe(0.05, workload="mergesort")
+    h.observe(0.5, workload="mergesort")
+    h.observe(30.0, workload="mergesort")
+    return reg
+
+
+class TestPrometheusText:
+    def test_every_family_round_trips(self):
+        reg = seeded_registry()
+        families = parse_prometheus_text(prometheus_text(reg))
+        assert set(families) == {
+            "repro_serve_submitted_total",
+            "repro_serve_queue_depth",
+            "repro_serve_wait_s",
+        }
+        assert (
+            families["repro_serve_submitted_total"]["type"] == "counter"
+        )
+        assert families["repro_serve_queue_depth"]["type"] == "gauge"
+        assert families["repro_serve_wait_s"]["type"] == "histogram"
+
+    def test_counter_values_and_labels(self):
+        families = parse_prometheus_text(prometheus_text(seeded_registry()))
+        samples = families["repro_serve_submitted_total"]["samples"]
+        assert (
+            samples[
+                ("repro_serve_submitted_total", (("kind", "figure"),))
+            ]
+            == 3.0
+        )
+        assert (
+            samples[("repro_serve_submitted_total", (("kind", "sweep"),))]
+            == 1.0
+        )
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        families = parse_prometheus_text(prometheus_text(seeded_registry()))
+        samples = families["repro_serve_wait_s"]["samples"]
+        base = (("workload", "mergesort"),)
+        by_le = {
+            dict(labels)["le"]: value
+            for (name, labels), value in samples.items()
+            if name == "repro_serve_wait_s_bucket"
+        }
+        assert by_le["0.1"] == 1.0
+        assert by_le["1.0"] == 2.0
+        assert by_le["+Inf"] == 3.0
+        assert samples[("repro_serve_wait_s_count", base)] == 3.0
+        assert samples[("repro_serve_wait_s_sum", base)] == pytest.approx(
+            30.55
+        )
+
+    def test_byte_stable(self):
+        assert prometheus_text(seeded_registry()) == prometheus_text(
+            seeded_registry()
+        )
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+        assert parse_prometheus_text("") == {}
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", "").inc(1, path='a"b\\c')
+        families = parse_prometheus_text(prometheus_text(reg))
+        ((_name, labels),) = families["repro_ops_total"]["samples"]
+        assert dict(labels)["path"] == 'a"b\\c'
+
+
+class TestStrictChecker:
+    def test_rejects_type_after_samples(self):
+        text = "x_total 1.0\n# TYPE x_total counter\n"
+        with pytest.raises(ValueError, match="after samples"):
+            parse_prometheus_text(text)
+
+    def test_rejects_duplicate_samples(self):
+        text = (
+            "# TYPE x gauge\n"
+            "x 1.0\n"
+            "x 2.0\n"
+        )
+        with pytest.raises(ValueError, match="duplicate sample"):
+            parse_prometheus_text(text)
+
+    def test_rejects_non_cumulative_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5.0\n'
+            'h_bucket{le="1.0"} 3.0\n'
+            'h_bucket{le="+Inf"} 5.0\n'
+            "h_sum 1.0\n"
+            "h_count 5.0\n"
+        )
+        with pytest.raises(ValueError, match="cumulative"):
+            parse_prometheus_text(text)
+
+    def test_rejects_missing_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 1.0\n'
+            "h_sum 0.05\n"
+            "h_count 1.0\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse_prometheus_text(text)
+
+    def test_rejects_count_mismatch(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 2.0\n'
+            "h_sum 0.1\n"
+            "h_count 3.0\n"
+        )
+        with pytest.raises(ValueError, match="_count"):
+            parse_prometheus_text(text)
+
+    def test_rejects_bad_sample_line(self):
+        with pytest.raises(ValueError, match="bad sample"):
+            parse_prometheus_text("not a metric line at all\n")
+
+    def test_rejects_bad_label_syntax(self):
+        with pytest.raises(ValueError, match="bad label"):
+            parse_prometheus_text('x{le=0.1} 1.0\n')
+
+    def test_inf_values_parse(self):
+        families = parse_prometheus_text("# TYPE g gauge\ng +Inf\n")
+        ((_, value),) = families["g"]["samples"].items()
+        assert math.isinf(value)

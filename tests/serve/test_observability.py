@@ -1,0 +1,295 @@
+"""End-to-end service observability: SLA, Prometheus, stitched traces,
+structured logs, and the bit-identity guarantee.
+
+The acceptance test of the live-telemetry layer: one daemon, a handful
+of mixed-workload jobs, and every observability surface checked against
+what actually ran — then the whole apparatus switched on for a second
+identical run to prove it changes no simulated byte.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.cli import VOLATILE_KEYS
+from repro.obs.export import parse_prometheus_text, prometheus_text
+from repro.obs.log import events_for, read_log
+from repro.serve.daemon import JobDaemon
+from repro.serve.jobs import DONE
+
+
+def tiny_sweep(workload=None, n=4096, **overrides):
+    data = {
+        "kind": "sweep",
+        "platform": "HPU1",
+        "n": [n],
+        "alphas": [0.5],
+        "adaptive": False,
+        "include_cpu_fallback": False,
+    }
+    if workload:
+        data["workload"] = workload
+    data.update(overrides)
+    return data
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def with_daemon(tmp_path, body, **daemon_kwargs):
+    daemon_kwargs.setdefault("executor", "thread")
+    daemon = JobDaemon(results_dir=tmp_path, **daemon_kwargs)
+    await daemon.start()
+    try:
+        return await body(daemon)
+    finally:
+        await daemon.shutdown()
+
+
+async def submit_mixed(daemon):
+    """Three jobs across three workloads; returns the done jobs."""
+    jobs = []
+    for workload in (None, "quicksort", "fft"):
+        job = await daemon.submit(tiny_sweep(workload=workload))
+        jobs.append(await daemon.wait(job.job_id, timeout=120))
+    assert all(j.state == DONE for j in jobs)
+    return jobs
+
+
+class TestSlaStats:
+    def test_per_workload_quantiles(self, tmp_path):
+        async def body(daemon):
+            await submit_mixed(daemon)
+            sla = daemon.stats()["sla"]
+            for metric in ("wait_s", "exec_s", "total_s"):
+                block = sla[metric]
+                assert set(block) == {"mergesort", "quicksort", "fft"}
+                for entry in block.values():
+                    assert entry["count"] == 1
+                    assert entry["p50"] is not None
+                    assert entry["p95"] is not None
+                    assert entry["p99"] is not None
+                    assert entry["p50"] <= entry["p95"] <= entry["p99"]
+            assert sla["deadline_burn"] == {}
+            json.dumps(sla)
+
+        run(with_daemon(tmp_path, body))
+
+    def test_cache_hits_count_toward_sla(self, tmp_path):
+        async def body(daemon):
+            job = await daemon.submit(tiny_sweep())
+            await daemon.wait(job.job_id, timeout=120)
+            hit = await daemon.submit(tiny_sweep())
+            assert hit.cache_hit
+            sla = daemon.stats()["sla"]
+            assert sla["total_s"]["mergesort"]["count"] == 2
+
+        run(with_daemon(tmp_path, body))
+
+
+class TestPrometheusOp:
+    def test_exposition_covers_every_family(self, tmp_path):
+        async def body(daemon):
+            await submit_mixed(daemon)
+            text = prometheus_text(daemon.metrics)
+            families = parse_prometheus_text(text)
+            # Every registry family round-trips under its mangled name
+            # (counters gain _total).
+            for name, data in daemon.metrics.to_dict().items():
+                mangled = "repro_" + name.replace(".", "_")
+                if data["type"] == "counter":
+                    mangled += "_total"
+                assert mangled in families, f"{name} missing from text"
+                assert families[mangled]["samples"]
+
+        run(with_daemon(tmp_path, body))
+
+    def test_transport_metrics_op(self, tmp_path):
+        from repro.serve.transport import handle_message
+
+        async def body(daemon):
+            await submit_mixed(daemon)
+            reply = await handle_message(daemon, {"op": "metrics"})
+            assert reply["ok"]
+            assert reply["metrics"]["format"] == "repro.obs.metrics/v1"
+            parse_prometheus_text(reply["prometheus"])
+
+        run(with_daemon(tmp_path, body))
+
+
+class TestStitchedTrace:
+    def test_daemon_and_engine_spans_share_correlation_id(self, tmp_path):
+        async def body(daemon):
+            jobs = await submit_mixed(daemon)
+            doc = daemon.stitched_trace()
+            events = doc["traceEvents"]
+            by_cid = {}
+            for event in events:
+                if event.get("ph") == "M":
+                    continue
+                cid = event.get("args", {}).get("correlation_id")
+                if cid:
+                    by_cid.setdefault(cid, set()).add(event["pid"])
+            for job in jobs:
+                pids = by_cid.get(job.job_id, set())
+                # Daemon spans live on pid 1, the job's engine spans on
+                # its own process track — the same id ties them.
+                assert 1 in pids, f"no daemon span for {job.job_id}"
+                assert any(pid > 1 for pid in pids), (
+                    f"no worker engine spans for {job.job_id}"
+                )
+            assert doc["otherData"]["stitched"] is True
+            assert set(doc["otherData"]["jobs"]) == {
+                j.job_id for j in jobs
+            }
+
+        run(with_daemon(tmp_path, body, trace_jobs=True))
+
+    def test_trace_written_at_shutdown(self, tmp_path):
+        trace_path = tmp_path / "artifacts" / "stitched.json"
+
+        async def body(daemon):
+            job = await daemon.submit(tiny_sweep())
+            await daemon.wait(job.job_id, timeout=120)
+
+        run(with_daemon(tmp_path, body, trace_jobs=trace_path))
+        doc = json.loads(trace_path.read_text())
+        assert doc["otherData"]["stitched"] is True
+        assert len(doc["otherData"]["jobs"]) == 1
+
+
+class TestTelemetryStream:
+    def test_sampler_frames_and_long_poll_op(self, tmp_path):
+        from repro.serve.transport import handle_message
+
+        async def body(daemon):
+            job = await daemon.submit(tiny_sweep())
+            await daemon.wait(job.job_id, timeout=120)
+            frame = daemon.sampler.sample_once()
+            assert frame["queue_depth"] == 0
+            assert frame["sla"]["total_s"]["mergesort"]["count"] == 1
+            reply = await handle_message(
+                daemon, {"op": "telemetry", "after_seq": 0}
+            )
+            assert reply["ok"]
+            assert reply["frames"]
+            assert reply["telemetry"]["enabled"]
+            last = reply["frames"][-1]["seq"]
+            empty = await handle_message(
+                daemon, {"op": "telemetry", "after_seq": last}
+            )
+            assert empty["frames"] == []
+            stats = daemon.stats()
+            assert stats["telemetry"]["enabled"]
+            assert stats["telemetry"]["interval_s"] == 30.0
+
+        run(with_daemon(tmp_path, body, telemetry_interval=30.0))
+
+    def test_flight_dump_on_shutdown(self, tmp_path):
+        dump = tmp_path / "flight.jsonl"
+
+        async def body(daemon):
+            job = await daemon.submit(tiny_sweep())
+            await daemon.wait(job.job_id, timeout=120)
+
+        run(
+            with_daemon(
+                tmp_path, body,
+                telemetry_interval=30.0, flight_dump=dump,
+            )
+        )
+        frames = [
+            json.loads(line) for line in dump.read_text().splitlines()
+        ]
+        assert frames
+        # The terminal frame captured post-drain state.
+        assert frames[-1]["queue_depth"] == 0
+
+    def test_telemetry_disabled_by_default(self, tmp_path):
+        async def body(daemon):
+            assert daemon.stats()["telemetry"] == {"enabled": False}
+            assert daemon.telemetry_frames() == []
+
+        run(with_daemon(tmp_path, body))
+
+
+class TestStructuredLog:
+    def test_one_correlated_story_across_components(self, tmp_path):
+        log_path = tmp_path / "events.jsonl"
+
+        async def body(daemon):
+            job = await daemon.submit(tiny_sweep())
+            await daemon.wait(job.job_id, timeout=120)
+            return job
+
+        job = run(with_daemon(tmp_path, body, log_json=log_path))
+        events = [r["event"] for r in read_log(log_path)]
+        assert "serve.daemon.started" in events
+        assert "serve.daemon.stopped" in events
+        story = [
+            r["event"] for r in events_for(log_path, correlation_id=job.job_id)
+        ]
+        # Daemon lifecycle + worker + runner events, one correlation id.
+        assert story.index("serve.job.submitted") < story.index(
+            "serve.job.dispatched"
+        )
+        assert "serve.worker.executing" in story
+        assert "run.started" in story
+        assert "run.finished" in story
+        assert story[-1] == "serve.job.finished"
+        components = {
+            r["component"]
+            for r in events_for(log_path, correlation_id=job.job_id)
+        }
+        assert components == {"daemon", "worker", "runner"}
+
+        finished = events_for(
+            log_path, correlation_id=job.job_id, event="serve.job.finished"
+        )[0]
+        assert finished["state"] == DONE
+        assert finished["run_id"] == job.run_id
+
+
+class TestBitIdentity:
+    def test_telemetry_and_logging_change_no_simulated_byte(self, tmp_path):
+        """The acceptance invariant: a run with the sampler and JSON
+        logging on is identical (modulo volatile fields) to one
+        without."""
+
+        def manifest_for(results_dir, **daemon_kwargs):
+            async def body(daemon):
+                job = await daemon.submit(tiny_sweep(workload="quicksort"))
+                job = await daemon.wait(job.job_id, timeout=120)
+                assert job.state == DONE
+                return json.loads(
+                    (results_dir / job.run_id / "manifest.json").read_text()
+                )
+
+            return run(with_daemon(results_dir, body, **daemon_kwargs))
+
+        plain_dir = tmp_path / "plain"
+        loud_dir = tmp_path / "loud"
+        plain_dir.mkdir()
+        loud_dir.mkdir()
+        plain = manifest_for(plain_dir)
+        loud = manifest_for(
+            loud_dir,
+            telemetry_interval=0.05,
+            log_json=loud_dir / "events.jsonl",
+        )
+
+        def mask(manifest):
+            return json.dumps(
+                {
+                    k: v
+                    for k, v in manifest.items()
+                    if k not in VOLATILE_KEYS
+                },
+                sort_keys=True,
+            )
+
+        assert mask(plain) == mask(loud)
+        # The telemetered run really did sample and log.
+        assert (loud_dir / "events.jsonl").exists()

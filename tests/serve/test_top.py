@@ -1,0 +1,138 @@
+"""``repro-serve top``: frame rendering and the poll loop."""
+
+import io
+
+from repro.serve.top import TopView, render_top, run_top
+
+
+def stats_frame(
+    queue_depth=3,
+    running=1,
+    hit_rate=0.5,
+    count=4,
+    burn=None,
+    telemetry=None,
+):
+    return {
+        "accepting": True,
+        "concurrency": 2,
+        "executor": "thread",
+        "queue_depth": queue_depth,
+        "running": running,
+        "states": {"done": count, "queued": queue_depth},
+        "cache_hit_rate": hit_rate,
+        "uptime_s": 12.5,
+        "sla": {
+            "wait_s": {
+                "mergesort": {
+                    "count": count, "mean": 0.1, "max": 0.4,
+                    "p50": 0.05, "p95": 0.3, "p99": 0.4,
+                }
+            },
+            "exec_s": {},
+            "total_s": {
+                "mergesort": {
+                    "count": count, "mean": 1.0, "max": 2.0,
+                    "p50": 0.9, "p95": 1.8, "p99": 2.0,
+                }
+            },
+            "deadline_burn": burn or {},
+        },
+        "telemetry": telemetry or {"enabled": False},
+    }
+
+
+class TestTopView:
+    def test_frame_contents(self):
+        frame = render_top(stats_frame())
+        assert "repro-serve top" in frame
+        assert "queue depth" in frame
+        assert "cache hits" in frame
+        assert "mergesort" in frame
+        # SLA table: wait_s and total_s rows with formatted latencies.
+        assert "wait_s" in frame
+        assert "50ms" in frame  # p50 of wait_s
+        assert "p50" in frame
+
+    def test_throughput_derived_from_count_deltas(self):
+        view = TopView()
+        view.feed(stats_frame(count=4))
+        view.feed(stats_frame(count=7))
+        frame = view.feed(stats_frame(count=7))
+        history = list(view.throughput["mergesort"])
+        # First frame seeds the baseline; then +3, then +0.
+        assert history == [0.0, 3.0, 0.0]
+        assert "done/frame" in frame
+
+    def test_history_bounded_by_width(self):
+        view = TopView(width=4)
+        for depth in range(10):
+            view.feed(stats_frame(queue_depth=depth))
+        assert list(view.queue_depth) == [6.0, 7.0, 8.0, 9.0]
+
+    def test_deadline_burn_and_telemetry_sections(self):
+        frame = render_top(
+            stats_frame(
+                burn={"mergesort": 2},
+                telemetry={
+                    "enabled": True, "interval_s": 1.0, "capacity": 256,
+                    "frames": 17, "last_seq": 17, "dropped": 0,
+                },
+            )
+        )
+        assert "deadline burn: mergesort=2" in frame
+        assert "flight recorder: 17/256 frames" in frame
+
+    def test_counter_resets_never_negative(self):
+        view = TopView()
+        view.feed(stats_frame(count=10))
+        view.feed(stats_frame(count=3))  # daemon restarted
+        assert list(view.throughput["mergesort"]) == [0.0, 0.0]
+
+    def test_empty_sla_omits_table(self):
+        stats = stats_frame()
+        stats["sla"] = {
+            "wait_s": {}, "exec_s": {}, "total_s": {}, "deadline_burn": {},
+        }
+        frame = render_top(stats)
+        assert "latency" not in frame
+        assert "queue depth" in frame
+
+
+class FakeClient:
+    def __init__(self, frames):
+        self.frames = list(frames)
+
+    def stats(self):
+        if not self.frames:
+            raise ConnectionRefusedError("daemon gone")
+        return self.frames.pop(0)
+
+
+class TestRunTop:
+    def test_bounded_iterations_no_clear(self):
+        out = io.StringIO()
+        client = FakeClient([stats_frame(count=1), stats_frame(count=2)])
+        rc = run_top(
+            client, interval_s=0.0, iterations=2, clear=False, out=out
+        )
+        assert rc == 0
+        text = out.getvalue()
+        assert text.count("repro-serve top") == 2
+        assert "\x1b[2J" not in text
+
+    def test_clear_emits_ansi(self):
+        out = io.StringIO()
+        rc = run_top(
+            FakeClient([stats_frame()]),
+            interval_s=0.0, iterations=1, clear=True, out=out,
+        )
+        assert rc == 0
+        assert out.getvalue().startswith("\x1b[2J\x1b[H")
+
+    def test_daemon_gone_returns_nonzero(self):
+        out = io.StringIO()
+        rc = run_top(
+            FakeClient([]), interval_s=0.0, iterations=1, out=out
+        )
+        assert rc == 1
